@@ -1,0 +1,49 @@
+"""Figure 1: active students per hour, Feb 8 -- Apr 15 2015.
+
+Published shape: weekly spikes every Wednesday (the Thursday-deadline
+rush), a maximum of 112 active students (Feb 18), a minimum of 8
+(Apr 9), and overall decline as participation drops through the
+offering.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.simulate import HPP_2015, StudentPopulation
+from repro.simulate.metrics import spike_day_of_week, weekly_profile
+
+
+def test_fig1_active_students_per_hour(benchmark):
+    population = StudentPopulation(HPP_2015.figure1_population_params())
+    result = benchmark.pedantic(population.generate, rounds=1, iterations=1)
+    series = result.hourly_active
+
+    daily_max = series.daily_max()
+    weekly = series.weekly_totals()
+    rows = [{
+        "week": w + 1,
+        "active_students": result.active_per_week[w],
+        "peak_hourly": int(series.counts[w * 168:(w + 1) * 168].max()),
+    } for w in range(min(10, len(weekly)))]
+    print_table("Figure 1 — weekly summary of hourly active students", rows)
+    print(f"peak hourly actives : {series.peak} (paper: 112)")
+    print(f"late-course trough  : {daily_max[7:].min()} (paper: 8)")
+    print(f"spike day of week   : {spike_day_of_week(series)} "
+          f"(Wednesday = 3 with a Sunday start; deadline Thursday = 4)")
+
+    # the Wednesday rush: the day before the Thursday deadline peaks
+    assert spike_day_of_week(series) == 3
+    # published extremes, within sampling tolerance
+    assert 90 <= series.peak <= 140
+    assert 2 <= daily_max[7:].min() <= 20
+    # the peak happens early in the course (paper: Feb 18, week 2)
+    assert series.peak_hour < 3 * 168
+    # monotone weekly decline in participation
+    actives = result.active_per_week
+    assert all(a >= b for a, b in zip(actives, actives[1:]))
+    # variation within a week dwarfs the deadline-day concentration of
+    # a flat profile: Wednesday carries > 25% of the weekly activity
+    profile = weekly_profile(series).reshape(7, 24).sum(axis=1)
+    assert profile[3] / profile.sum() > 0.25
+    # and the quietest day carries well under half the rush day
+    assert profile.min() < 0.5 * profile[3]

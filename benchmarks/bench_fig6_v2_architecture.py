@@ -1,0 +1,167 @@
+"""Figure 6: the WebGPU 2.0 architecture — replicated broker, pull
+workers with requirement tags, replicated metrics database, S3 datasets.
+
+Also the push-vs-pull ablation the redesign is about: under a
+heterogeneous fleet, v1's push dispatcher must know every worker's
+capabilities and discovers failures the hard way; v2's queue lets
+capable workers self-select, and a broker zone failure loses no jobs.
+"""
+
+from conftest import print_table
+
+from repro.broker import ConfigServer, ContainerPool, MessageBroker, WorkerDriver
+from repro.broker.containers import CUDA_IMAGE, OPENCL_IMAGE
+from repro.cluster import GpuWorker, ManualClock, WorkerConfig
+from repro.cluster.job import Job, JobStatus
+from repro.cluster.pool import PushDispatcher, WorkerPool
+from repro.db import Database
+from repro.labs import get_lab
+
+VECADD = get_lab("vector-add")
+OPENCL = get_lab("opencl-vecadd")
+MPI = get_lab("mpi-stencil")
+
+
+def mixed_jobs(count=9):
+    jobs = []
+    for i in range(count):
+        lab = (VECADD, OPENCL, MPI)[i % 3]
+        jobs.append(Job(lab=lab, source=lab.solution, user=f"u{i}"))
+    return jobs
+
+
+def make_v2_fleet(clock, broker):
+    db = Database("metrics")
+    cfg = ConfigServer()
+    fleets = []
+    # two plain CUDA nodes + one big node with OpenCL + MPI + 4 GPUs
+    for i in range(2):
+        worker = GpuWorker(WorkerConfig(tags=frozenset({"cuda"})),
+                           clock=clock, name=f"cuda{i}")
+        fleets.append(WorkerDriver(worker, broker, ContainerPool(
+            [CUDA_IMAGE]), cfg, db, clock=clock, zone="us-east-1a"))
+    big = GpuWorker(WorkerConfig(tags=frozenset({"cuda", "opencl", "mpi"}),
+                                 num_gpus=4), clock=clock, name="big0")
+    fleets.append(WorkerDriver(big, broker, ContainerPool(
+        [CUDA_IMAGE, OPENCL_IMAGE], num_gpus=4), cfg, db,
+        clock=clock, zone="us-east-1b"))
+    return fleets, db
+
+
+def run_pull(jobs):
+    clock = ManualClock()
+    broker = MessageBroker(zones=("us-east-1a", "us-east-1b"))
+    drivers, db = make_v2_fleet(clock, broker)
+    for job in jobs:
+        broker.publish(job, clock.now())
+    results = []
+    # round-robin pull until drained
+    for _ in range(len(jobs) * 3):
+        for driver in drivers:
+            result = driver.step()
+            if result is not None:
+                results.append(result)
+        if broker.depth() == 0 and len(results) == len(jobs):
+            break
+    return results, drivers, broker
+
+
+def test_fig6_pull_serves_heterogeneous_jobs(benchmark):
+    results, drivers, broker = benchmark.pedantic(
+        lambda: run_pull(mixed_jobs()), rounds=1, iterations=1)
+
+    rows = [{"worker": d.worker.name,
+             "capabilities": ",".join(sorted(d.capabilities)),
+             "jobs": d.stats.jobs,
+             "container_s": f"{d.stats.container_seconds:.1f}"}
+            for d in drivers]
+    print_table("Figure 6 — pull dispatch on a heterogeneous fleet", rows)
+
+    assert len(results) == 9
+    assert all(r.all_correct for r in results)
+    by_name = {d.worker.name: d for d in drivers}
+    # tagged jobs (OpenCL + MPI) all landed on the capable node,
+    # and plain CUDA jobs were shared by everyone
+    assert by_name["big0"].stats.jobs >= 6
+    assert by_name["cuda0"].stats.jobs + by_name["cuda1"].stats.jobs == \
+        9 - by_name["big0"].stats.jobs
+    # no node ever needed "the highest common multiple" of requirements
+    assert "opencl" not in by_name["cuda0"].capabilities
+
+
+def test_fig6_zone_failure_loses_no_jobs(benchmark):
+    def run():
+        clock = ManualClock()
+        broker = MessageBroker(zones=("us-east-1a", "us-east-1b"))
+        drivers, _ = make_v2_fleet(clock, broker)
+        jobs = mixed_jobs(6)
+        # half the jobs published, then a whole zone dies
+        for job in jobs[:3]:
+            broker.publish(job, clock.now(), zone="us-east-1a")
+        broker.fail_zone("us-east-1a")
+        for job in jobs[3:]:
+            broker.publish(job, clock.now(), zone="us-east-1a")  # fails over
+        results = []
+        for _ in range(40):
+            for driver in drivers:
+                result = driver.step()
+                if result is not None:
+                    results.append(result)
+            if len(results) == 6:
+                break
+        return results, broker
+
+    results, broker = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nfailovers: {broker.failovers}; completed: {len(results)}/6")
+    assert broker.failovers >= 3
+    assert len(results) == 6
+    assert all(r.status is JobStatus.COMPLETED for r in results)
+
+
+def test_fig6_push_needs_retries_where_pull_does_not(benchmark):
+    """The ablation: crash a worker. Push dispatch discovers the dead
+    node by failing a dispatch into it; pull simply never hears from it."""
+    def run():
+        clock = ManualClock()
+        # push side
+        pool = WorkerPool()
+        workers = [GpuWorker(WorkerConfig(), clock=clock, name=f"p{i}")
+                   for i in range(3)]
+        for w in workers:
+            pool.register(w)
+        dispatcher = PushDispatcher(pool)
+        workers[0].crash()
+        push_results = [dispatcher.dispatch(
+            Job(lab=VECADD, source=VECADD.solution)) for _ in range(4)]
+
+        # pull side
+        broker = MessageBroker()
+        db = Database("m")
+        cfg = ConfigServer()
+        drivers = []
+        for i in range(3):
+            w = GpuWorker(WorkerConfig(), clock=clock, name=f"q{i}")
+            drivers.append(WorkerDriver(w, broker, ContainerPool(
+                [CUDA_IMAGE]), cfg, db, clock=clock))
+        drivers[0].worker.crash()
+        for _ in range(4):
+            broker.publish(Job(lab=VECADD, source=VECADD.solution),
+                           clock.now())
+        pull_results = []
+        for _ in range(12):
+            for d in drivers:
+                r = d.step()
+                if r is not None:
+                    pull_results.append(r)
+        return dispatcher, push_results, pull_results
+
+    dispatcher, push_results, pull_results = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    print(f"\npush retries after crash: {dispatcher.retries}; "
+          f"pull wasted dispatches: 0 (dead node never polls)")
+    assert all(r.status is JobStatus.COMPLETED for r in push_results)
+    assert len(pull_results) == 4
+    assert all(r.all_correct for r in pull_results)
+    # push paid for the crash with at least one failed dispatch; pull
+    # never handed a job to the dead node
+    assert dispatcher.retries >= 1

@@ -1,0 +1,113 @@
+"""Figure 7: worker-node internals — driver, container pool, config
+server, metrics.
+
+Checks the three mechanisms the figure describes: per-toolchain
+container selection, delete-after-job + replenish pooling, and the
+remote-config-change -> driver-restart path; plus the health/metrics
+reporting into the replicated database.
+"""
+
+from conftest import print_table
+
+from repro.broker import ConfigServer, ContainerPool, MessageBroker, WorkerDriver
+from repro.broker.containers import CUDA_IMAGE, OPENCL_IMAGE
+from repro.cluster import GpuWorker, ManualClock, WorkerConfig
+from repro.cluster.job import Job
+from repro.db import Database
+from repro.labs import get_lab
+
+VECADD = get_lab("vector-add")
+OPENCL = get_lab("opencl-vecadd")
+
+
+def make_node(clock, warm=1, num_gpus=2):
+    broker = MessageBroker()
+    db = Database("metrics")
+    cfg = ConfigServer(initial=None)
+    worker = GpuWorker(WorkerConfig(tags=frozenset({"cuda", "opencl"}),
+                                    num_gpus=num_gpus), clock=clock)
+    pool = ContainerPool([CUDA_IMAGE, OPENCL_IMAGE], num_gpus=num_gpus,
+                         warm_per_image=warm)
+    driver = WorkerDriver(worker, broker, pool, cfg, db, clock=clock)
+    return driver, broker, db, cfg
+
+
+def test_fig7_container_lifecycle(benchmark):
+    def run():
+        clock = ManualClock()
+        driver, broker, db, _ = make_node(clock)
+        for i in range(8):
+            lab = VECADD if i % 2 == 0 else OPENCL
+            broker.publish(Job(lab=lab, source=lab.solution), clock.now())
+        results = driver.drain()
+        return driver, results
+
+    driver, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = driver.containers.stats()
+    print_table("Figure 7 — container pool over 8 jobs", [dict(
+        stats, jobs=len(results))])
+
+    assert len(results) == 8 and all(r.all_correct for r in results)
+    # every job's container was deleted afterwards and the pool refilled
+    assert stats["deleted"] == 8
+    assert stats["replenishments"] == 8
+    # with a warm pool, no job paid a cold start
+    assert stats["cold_starts"] == 0
+    assert stats["warm_hits"] == 8
+    # jobs alternated toolchains: both images served work
+    containers = {r.extra["container"].split("-")[0] for r in results}
+    assert len(containers) == 2
+    # containers were mapped onto the node's GPUs
+    slots = {r.extra["gpu_slot"] for r in results}
+    assert slots == {0, 1}
+
+
+def test_fig7_config_change_restarts_fleet(benchmark):
+    def run():
+        clock = ManualClock()
+        nodes = []
+        shared_cfg = ConfigServer()
+        broker = MessageBroker()
+        db = Database("metrics")
+        for i in range(3):
+            worker = GpuWorker(WorkerConfig(), clock=clock, name=f"n{i}")
+            nodes.append(WorkerDriver(worker, broker, ContainerPool(
+                [CUDA_IMAGE]), shared_cfg, db, clock=clock))
+        # all nodes idle-poll once at version 1
+        for node in nodes:
+            node.step()
+        # operator pushes a uniform config change
+        shared_cfg.update(warm_containers_per_image=2)
+        for node in nodes:
+            node.step()
+        return nodes
+
+    nodes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nrestarts per node: {[n.stats.restarts for n in nodes]}")
+    # the change restarted every driver exactly once, uniformly
+    assert [n.stats.restarts for n in nodes] == [1, 1, 1]
+    assert all(n.config.version == 2 for n in nodes)
+    assert all(n.containers.warm_per_image == 2 for n in nodes)
+
+
+def test_fig7_health_and_metrics_reporting(benchmark):
+    def run():
+        clock = ManualClock()
+        driver, broker, db, _ = make_node(clock)
+        broker.publish(Job(lab=VECADD, source=VECADD.solution), clock.now())
+        driver.step()
+        for _ in range(3):
+            clock.advance(10.0)
+            driver.health_check()
+        return db, driver
+
+    db, driver = benchmark.pedantic(run, rounds=1, iterations=1)
+    health_rows = db.find("worker_metrics", event="health")
+    job_rows = db.find("worker_metrics", event="job")
+    print(f"\nmetrics rows: {len(health_rows)} health, {len(job_rows)} job")
+    assert len(health_rows) == 3
+    assert len(job_rows) == 1
+    assert job_rows[0]["payload"]["correct"] is True
+    # health payloads carry the container-pool state (Figure 7's
+    # "validation of state")
+    assert "containers" in health_rows[0]["payload"]

@@ -1,0 +1,127 @@
+"""Section III-D: the security stack under attack and benign load.
+
+* an attack corpus (inline asm, process spawning, file/network escape
+  attempts, sandbox-dir escapes, runaway loops) must be contained by
+  some layer — blacklist, seccomp whitelist, write confinement, or the
+  watchdog;
+* the benign corpus (all fifteen reference solutions) must pass;
+* the raw-text vs post-preprocessor blacklist ablation: raw scanning
+  false-positives on innocent comments, exactly the nuisance the paper
+  accepted.
+"""
+
+import dataclasses
+
+from conftest import print_table
+
+from repro.cluster import GpuWorker, ManualClock, WorkerConfig
+from repro.cluster.job import Job, JobKind
+from repro.labs import ALL_LABS, get_lab
+from repro.sandbox import BlacklistScanner, ScanMode
+
+VECADD = get_lab("vector-add")
+
+
+def _patch(marker: str, replacement: str) -> str:
+    return VECADD.solution.replace(marker, replacement)
+
+
+HOOK = 'wbLog(TRACE, "The input length is ", inputLength);'
+
+ATTACKS = {
+    "inline-asm": _patch("out[i] = in1[i] + in2[i];", 'asm("syscall");'),
+    "fork-bomb": _patch(HOOK, "while (1) { fork(); }"),
+    "shell-escape": _patch(HOOK, 'system("rm -rf /");'),
+    "read-secrets": _patch(HOOK, 'fopen("/etc/shadow", "r");'),
+    "network-exfil": _patch(HOOK, "socket(2, 1, 0); connect(0, 0, 0);"),
+    "unlink-files": _patch(HOOK, 'remove("/var/log/auth.log");'),
+    "cpu-burn": _patch(HOOK, "while (1) { inputLength = inputLength; }"),
+}
+
+#: which layer is expected to stop each attack
+EXPECTED_LAYER = {
+    "inline-asm": "blacklisted",
+    "fork-bomb": "blacklisted",
+    "shell-escape": "blacklisted",
+    "read-secrets": "syscall_killed",
+    "network-exfil": "syscall_killed",
+    "unlink-files": "syscall_killed",
+    "cpu-burn": "run_timeout",
+}
+
+
+def classify(worker, source):
+    lab = dataclasses.replace(VECADD, run_limit_s=0.2)
+    result = worker.process(Job(lab=lab, source=source,
+                                kind=JobKind.RUN_DATASET))
+    if not result.compile_ok:
+        if "blacklisted" in result.compile_message:
+            return "blacklisted"
+        return "compile_error"
+    return result.datasets[0].outcome
+
+
+def test_attack_corpus_contained(benchmark):
+    def run():
+        clock = ManualClock()
+        worker = GpuWorker(WorkerConfig(), clock=clock)
+        return {name: classify(worker, source)
+                for name, source in ATTACKS.items()}
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"attack": name, "stopped_by": outcome,
+             "expected": EXPECTED_LAYER[name],
+             "ok": "yes" if outcome == EXPECTED_LAYER[name] else "NO"}
+            for name, outcome in outcomes.items()]
+    print_table("Attack corpus vs the Section III-D security stack", rows)
+
+    for name, outcome in outcomes.items():
+        assert outcome == EXPECTED_LAYER[name], (name, outcome)
+    # not a single attack produced an "ok" run
+    assert "ok" not in outcomes.values()
+
+
+def test_benign_corpus_all_pass(benchmark):
+    """False-negative check: every legitimate reference solution runs
+    to completion under the same policies."""
+    def run():
+        clock = ManualClock()
+        worker = GpuWorker(WorkerConfig(
+            tags=frozenset({"cuda", "opencl", "mpi"}), num_gpus=4),
+            clock=clock)
+        passed = 0
+        for lab in ALL_LABS:
+            result = worker.process(Job(lab=lab, source=lab.solution,
+                                        kind=JobKind.RUN_DATASET))
+            passed += int(result.compile_ok
+                          and all(d.correct for d in result.datasets))
+        return passed
+
+    passed = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nbenign corpus: {passed}/{len(ALL_LABS)} labs pass the sandbox")
+    assert passed == len(ALL_LABS)
+
+
+def test_blacklist_mode_ablation(benchmark):
+    """Raw scanning flags innocent comments (false positives the paper
+    tolerated); post-preprocessor scanning does not, at identical
+    true-positive coverage on real calls."""
+    commented = _patch(HOOK, "// remember: never call fork() here")
+    real_attack = ATTACKS["shell-escape"]
+
+    def run():
+        raw = BlacklistScanner(mode=ScanMode.RAW)
+        pre = BlacklistScanner(mode=ScanMode.PREPROCESSED)
+        return {
+            "raw_flags_comment": bool(raw.scan(commented)),
+            "pre_flags_comment": bool(pre.scan(commented)),
+            "raw_flags_attack": bool(raw.scan(real_attack)),
+            "pre_flags_attack": bool(pre.scan(real_attack)),
+        }
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    print_table("Blacklist scan-mode ablation", [outcome])
+    assert outcome["raw_flags_comment"] is True      # the paper's nuisance
+    assert outcome["pre_flags_comment"] is False     # the fix
+    assert outcome["raw_flags_attack"] is True
+    assert outcome["pre_flags_attack"] is True       # no lost coverage

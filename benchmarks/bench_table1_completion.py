@@ -1,0 +1,53 @@
+"""Table I: registered users, completions, completion rate, certificates
+for the three Coursera offerings of Heterogeneous Parallel Programming.
+
+Published row values:
+    2013: 36896 registered, 2729 completions (7.40%), no certificates
+    2014: 33818 registered, 1061 completions (3.14%), 286 certificates
+    2015: 35940 registered, 1141 completions (3.15%), 442 certificates
+"""
+
+from conftest import print_table
+
+from repro.simulate.funnel import funnel_table
+from repro.simulate.scenarios import COURSERA_OFFERINGS
+
+PUBLISHED = {
+    "HPP 2013": {"completions": 2729, "rate_pct": 7.40, "certificates": None},
+    "HPP 2014": {"completions": 1061, "rate_pct": 3.14, "certificates": 286},
+    "HPP 2015": {"completions": 1141, "rate_pct": 3.15, "certificates": 442},
+}
+
+
+def test_table1_completion_funnel(benchmark):
+    results = benchmark.pedantic(
+        lambda: funnel_table(COURSERA_OFFERINGS), rounds=3, iterations=1)
+
+    rows = []
+    for result in results:
+        published = PUBLISHED[result.name]
+        rows.append({
+            "offering": result.name,
+            "registered": result.registered,
+            "completions": f"{result.completions} "
+                           f"(paper {published['completions']})",
+            "rate_pct": f"{100 * result.completion_rate:.2f} "
+                        f"(paper {published['rate_pct']:.2f})",
+            "certificates": f"{result.certificates} "
+                            f"(paper {published['certificates'] or '-'})",
+        })
+    print_table("Table I — enrollment funnel", rows)
+
+    by_name = {r.name: r for r in results}
+    # 2013 is the outlier year with ~2.4x the later completion rates
+    assert by_name["HPP 2013"].completion_rate > 0.06
+    assert 0.025 < by_name["HPP 2014"].completion_rate < 0.040
+    assert 0.025 < by_name["HPP 2015"].completion_rate < 0.040
+    # magnitudes within 15% of the published counts
+    for name, published in PUBLISHED.items():
+        got = by_name[name].completions
+        assert abs(got - published["completions"]) \
+            < 0.15 * published["completions"]
+    # certificates only exist from 2014 on, and grew in 2015
+    assert by_name["HPP 2013"].certificates == 0
+    assert by_name["HPP 2015"].certificates > by_name["HPP 2014"].certificates

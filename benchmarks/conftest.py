@@ -1,0 +1,27 @@
+"""Shared helpers for the paper-artifact benchmarks.
+
+Every benchmark regenerates one table or figure from the paper and
+checks its *shape* against the published values (who wins, by what
+rough factor, where the extremes fall) — absolute numbers differ
+because the substrate is a simulator, not the authors' AWS testbed.
+
+Run with: ``pytest benchmarks/ --benchmark-only``
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, rows: list[dict], order: list[str] | None = None):
+    """Render a list of dicts as an aligned text table to stdout."""
+    if not rows:
+        print(f"\n== {title} ==\n(no rows)")
+        return
+    keys = order or list(rows[0])
+    widths = {k: max(len(str(k)), *(len(str(r.get(k, ""))) for r in rows))
+              for k in keys}
+    header = "  ".join(str(k).ljust(widths[k]) for k in keys)
+    print(f"\n== {title} ==")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row.get(k, "")).ljust(widths[k]) for k in keys))

@@ -1,0 +1,143 @@
+"""Instructor workflow: author and deploy a brand-new lab.
+
+Builds a lab that is *not* in the Table II catalog — SAXPY — from
+scratch: markdown description, skeleton, reference solution, a custom
+dataset generator registered with the wb library, and a rubric; then
+deploys it to a course and grades a student submission against it.
+This is the Section IV-E "instructor lab creation" path.
+
+Run: python examples/author_a_lab.py
+"""
+
+import numpy as np
+
+from repro import CourseOffering, WebGPU
+from repro.cluster import ManualClock
+from repro.labs.base import LabDefinition, Rubric
+from repro.wb.datasets import GeneratedData, generators
+
+# --- 1. the dataset generator (instructor-provided test generator) ------
+
+
+def gen_saxpy(seed: int, size: int) -> GeneratedData:
+    rng = np.random.default_rng(seed)
+    a = np.float32(rng.uniform(0.5, 4.0))
+    x = rng.random(size, dtype=np.float32)
+    y = rng.random(size, dtype=np.float32)
+    return GeneratedData(
+        inputs={"input0": np.array([a], dtype=np.float32),
+                "input1": x, "input2": y},
+        expected=(a * x + y).astype(np.float32))
+
+
+generators["saxpy"] = gen_saxpy
+
+# --- 2. skeleton and reference solution -----------------------------------
+
+_HOST = r'''
+int main(int argc, char **argv) {
+  wbArg_t args;
+  int one, len;
+  float *hostA, *hostX, *hostY, *hostOut;
+  float *deviceX, *deviceY, *deviceOut;
+
+  args = wbArg_read(argc, argv);
+  hostA = (float *)wbImport(wbArg_getInputFile(args, 0), &one);
+  hostX = (float *)wbImport(wbArg_getInputFile(args, 1), &len);
+  hostY = (float *)wbImport(wbArg_getInputFile(args, 2), &len);
+  hostOut = (float *)malloc(len * sizeof(float));
+
+  cudaMalloc((void **)&deviceX, len * sizeof(float));
+  cudaMalloc((void **)&deviceY, len * sizeof(float));
+  cudaMalloc((void **)&deviceOut, len * sizeof(float));
+  cudaMemcpy(deviceX, hostX, len * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(deviceY, hostY, len * sizeof(float), cudaMemcpyHostToDevice);
+
+  saxpy<<<(len + 127) / 128, 128>>>(hostA[0], deviceX, deviceY, deviceOut,
+                                    len);
+  cudaDeviceSynchronize();
+
+  cudaMemcpy(hostOut, deviceOut, len * sizeof(float),
+             cudaMemcpyDeviceToHost);
+  wbSolution(args, hostOut, len);
+
+  cudaFree(deviceX);
+  cudaFree(deviceY);
+  cudaFree(deviceOut);
+  free(hostOut);
+  return 0;
+}
+'''
+
+SKELETON = r'''
+#include <wb.h>
+
+__global__ void saxpy(float a, float *x, float *y, float *out, int len) {
+  //@@ out[i] = a * x[i] + y[i]
+}
+''' + _HOST
+
+SOLUTION = r'''
+#include <wb.h>
+
+__global__ void saxpy(float a, float *x, float *y, float *out, int len) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < len) {
+    out[i] = a * x[i] + y[i];
+  }
+}
+''' + _HOST
+
+# --- 3. the lab definition (description markdown + rubric + config) --------
+
+SAXPY = LabDefinition(
+    slug="saxpy",
+    title="SAXPY",
+    description="""# SAXPY
+
+Compute `out = a * x + y` for a scalar `a` and vectors `x`, `y`.
+
+## Objectives
+
+* Pass a scalar kernel argument by value.
+* One more rep of the global-index + boundary-check pattern.
+""",
+    skeleton=SKELETON,
+    solution=SOLUTION,
+    generator="saxpy",
+    dataset_sizes=(32, 257, 1000),
+    courses=frozenset({"408"}),
+    rubric=Rubric(dataset_points=85, compile_points=15, question_points=0),
+)
+
+
+def main() -> None:
+    # validate the authored lab offline before deploying (what a careful
+    # instructor does; PUMPS showed rushed authoring is error-prone)
+    from repro.labs.base import execute_lab_source
+    for index in range(len(SAXPY.dataset_sizes)):
+        result = execute_lab_source(SAXPY, SAXPY.solution,
+                                    SAXPY.dataset(index))
+        assert result.passed, result.compare.report()
+    print("reference solution validated against all "
+          f"{len(SAXPY.dataset_sizes)} datasets")
+
+    # deploy to a course: the platform accepts any LabDefinition
+    clock = ManualClock()
+    gpu = WebGPU(clock=clock, num_workers=1)
+    course = gpu.create_course(CourseOffering(code="408", year=2016), [])
+    course.labs[SAXPY.slug] = SAXPY
+    print(f"deployed '{SAXPY.title}' to {course.offering.key}")
+
+    # a student takes it
+    student = gpu.users.register("s@illinois.edu", "Student", "pw")
+    course.enroll(student.user_id)
+    gpu.save_code("408-2016", student, "saxpy", SAXPY.solution)
+    clock.advance(60)
+    attempt, grade = gpu.submit_for_grading("408-2016", student, "saxpy")
+    print(f"student submission: correct={attempt.correct}, "
+          f"grade={grade.total_points:.0f}/{SAXPY.rubric.total}")
+
+
+if __name__ == "__main__":
+    main()

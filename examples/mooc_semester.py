@@ -1,0 +1,91 @@
+"""Simulate the three Coursera offerings: Table I and Figure 1.
+
+Regenerates the paper's two quantitative artifacts from the calibrated
+population model, renders Figure 1 as an ASCII chart, and sizes a GPU
+fleet against the trace (static vs deadline-aware autoscaling).
+
+Run: python examples/mooc_semester.py
+"""
+
+import numpy as np
+
+from repro.cluster.scaling import DeadlineAwareScaler, ReactiveAutoscaler
+from repro.simulate import HPP_2015, StudentPopulation
+from repro.simulate.funnel import funnel_table
+from repro.simulate.scenarios import COURSERA_OFFERINGS
+from repro.simulate.workload import (
+    jobs_from_activity,
+    sample_service_times,
+    simulate_fleet,
+)
+
+
+def ascii_series(values: np.ndarray, width: int = 78,
+                 height: int = 12) -> str:
+    """A crude terminal rendering of the Figure 1 curve."""
+    bucket = max(1, len(values) // width)
+    cols = [values[i:i + bucket].max()
+            for i in range(0, len(values) - bucket + 1, bucket)]
+    peak = max(cols) or 1
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = peak * level / height
+        line = "".join("#" if c >= threshold else " " for c in cols)
+        rows.append(f"{threshold:6.0f} |{line}")
+    rows.append("       +" + "-" * len(cols))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    # ---------------- Table I -------------------------------------------
+    print("Table I — registered users, completions, certificates")
+    print(f"{'offering':<10} {'registered':>10} {'completed':>10} "
+          f"{'rate':>7} {'certs':>6}")
+    for result in funnel_table(COURSERA_OFFERINGS):
+        print(f"{result.name:<10} {result.registered:>10} "
+              f"{result.completions:>10} "
+              f"{100 * result.completion_rate:>6.2f}% "
+              f"{result.certificates:>6}")
+    print("(paper:    36896/2729/7.40%/-, 33818/1061/3.14%/286, "
+          "35940/1141/3.15%/442)")
+
+    # ---------------- Figure 1 ------------------------------------------
+    print("\nFigure 1 — active students per hour, HPP 2015 (Feb 8-Apr 15)")
+    population = StudentPopulation(HPP_2015.figure1_population_params())
+    result = population.generate()
+    series = result.hourly_active
+    print(ascii_series(series.counts))
+    print(f"peak {series.peak} (paper: 112 on Feb 18); late-course low "
+          f"{series.daily_max()[7:].min()} (paper: 8 on Apr 9); spikes on "
+          "Wednesdays before the Thursday deadline")
+
+    # ---------------- fleet sizing over the trace ------------------------
+    print("\nProvisioning the worker fleet against this trace")
+    arrivals = jobs_from_activity(series, seed=1)
+    services = sample_service_times(len(arrivals), seed=2)
+    static = simulate_fleet(arrivals, services, num_workers=8)
+
+    scaler = DeadlineAwareScaler(
+        base=ReactiveAutoscaler(target_utilization=0.6, min_workers=1,
+                                max_workers=16, cooldown_s=0.0),
+        deadlines=tuple((week * 7 + 4) * 86400.0 for week in range(10)),
+        boost_workers=6)
+    elastic = simulate_fleet(
+        arrivals, services,
+        scaler=lambda now, demand, cur: scaler.target_workers(
+            now, demand, cur).target,
+        scale_interval_s=3600.0)
+
+    print(f"{'policy':<28} {'GPU-hours':>10} {'p95 wait':>9} {'util':>6}")
+    for name, fleet in (("static (8 GPUs, for peak)", static),
+                        ("deadline-aware autoscaler", elastic)):
+        print(f"{name:<28} {fleet.gpu_hours:>10.0f} "
+              f"{fleet.p95_wait:>8.1f}s {fleet.utilization:>6.1%}")
+    print(f"\n{len(arrivals)} jobs served; autoscaling used "
+          f"{elastic.gpu_hours / static.gpu_hours:.0%} of the static "
+          "fleet's GPU-hours — the Section II-C point: a fleet sized for "
+          "the start of the course idles at the end.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""WebGPU 2.0: a heterogeneous PUMPS-style fleet in action.
+
+Demonstrates the Figure 6/7 machinery: requirement-tagged labs routed
+through the message broker to matching pull workers, a uniform config
+change restarting every driver, a broker zone failure that loses no
+jobs, and the administrator dashboard.
+
+Run: python examples/platform_v2_fleet.py
+"""
+
+from repro import CourseOffering, WebGPU2, get_lab
+from repro.cluster import ManualClock, WorkerConfig
+
+
+def main() -> None:
+    clock = ManualClock()
+    gpu = WebGPU2(clock=clock, num_workers=0,
+                  zones=("us-east-1a", "us-east-1b"))
+
+    # a mixed fleet: two cheap CUDA nodes, one big node with OpenCL,
+    # MPI, and four GPUs (jobs tag-match; no node needs everything)
+    gpu.add_worker(WorkerConfig(tags=frozenset({"cuda"})),
+                   zone="us-east-1a")
+    gpu.add_worker(WorkerConfig(tags=frozenset({"cuda"})),
+                   zone="us-east-1b")
+    gpu.add_worker(WorkerConfig(tags=frozenset({"cuda", "opencl", "mpi"}),
+                                num_gpus=4), zone="us-east-1b")
+
+    course = gpu.create_course(
+        CourseOffering(code="PUMPS", year=2015),
+        ["vector-add", "opencl-vecadd", "mpi-stencil"])
+    attendee = gpu.users.register("attendee@upc.edu", "Attendee", "pw")
+    course.enroll(attendee.user_id)
+
+    print("fleet capabilities:")
+    for driver in gpu.drivers:
+        print(f"  {driver.worker.name} ({driver.zone}): "
+              f"{', '.join(sorted(driver.capabilities))}, "
+              f"{driver.worker.config.num_gpus} GPU(s)")
+
+    # --- run one lab per toolchain ---------------------------------------
+    for slug in ("vector-add", "opencl-vecadd", "mpi-stencil"):
+        lab = get_lab(slug)
+        gpu.save_code("PUMPS-2015", attendee, slug, lab.solution)
+        clock.advance(120)
+        attempt = gpu.run_attempt("PUMPS-2015", attendee, slug)
+        print(f"\n{lab.title}: correct={attempt.correct} "
+              f"on worker {attempt.worker} "
+              f"(requires {sorted(lab.requirements) or ['cuda']})")
+
+    # --- push a uniform config change to the whole fleet ------------------
+    print("\noperator: raising warm containers per image to 2 ...")
+    gpu.config_server.update(warm_containers_per_image=2)
+    gpu.pump()  # next poll applies it
+    restarts = [d.stats.restarts for d in gpu.drivers]
+    print(f"driver restarts after config push: {restarts}")
+
+    # --- a broker zone dies mid-deadline ----------------------------------
+    print("\nzone us-east-1a broker fails; submissions keep working:")
+    gpu.broker.fail_zone("us-east-1a")
+    clock.advance(120)
+    attempt = gpu.run_attempt("PUMPS-2015", attendee, "vector-add")
+    print(f"  vector-add after zone failure: correct={attempt.correct} "
+          f"(failovers={gpu.broker.failovers})")
+
+    # --- the admin dashboard ----------------------------------------------
+    for driver in gpu.drivers:
+        driver.health_check()
+    print("\n" + gpu.dashboard.render())
+
+
+if __name__ == "__main__":
+    main()

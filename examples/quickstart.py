@@ -1,0 +1,78 @@
+"""Quickstart: one student solves Vector Addition on WebGPU.
+
+Creates the platform (web-server + database + two simulated GPU
+workers), a course, and a student; then walks the six student actions:
+edit, compile, run against a dataset, answer the question, submit for
+grading, and inspect history.
+
+Run: python examples/quickstart.py
+"""
+
+from repro import CourseOffering, WebGPU, get_lab
+from repro.cluster import ManualClock
+
+
+def main() -> None:
+    clock = ManualClock()
+    gpu = WebGPU(clock=clock, num_workers=2)
+
+    # --- instructor: create the course and offer a lab -----------------
+    course = gpu.create_course(
+        CourseOffering(code="HPP", year=2015,
+                       deadlines={"vector-add": 7 * 86400.0}),
+        ["vector-add"])
+    lab = get_lab("vector-add")
+    print(f"course {course.offering.key} offers: {lab.title}")
+
+    # --- student signs up and enrolls ----------------------------------
+    student = gpu.users.register("you@example.com", "You", "secret")
+    course.enroll(student.user_id)
+
+    # 1. the editor autosaves the skeleton as the student reads it
+    gpu.save_code("HPP-2015", student, "vector-add", lab.skeleton)
+
+    # 2. compile what's there (the skeleton compiles but does nothing)
+    clock.advance(60)
+    attempt = gpu.compile_code("HPP-2015", student, "vector-add")
+    print(f"\ncompile skeleton : ok={attempt.compile_ok}")
+
+    # run the empty kernel: wbSolution output is all zeros -> mismatch
+    clock.advance(60)
+    attempt = gpu.run_attempt("HPP-2015", student, "vector-add", 0)
+    print(f"run skeleton     : correct={attempt.correct}")
+    print("  " + attempt.report.splitlines()[0])
+
+    # ... the student writes the kernel (we paste the reference) ...
+    gpu.save_code("HPP-2015", student, "vector-add", lab.solution,
+                  reason="save")
+
+    # 3. run against dataset 2
+    clock.advance(60)
+    attempt = gpu.run_attempt("HPP-2015", student, "vector-add", 2)
+    print(f"\nrun solution     : correct={attempt.correct} "
+          f"(worker={attempt.worker}, {attempt.service_seconds:.2f}s)")
+
+    # 4. answer the short-form question
+    gpu.answer_question("HPP-2015", student, "vector-add", 0,
+                        "The grid is rounded up to whole blocks, so the "
+                        "last block has threads past the end of the data.")
+
+    # 5. submit for grading: every dataset + the rubric
+    clock.advance(60)
+    attempt, grade = gpu.submit_for_grading("HPP-2015", student,
+                                            "vector-add")
+    print(f"\nsubmitted        : grade {grade.total_points:.0f}/"
+          f"{lab.rubric.total}")
+
+    # 6. the history views
+    revisions = gpu.code_history("HPP-2015", student, "vector-add")
+    attempts = gpu.attempt_history("HPP-2015", student, "vector-add")
+    print(f"\nhistory          : {len(revisions)} revision(s), "
+          f"{len(attempts)} attempt(s)")
+    for a in attempts:
+        print(f"  [{a.kind.value:8s}] t={a.submitted_at:5.0f}s "
+              f"correct={a.correct}")
+
+
+if __name__ == "__main__":
+    main()

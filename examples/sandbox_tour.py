@@ -1,0 +1,76 @@
+"""A tour of the Section III-D security stack.
+
+Submits a series of increasingly creative escape attempts against a
+worker and shows which layer stops each one; then demonstrates the
+offline-development path (Section IV-C) where the same code runs
+without any sandbox.
+
+Run: python examples/sandbox_tour.py
+"""
+
+import dataclasses
+
+from repro.cluster import GpuWorker, ManualClock, WorkerConfig
+from repro.cluster.job import Job, JobKind
+from repro.labs import get_lab
+from repro.wb import run_offline
+
+LAB = get_lab("vector-add")
+HOOK = 'wbLog(TRACE, "The input length is ", inputLength);'
+
+ATTEMPTS = [
+    ("honest solution", LAB.solution),
+    ("inline assembly", LAB.solution.replace(
+        "out[i] = in1[i] + in2[i];", 'asm("int3");')),
+    ("asm hidden in a macro", "#define SNEAK asm\n" + LAB.solution.replace(
+        "out[i] = in1[i] + in2[i];", 'SNEAK("int3");')),
+    ("shell command", LAB.solution.replace(HOOK, 'system("id");')),
+    ("read /etc/shadow", LAB.solution.replace(
+        HOOK, 'fopen("/etc/shadow", "r");')),
+    ("open a socket", LAB.solution.replace(HOOK, "socket(2, 1, 0);")),
+    ("spin forever", LAB.solution.replace(
+        HOOK, "while (1) { inputLength = inputLength; }")),
+    ("out-of-bounds write", LAB.solution.replace(
+        "out[i] = in1[i] + in2[i];", "out[i + 100000] = 1.0f;")),
+]
+
+
+def main() -> None:
+    clock = ManualClock()
+    worker = GpuWorker(WorkerConfig(), clock=clock)
+    lab = dataclasses.replace(LAB, run_limit_s=0.5)
+
+    print("Submitting to a sandboxed worker "
+          f"(policy: {worker.config.policy.name}, "
+          f"run limit {lab.run_limit_s}s)\n")
+    print(f"{'attempt':<24} {'verdict':<16} detail")
+    print("-" * 76)
+    for name, source in ATTEMPTS:
+        result = worker.process(Job(lab=lab, source=source,
+                                    kind=JobKind.RUN_DATASET))
+        if not result.compile_ok:
+            verdict = "compile-stage"
+            detail = result.compile_message.splitlines()[0]
+        else:
+            outcome = result.datasets[0]
+            verdict = outcome.outcome
+            detail = ("Solution is correct." if outcome.correct
+                      else outcome.report.splitlines()[0])
+        print(f"{name:<24} {verdict:<16} {detail[:40]}")
+
+    print("\nNote the macro trick: the blacklist scans the *unparsed* "
+          "text (paper default),\nso `#define SNEAK asm` is caught only "
+          "because `asm` itself appears in the file.\nSee the "
+          "bench_sandbox_security ablation for the post-preprocessor mode.")
+
+    # ---- offline development: no sandbox, raw toolchain ------------------
+    print("\nOffline development (Section IV-C): same lab, your machine, "
+          "no sandbox")
+    result = run_offline(LAB.solution, LAB.dataset(0))
+    print(f"  offline run: passed={result.passed}, simulated kernel time "
+          f"{result.kernel_seconds * 1e6:.1f} us")
+    print(f"  program log: {result.log}")
+
+
+if __name__ == "__main__":
+    main()

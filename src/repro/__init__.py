@@ -1,0 +1,44 @@
+"""repro: a reproduction of "WebGPU: A Scalable Online Development
+Platform for GPU Programming Courses" (Dakkak, Pearson, Hwu - IPDPS-W
+2016).
+
+The package rebuilds the entire system the paper describes, with
+simulated substrates for what the original ran on real infrastructure:
+
+* :mod:`repro.core` - the platform itself: courses, the six student
+  actions, auto-grading, gradebook, peer review, instructor tools, and
+  the two architecture facades :class:`repro.core.WebGPU` (Figure 2)
+  and :class:`repro.core.WebGPU2` (Figure 6).
+* :mod:`repro.gpusim` + :mod:`repro.minicuda` - a SIMT GPU simulator
+  and a from-scratch CUDA-C subset compiler, replacing physical GPUs
+  and nvcc.
+* :mod:`repro.sandbox` - blacklist / seccomp-whitelist / setuid /
+  time-limit security (Section III-D).
+* :mod:`repro.cluster` / :mod:`repro.broker` - the v1 push and v2
+  pull (broker + containers) worker architectures.
+* :mod:`repro.db`, :mod:`repro.storage` - database (with replication
+  and a connection pool) and S3-like object storage substrates.
+* :mod:`repro.labs`, :mod:`repro.wb` - the fifteen Table-II labs and
+  the libwb-equivalent support library with dataset generators.
+* :mod:`repro.web` - the browser layer: the five lab views, roster,
+  sessions, markdown lab descriptions.
+* :mod:`repro.simulate` - the student-population workload model behind
+  Table I and Figure 1.
+* :mod:`repro.mpisim` - in-process MPI for the multi-GPU lab.
+"""
+
+from repro.core import WebGPU, WebGPU2
+from repro.core.course import CourseOffering
+from repro.labs import ALL_LABS, get_lab, labs_for_course
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_LABS",
+    "CourseOffering",
+    "WebGPU",
+    "WebGPU2",
+    "__version__",
+    "get_lab",
+    "labs_for_course",
+]

@@ -1,0 +1,117 @@
+"""Automatic worker scaling for the v2 fleet (paper Section VI-A).
+
+"The worker nodes are automatically scaled" — possible precisely
+because workers *pull*: adding a node is just another poller, removing
+one is letting it finish and stop polling. The :class:`FleetManager`
+watches broker queue depth and oldest-job age and adds/retires drivers
+against min/max bounds with a cooldown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.broker.broker import MessageBroker
+from repro.broker.driver import WorkerDriver
+from repro.cluster.node import Clock
+
+
+@dataclass
+class ScaleEvent:
+    timestamp: float
+    action: str        # "add" | "remove"
+    worker: str
+    reason: str
+
+
+class FleetManager:
+    """Queue-driven automatic scaling of pull workers.
+
+    Parameters
+    ----------
+    spawn:
+        Factory creating (and registering) one new driver — the
+        platform supplies this so new workers join its bookkeeping.
+    retire:
+        Callback removing a driver from service.
+    """
+
+    def __init__(self, broker: MessageBroker, clock: Clock,
+                 spawn: Callable[[], WorkerDriver],
+                 retire: Callable[[WorkerDriver], None],
+                 min_workers: int = 1, max_workers: int = 16,
+                 scale_up_depth: int = 4, scale_up_wait_s: float = 30.0,
+                 idle_polls_before_retire: int = 50,
+                 cooldown_s: float = 60.0):
+        if min_workers < 1 or max_workers < min_workers:
+            raise ValueError("need 1 <= min_workers <= max_workers")
+        self.broker = broker
+        self.clock = clock
+        self.spawn = spawn
+        self.retire = retire
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.scale_up_depth = scale_up_depth
+        self.scale_up_wait_s = scale_up_wait_s
+        self.idle_polls_before_retire = idle_polls_before_retire
+        self.cooldown_s = cooldown_s
+        self.drivers: list[WorkerDriver] = []
+        self.events: list[ScaleEvent] = []
+        self._last_change = float("-inf")
+        self._idle_counts: dict[str, int] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self.drivers)
+
+    def adopt(self, driver: WorkerDriver) -> None:
+        """Track an externally-created driver."""
+        self.drivers.append(driver)
+
+    def evaluate(self) -> ScaleEvent | None:
+        """One scaling decision; call periodically (the admin loop)."""
+        now = self.clock.now()
+        if now - self._last_change < self.cooldown_s:
+            return None
+
+        depth = self.broker.depth()
+        oldest = self.broker.queue.oldest_wait(now)
+        if (depth >= self.scale_up_depth or oldest >= self.scale_up_wait_s) \
+                and self.size < self.max_workers:
+            driver = self.spawn()
+            self.drivers.append(driver)
+            self._last_change = now
+            event = ScaleEvent(now, "add", driver.worker.name,
+                               f"depth={depth} oldest_wait={oldest:.0f}s")
+            self.events.append(event)
+            return event
+
+        if depth == 0 and self.size > self.min_workers:
+            # retire the driver that has been idle the longest
+            idle = [(self._idle_counts.get(d.worker.name, 0), i, d)
+                    for i, d in enumerate(self.drivers)]
+            idle.sort(key=lambda t: (-t[0], t[1]))
+            count, _, victim = idle[0]
+            if count >= self.idle_polls_before_retire:
+                self.drivers.remove(victim)
+                self.retire(victim)
+                self._last_change = now
+                event = ScaleEvent(now, "remove", victim.worker.name,
+                                   f"idle for {count} polls")
+                self.events.append(event)
+                return event
+        return None
+
+    def pump(self) -> int:
+        """Step every driver once, tracking idleness; returns jobs done."""
+        done = 0
+        for driver in list(self.drivers):
+            result = driver.step()
+            name = driver.worker.name
+            if result is None:
+                self._idle_counts[name] = self._idle_counts.get(name, 0) + 1
+            else:
+                self._idle_counts[name] = 0
+                done += 1
+        return done

@@ -1,0 +1,85 @@
+"""Zone-replicated message broker.
+
+"OpenEdx communicates with a queue message broker server that can be
+replicated across Amazon availability zones — offering resiliency
+against faults and better response times for the students."
+
+Replication model: one broker replica per zone, a single logical queue.
+Publishes go to the publisher's local replica; all replicas share the
+same backing queue state unless a replica is down, in which case its
+publishes fail over to the next healthy zone. A zone failure therefore
+loses no accepted jobs — the failure-handling benchmark verifies this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.broker.queue import JobQueue
+from repro.cluster.job import Job
+
+
+@dataclass
+class _Replica:
+    zone: str
+    alive: bool = True
+    publishes: int = 0
+    polls: int = 0
+
+
+class MessageBroker:
+    """A logically-single queue presented through per-zone replicas."""
+
+    def __init__(self, zones: tuple[str, ...] = ("us-east-1a",)):
+        if not zones:
+            raise ValueError("broker needs at least one zone")
+        self._queue = JobQueue()
+        self._replicas = {zone: _Replica(zone) for zone in zones}
+        self.failovers = 0
+
+    @property
+    def zones(self) -> tuple[str, ...]:
+        return tuple(self._replicas)
+
+    @property
+    def queue(self) -> JobQueue:
+        return self._queue
+
+    def fail_zone(self, zone: str) -> None:
+        self._replicas[zone].alive = False
+
+    def restore_zone(self, zone: str) -> None:
+        self._replicas[zone].alive = True
+
+    def _healthy_replica(self, preferred: str) -> _Replica:
+        replica = self._replicas.get(preferred)
+        if replica is not None and replica.alive:
+            return replica
+        for other in self._replicas.values():
+            if other.alive:
+                self.failovers += 1
+                return other
+        raise RuntimeError("all broker replicas are down")
+
+    def publish(self, job: Job, now: float, zone: str | None = None) -> str:
+        """Publish a job via the caller's zone replica; returns the zone
+        that actually accepted it (differs on failover)."""
+        replica = self._healthy_replica(zone or self.zones[0])
+        replica.publishes += 1
+        self._queue.publish(job, now)
+        return replica.zone
+
+    def poll(self, capabilities: frozenset[str], num_gpus: int, now: float,
+             zone: str | None = None) -> tuple[Job, float] | None:
+        """Worker poll through its zone replica."""
+        replica = self._healthy_replica(zone or self.zones[0])
+        replica.polls += 1
+        return self._queue.poll(capabilities, num_gpus, now)
+
+    def depth(self) -> int:
+        return len(self._queue)
+
+    def replica_stats(self) -> dict[str, dict[str, int | bool]]:
+        return {zone: {"alive": r.alive, "publishes": r.publishes,
+                       "polls": r.polls}
+                for zone, r in self._replicas.items()}

@@ -1,0 +1,53 @@
+"""Remote configuration server (paper Figure 7, item 3).
+
+"The worker node is also connected to a remote configuration system.
+This allows all worker nodes to be remotely configured uniformly. A
+change in the remote configuration triggers the worker node to restart
+the main driver."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+
+@dataclass(frozen=True)
+class WorkerRemoteConfig:
+    """The uniform fleet configuration, versioned."""
+
+    version: int = 1
+    poll_interval_s: float = 1.0
+    warm_containers_per_image: int = 1
+    health_interval_s: float = 10.0
+    max_jobs_before_recycle: int = 1000
+    extra: tuple[tuple[str, Any], ...] = ()
+
+
+class ConfigServer:
+    """Versioned config store the whole fleet reads."""
+
+    def __init__(self, initial: WorkerRemoteConfig | None = None):
+        self._config = initial or WorkerRemoteConfig()
+        self.history: list[WorkerRemoteConfig] = [self._config]
+
+    @property
+    def current(self) -> WorkerRemoteConfig:
+        return self._config
+
+    @property
+    def version(self) -> int:
+        return self._config.version
+
+    def update(self, **changes: Any) -> WorkerRemoteConfig:
+        """Publish a new config version with the given field changes."""
+        self._config = replace(self._config,
+                               version=self._config.version + 1, **changes)
+        self.history.append(self._config)
+        return self._config
+
+    def fetch_if_newer(self, known_version: int) -> WorkerRemoteConfig | None:
+        """What a worker's config poll does: new config or nothing."""
+        if self._config.version > known_version:
+            return self._config
+        return None

@@ -1,0 +1,75 @@
+"""Administrator dashboard (paper Section VI-A).
+
+"An information dashboard is available to the system administrators to
+track the system status." — aggregates the replicated metrics database
+and broker state into a status snapshot and a text rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.broker.broker import MessageBroker
+from repro.db import Database
+
+
+@dataclass
+class Dashboard:
+    """Reads (possibly replicated) metrics and renders fleet status."""
+
+    metrics_db: Database
+    broker: MessageBroker
+
+    def worker_summary(self) -> dict[str, dict[str, float]]:
+        """Per-worker job counts and service-time totals."""
+        out: dict[str, dict[str, float]] = {}
+        if not self.metrics_db.has_table("worker_metrics"):
+            return out
+        for row in self.metrics_db.find("worker_metrics", event="job"):
+            entry = out.setdefault(row["worker"], {
+                "jobs": 0, "correct": 0, "service_s": 0.0,
+                "queue_wait_s": 0.0})
+            payload = row["payload"] or {}
+            entry["jobs"] += 1
+            entry["correct"] += int(bool(payload.get("correct")))
+            entry["service_s"] += float(payload.get("service_s", 0.0))
+            entry["queue_wait_s"] += float(payload.get("queue_wait_s", 0.0))
+        return out
+
+    def health_summary(self) -> dict[str, float]:
+        """Latest heartbeat per worker."""
+        latest: dict[str, float] = {}
+        if not self.metrics_db.has_table("worker_metrics"):
+            return latest
+        for row in self.metrics_db.find("worker_metrics", event="health"):
+            latest[row["worker"]] = max(latest.get(row["worker"], 0.0),
+                                        row["timestamp"])
+        return latest
+
+    def snapshot(self) -> dict[str, object]:
+        queue_stats = self.broker.queue.stats
+        return {
+            "queue_depth": self.broker.depth(),
+            "queue": queue_stats.snapshot(self.broker.depth()),
+            "replicas": self.broker.replica_stats(),
+            "workers": self.worker_summary(),
+            "last_heartbeat": self.health_summary(),
+        }
+
+    def render(self) -> str:
+        snap = self.snapshot()
+        lines = ["=== WebGPU 2.0 dashboard ===",
+                 f"queue depth: {snap['queue_depth']} "
+                 f"(peak {snap['queue']['peak_depth']}, "
+                 f"served {snap['queue']['dequeued']})"]
+        for zone, stats in snap["replicas"].items():
+            state = "up" if stats["alive"] else "DOWN"
+            lines.append(f"  broker[{zone}]: {state} "
+                         f"pub={stats['publishes']} poll={stats['polls']}")
+        for worker, stats in sorted(snap["workers"].items()):
+            jobs = int(stats["jobs"])
+            ok = int(stats["correct"])
+            mean_wait = stats["queue_wait_s"] / jobs if jobs else 0.0
+            lines.append(f"  {worker}: {jobs} job(s), {ok} correct, "
+                         f"mean wait {mean_wait:.2f}s")
+        return "\n".join(lines)

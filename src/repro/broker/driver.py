@@ -1,0 +1,164 @@
+"""The v2 worker driver: pull loop, containers, config, metrics.
+
+Paper Figure 7: the main driver connects the job queue, the metrics/
+logging database, and the configuration file server, and maintains the
+container pool mapped onto the node's GPUs. "Whereas the web-server
+pushed jobs to a worker node in the previous WebGPU architecture, the
+current requires the worker node to request a job from the queue."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.broker.broker import MessageBroker
+from repro.broker.config_server import ConfigServer, WorkerRemoteConfig
+from repro.broker.containers import ContainerPool
+from repro.cluster.job import JobResult
+from repro.cluster.node import Clock, ManualClock
+from repro.cluster.worker import GpuWorker
+from repro.db import Column, ColumnType, Database, Schema
+
+METRICS_SCHEMA = Schema(columns=[
+    Column("worker", ColumnType.TEXT),
+    Column("timestamp", ColumnType.FLOAT),
+    Column("event", ColumnType.TEXT),
+    Column("payload", ColumnType.JSON, nullable=True),
+], indexes=[("worker",), ("event",)])
+
+
+def ensure_metrics_table(db: Database) -> None:
+    if not db.has_table("worker_metrics"):
+        db.create_table("worker_metrics", METRICS_SCHEMA)
+
+
+@dataclass
+class DriverStats:
+    polls: int = 0
+    empty_polls: int = 0
+    jobs: int = 0
+    restarts: int = 0
+    recycles: int = 0
+    container_seconds: float = 0.0
+    queue_wait_total: float = 0.0
+
+
+class WorkerDriver:
+    """One node's driver process (Figure 7, item 4)."""
+
+    def __init__(self, worker: GpuWorker, broker: MessageBroker,
+                 containers: ContainerPool, config_server: ConfigServer,
+                 metrics_db: Database, clock: Clock | None = None,
+                 zone: str = "us-east-1a"):
+        self.worker = worker
+        self.broker = broker
+        self.containers = containers
+        self.config_server = config_server
+        self.metrics_db = metrics_db
+        self.clock = clock or ManualClock()
+        self.zone = zone
+        self.config: WorkerRemoteConfig = config_server.current
+        self.stats = DriverStats()
+        self._jobs_since_recycle = 0
+        ensure_metrics_table(metrics_db)
+        containers.prestart()
+
+    @property
+    def capabilities(self) -> frozenset[str]:
+        """What this node can serve: worker tags + container toolchains."""
+        toolchains: set[str] = set()
+        for image in self.containers.images.values():
+            toolchains |= image.toolchains
+        return frozenset(self.worker.config.tags) | frozenset(toolchains)
+
+    def _metric(self, event: str, payload: dict[str, Any] | None = None) -> None:
+        self.metrics_db.insert(
+            "worker_metrics", worker=self.worker.name,
+            timestamp=self.clock.now(), event=event, payload=payload or {})
+
+    def check_config(self) -> bool:
+        """Poll the config server; a new version restarts the driver."""
+        newer = self.config_server.fetch_if_newer(self.config.version)
+        if newer is None:
+            return False
+        self.config = newer
+        self.containers.warm_per_image = newer.warm_containers_per_image
+        self.containers.prestart()
+        self.stats.restarts += 1
+        self._metric("driver_restart", {"config_version": newer.version})
+        return True
+
+    def health_check(self) -> None:
+        """The constant self-monitoring loop body (Figure 7 text)."""
+        stamp = self.worker.heartbeat()
+        self._metric("health", {
+            "alive": self.worker.alive,
+            "heartbeat": stamp,
+            "containers": self.containers.stats(),
+        })
+
+    def step(self) -> JobResult | None:
+        """One pull-loop iteration: config check, poll, run, report.
+
+        Returns the job result if a job was processed, else ``None``.
+        """
+        if not self.worker.alive:
+            return None
+        self.check_config()
+        self.stats.polls += 1
+        polled = self.broker.poll(self.capabilities,
+                                  self.worker.config.num_gpus,
+                                  self.clock.now(), zone=self.zone)
+        if polled is None:
+            self.stats.empty_polls += 1
+            return None
+        job, queue_wait = polled
+        self.stats.queue_wait_total += queue_wait
+
+        container, acquire_cost = self.containers.acquire(job.lab.language)
+        result = self.worker.process(job)
+        release_cost = self.containers.release(container)
+        self.stats.container_seconds += acquire_cost + release_cost
+        self.stats.jobs += 1
+
+        self._jobs_since_recycle += 1
+        if self._jobs_since_recycle >= self.config.max_jobs_before_recycle:
+            self._recycle()
+
+        result.extra["queue_wait_s"] = queue_wait
+        result.extra["container_s"] = acquire_cost + release_cost
+        result.extra["container"] = container.name
+        result.extra["gpu_slot"] = container.gpu_slot
+        self._metric("job", {
+            "job_id": job.job_id,
+            "lab": job.lab.slug,
+            "status": result.status.value,
+            "correct": result.all_correct,
+            "queue_wait_s": queue_wait,
+            "service_s": result.service_seconds,
+            "container_s": acquire_cost + release_cost,
+        })
+        return result
+
+    def _recycle(self) -> None:
+        """Preventive hygiene: after max_jobs_before_recycle jobs, tear
+        the warm pool down and rebuild it from clean images (part of
+        the "validation of state" loop in Figure 7)."""
+        self._jobs_since_recycle = 0
+        self.stats.recycles += 1
+        for warm in self.containers._warm.values():
+            self.containers.deleted += len(warm)
+            warm.clear()
+        self.containers.prestart()
+        self._metric("recycle", {"containers": self.containers.stats()})
+
+    def drain(self, max_jobs: int | None = None) -> list[JobResult]:
+        """Keep stepping until the queue has nothing for this node."""
+        results: list[JobResult] = []
+        while max_jobs is None or len(results) < max_jobs:
+            result = self.step()
+            if result is None:
+                break
+            results.append(result)
+        return results

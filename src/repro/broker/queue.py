@@ -1,0 +1,76 @@
+"""The job queue with requirement-tag matching (paper Section VI-A).
+
+"Worker nodes poll the queue, accepting a job if the node meets the job
+requirements. This allows us to tag a lab as requiring Multi-GPU
+support or MPI support and dispatching jobs to the correct node. It
+also means that we do not need to provision our worker nodes to have
+the resources for the highest common multiple of the system
+requirements of the labs."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.job import Job
+
+
+@dataclass
+class QueueStats:
+    enqueued: int = 0
+    dequeued: int = 0
+    rejected_polls: int = 0     # polls that matched nothing
+    peak_depth: int = 0
+
+    def snapshot(self, depth: int) -> dict[str, int]:
+        return {"enqueued": self.enqueued, "dequeued": self.dequeued,
+                "rejected_polls": self.rejected_polls,
+                "peak_depth": self.peak_depth, "depth": depth}
+
+
+class JobQueue:
+    """FIFO queue where consumers take the oldest job they can satisfy."""
+
+    def __init__(self, name: str = "jobs"):
+        self.name = name
+        self._items: list[tuple[float, Job]] = []  # (enqueue_time, job)
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def publish(self, job: Job, now: float) -> None:
+        self._items.append((now, job))
+        self.stats.enqueued += 1
+        self.stats.peak_depth = max(self.stats.peak_depth, len(self._items))
+
+    def poll(self, capabilities: frozenset[str], num_gpus: int,
+             now: float) -> tuple[Job, float] | None:
+        """Take the oldest job this consumer can run.
+
+        Returns ``(job, queue_wait_seconds)`` or ``None``. Jobs the
+        consumer cannot satisfy are skipped, not discarded — a
+        less-capable worker never starves a tagged job, it just leaves
+        it for a matching worker.
+        """
+        for i, (enqueued_at, job) in enumerate(self._items):
+            needs = set(job.requirements)
+            if "multi-gpu" in needs and num_gpus < 2:
+                continue
+            needs.discard("multi-gpu")
+            if needs <= set(capabilities):
+                del self._items[i]
+                self.stats.dequeued += 1
+                return job, now - enqueued_at
+        self.stats.rejected_polls += 1
+        return None
+
+    def waiting(self) -> list[Job]:
+        """Jobs currently queued (oldest first)."""
+        return [job for _, job in self._items]
+
+    def oldest_wait(self, now: float) -> float:
+        """Age of the oldest queued job (0 when empty)."""
+        if not self._items:
+            return 0.0
+        return now - self._items[0][0]

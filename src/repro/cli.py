@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro`` / ``webgpu-sim``.
+
+Subcommands:
+
+* ``list-labs``             — Table II course matrix plus extensions;
+* ``show-lab SLUG``         — description, rubric, questions, datasets;
+* ``run-lab SLUG``          — run a source file (default: the reference
+  solution) against a lab dataset on the full worker path and print
+  the verdict plus the kernel profile;
+* ``funnel``                — regenerate Table I;
+* ``figure1``               — regenerate the Figure 1 trace summary;
+* ``occupancy THREADS``     — the occupancy calculator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.gpusim import Device
+from repro.labs import EXTRA_LABS, execute_lab_source, get_lab
+from repro.labs.catalog import render_course_matrix
+from repro.minicuda import CompileError
+from repro.simulate import HPP_2015, StudentPopulation
+from repro.simulate.funnel import funnel_table
+from repro.simulate.scenarios import COURSERA_OFFERINGS
+
+
+def cmd_list_labs(_args: argparse.Namespace) -> int:
+    print(render_course_matrix())
+    if EXTRA_LABS:
+        print("\nextension labs (beyond Table II):")
+        for lab in EXTRA_LABS:
+            print(f"  {lab.slug:<18} {lab.title} [{lab.language}]")
+    return 0
+
+
+def cmd_show_lab(args: argparse.Namespace) -> int:
+    lab = get_lab(args.slug)
+    print(lab.description.strip())
+    print(f"\nlanguage     : {lab.language}")
+    print(f"courses      : {', '.join(sorted(lab.courses)) or '(extension)'}")
+    print(f"requirements : {', '.join(sorted(lab.requirements)) or 'cuda'}")
+    print(f"datasets     : {len(lab.dataset_sizes)} "
+          f"(sizes {list(lab.dataset_sizes)})")
+    print(f"rubric       : {lab.rubric.dataset_points} datasets + "
+          f"{lab.rubric.compile_points} compile + "
+          f"{lab.rubric.question_points} questions = {lab.rubric.total}")
+    for i, question in enumerate(lab.questions):
+        print(f"question {i}   : {question}")
+    if args.skeleton:
+        print("\n--- skeleton ---")
+        print(lab.skeleton.strip())
+    return 0
+
+
+def cmd_run_lab(args: argparse.Namespace) -> int:
+    lab = get_lab(args.slug)
+    if args.source:
+        source = Path(args.source).read_text()
+    else:
+        source = lab.solution
+        print("(no --source given: running the reference solution)")
+    indices = ([args.dataset] if args.dataset is not None
+               else range(len(lab.dataset_sizes)))
+    failures = 0
+    for index in indices:
+        data = lab.dataset(index)
+        try:
+            result = execute_lab_source(lab, source, data)
+        except CompileError as exc:
+            print(f"dataset {index}: COMPILE ERROR\n{exc}")
+            return 2
+        except Exception as exc:  # runtime fault
+            print(f"dataset {index}: RUNTIME ERROR: {exc}")
+            failures += 1
+            continue
+        verdict = "PASS" if result.passed else "FAIL"
+        print(f"dataset {index}: {verdict} "
+              f"(kernel {result.kernel_seconds * 1e6:.1f} us simulated)")
+        if not result.passed:
+            failures += 1
+            print("  " + result.compare.report().replace("\n", "\n  "))
+        elif args.profile and result.kernel_stats:
+            stats = result.kernel_stats[0]
+            print(f"  instr={stats.instructions} "
+                  f"ld_tx={stats.global_load_transactions} "
+                  f"st_tx={stats.global_store_transactions} "
+                  f"eff={stats.load_efficiency:.2f} "
+                  f"shared={stats.shared_accesses} "
+                  f"conflicts={stats.bank_conflicts} "
+                  f"atomics={stats.atomic_ops} "
+                  f"barriers={stats.barriers}")
+    return 1 if failures else 0
+
+
+def cmd_funnel(_args: argparse.Namespace) -> int:
+    print(f"{'offering':<10} {'registered':>10} {'completed':>10} "
+          f"{'rate':>7} {'certs':>6}")
+    for result in funnel_table(COURSERA_OFFERINGS):
+        print(f"{result.name:<10} {result.registered:>10} "
+              f"{result.completions:>10} "
+              f"{100 * result.completion_rate:>6.2f}% "
+              f"{result.certificates:>6}")
+    return 0
+
+
+def cmd_figure1(_args: argparse.Namespace) -> int:
+    result = StudentPopulation(HPP_2015.figure1_population_params()).generate()
+    series = result.hourly_active
+    print(f"{'week':>4} {'active':>7} {'peak/hr':>8}")
+    for week in range(10):
+        window = series.counts[week * 168:(week + 1) * 168]
+        print(f"{week + 1:>4} {result.active_per_week[week]:>7} "
+              f"{int(window.max()):>8}")
+    print(f"\npeak {series.peak} (paper 112), late trough "
+          f"{series.daily_max()[7:].min()} (paper 8), spikes on the day "
+          "before the Thursday deadline")
+    return 0
+
+
+def cmd_occupancy(args: argparse.Namespace) -> int:
+    device = Device()
+    report = device.occupancy(args.threads, args.shared)
+    print(f"device               : {device.spec.name}")
+    print(f"threads per block    : {args.threads}")
+    print(f"shared per block     : {args.shared} bytes")
+    print(f"active blocks per SM : {report.active_blocks_per_sm}")
+    print(f"active warps per SM  : {report.active_warps_per_sm}"
+          f"/{report.max_warps_per_sm}")
+    print(f"occupancy            : {report.occupancy:.0%} "
+          f"(limited by {report.limiter})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="webgpu-sim",
+        description="WebGPU reproduction: labs, workers, and workload "
+                    "simulation from the IPDPS-W 2016 paper.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-labs", help="Table II course matrix") \
+        .set_defaults(fn=cmd_list_labs)
+
+    show = sub.add_parser("show-lab", help="one lab's manual and config")
+    show.add_argument("slug")
+    show.add_argument("--skeleton", action="store_true",
+                      help="also print the starter code")
+    show.set_defaults(fn=cmd_show_lab)
+
+    run = sub.add_parser("run-lab", help="compile+run a source against "
+                                         "a lab's datasets")
+    run.add_argument("slug")
+    run.add_argument("--source", help="path to a CUDA-C file "
+                                      "(default: reference solution)")
+    run.add_argument("--dataset", type=int, default=None,
+                     help="single dataset index (default: all)")
+    run.add_argument("--profile", action="store_true",
+                     help="print the kernel profile counters")
+    run.set_defaults(fn=cmd_run_lab)
+
+    sub.add_parser("funnel", help="Table I enrollment funnel") \
+        .set_defaults(fn=cmd_funnel)
+    sub.add_parser("figure1", help="Figure 1 activity trace summary") \
+        .set_defaults(fn=cmd_figure1)
+
+    occ = sub.add_parser("occupancy", help="occupancy calculator")
+    occ.add_argument("threads", type=int)
+    occ.add_argument("--shared", type=int, default=0,
+                     help="shared memory bytes per block")
+    occ.set_defaults(fn=cmd_occupancy)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""WebGPU 1.0 cluster substrate (paper Figure 2).
+
+Three node classes — web-servers, database servers, and GPU workers —
+"since these three node types are separate, each can be scaled as
+required". This package provides the worker side and the dispatch
+machinery the web-server uses:
+
+* :mod:`repro.cluster.node` — node identity, zones, the simulation
+  clock protocol;
+* :mod:`repro.cluster.job` — job and result records;
+* :mod:`repro.cluster.worker` — the GPU worker: blacklist scan,
+  sandboxed compile + execute against lab datasets, time limits,
+  health-check emission;
+* :mod:`repro.cluster.health` — heartbeat tracking and eviction
+  ("the web-server would evict the worker from the pool of workers if
+  a health check is not received within an allotted time");
+* :mod:`repro.cluster.pool` — the worker pool and v1's *push*
+  dispatcher (web-server picks a worker and sends the job);
+* :mod:`repro.cluster.scaling` — provisioning policies: static,
+  reactive, and the paper's deadline-aware manual scaling;
+* :mod:`repro.cluster.faults` — fault injection for resilience tests.
+"""
+
+from repro.cluster.node import Clock, ManualClock, Node
+from repro.cluster.job import Job, JobResult, JobStatus
+from repro.cluster.worker import GpuWorker, WorkerConfig
+from repro.cluster.health import HealthMonitor
+from repro.cluster.pool import DispatchError, PushDispatcher, WorkerPool
+from repro.cluster.scaling import (
+    DeadlineAwareScaler,
+    ReactiveAutoscaler,
+    ScalingDecision,
+    StaticProvisioner,
+)
+from repro.cluster.faults import FaultInjector
+
+__all__ = [
+    "Clock",
+    "DeadlineAwareScaler",
+    "DispatchError",
+    "FaultInjector",
+    "GpuWorker",
+    "HealthMonitor",
+    "Job",
+    "JobResult",
+    "JobStatus",
+    "ManualClock",
+    "Node",
+    "PushDispatcher",
+    "ReactiveAutoscaler",
+    "ScalingDecision",
+    "StaticProvisioner",
+    "WorkerConfig",
+    "WorkerPool",
+]

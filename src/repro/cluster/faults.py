@@ -1,0 +1,44 @@
+"""Fault injection for resilience tests and benchmarks."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.cluster.worker import GpuWorker
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic (seeded) fault injection against a worker fleet."""
+
+    seed: int = 0
+    log: list[tuple[str, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def crash(self, worker: GpuWorker) -> None:
+        """Kill a worker outright (process() fails, heartbeats stop)."""
+        worker.crash()
+        self.log.append(("crash", worker.name))
+
+    def silence(self, worker: GpuWorker) -> None:
+        """Worker keeps running but stops sending health checks —
+        the scenario eviction exists for (a wedged but live node)."""
+        worker.drop_health_checks = True
+        self.log.append(("silence", worker.name))
+
+    def heal(self, worker: GpuWorker) -> None:
+        worker.restart()
+        worker.drop_health_checks = False
+        self.log.append(("heal", worker.name))
+
+    def crash_random(self, workers: list[GpuWorker]) -> GpuWorker | None:
+        """Crash one random alive worker; returns it (or None)."""
+        alive = [w for w in workers if w.alive]
+        if not alive:
+            return None
+        victim = self._rng.choice(alive)
+        self.crash(victim)
+        return victim

@@ -1,0 +1,58 @@
+"""Heartbeat tracking and worker eviction (paper Section III-C).
+
+"An additional task is for the worker node to send regular health
+checks to the web-server. The web-server would evict the worker from
+the pool of workers if a health check is not received within an
+allotted time."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.node import Clock
+from repro.cluster.worker import GpuWorker
+
+
+@dataclass
+class HealthMonitor:
+    """The web-server side of the health-check protocol."""
+
+    clock: Clock
+    timeout_s: float = 30.0
+    last_seen: dict[str, float] = field(default_factory=dict)
+    evictions: list[tuple[float, str]] = field(default_factory=list)
+
+    def record(self, worker_name: str, timestamp: float) -> None:
+        """A health check arrived from ``worker_name``."""
+        self.last_seen[worker_name] = timestamp
+
+    def poll_workers(self, workers: list[GpuWorker]) -> None:
+        """Collect heartbeats from every worker that emits one."""
+        for worker in workers:
+            stamp = worker.heartbeat()
+            if stamp is not None:
+                self.record(worker.name, stamp)
+
+    def overdue(self) -> list[str]:
+        """Workers whose last health check is older than the timeout."""
+        now = self.clock.now()
+        return [name for name, seen in self.last_seen.items()
+                if now - seen > self.timeout_s]
+
+    def evict_overdue(self, pool: "WorkerPoolLike") -> list[str]:
+        """Evict every overdue worker from the pool; returns names."""
+        evicted = []
+        for name in self.overdue():
+            if pool.evict(name):
+                evicted.append(name)
+                self.evictions.append((self.clock.now(), name))
+            del self.last_seen[name]
+        return evicted
+
+
+class WorkerPoolLike:
+    """Protocol stub for documentation; see cluster.pool.WorkerPool."""
+
+    def evict(self, name: str) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError

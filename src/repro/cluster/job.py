@@ -1,0 +1,90 @@
+"""Job and result records exchanged between web-server and workers."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.labs.base import LabDefinition
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle of a compile/run job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"          # infrastructure failure (worker died)
+    REJECTED = "rejected"      # rate limit / security rejection
+
+
+class JobKind(enum.Enum):
+    """What the student asked for (the paper's student actions 2/3/5)."""
+
+    COMPILE_ONLY = "compile"
+    RUN_DATASET = "run"        # attempt against one chosen dataset
+    FULL_GRADING = "grade"     # all datasets, rubric applied
+
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One unit of work pushed to (v1) or pulled by (v2) a worker."""
+
+    lab: LabDefinition
+    source: str
+    kind: JobKind = JobKind.RUN_DATASET
+    dataset_index: int = 0
+    user: str = ""
+    submission_id: int = 0
+    submitted_at: float = 0.0
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+
+    @property
+    def requirements(self) -> frozenset[str]:
+        """Worker tags this job needs (v2 tag matching, Section VI-A)."""
+        return self.lab.requirements
+
+
+@dataclass
+class DatasetOutcome:
+    """Result of one dataset evaluation inside a job."""
+
+    dataset_index: int
+    outcome: str                 # sandbox ExecutionOutcome value
+    correct: bool
+    report: str = ""
+    stdout: tuple[str, ...] = ()
+    kernel_seconds: float = 0.0
+    #: aggregated kernel profile for this dataset (feedback engine input)
+    profile: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class JobResult:
+    """What the worker sends back to the web-server."""
+
+    job_id: int
+    status: JobStatus
+    worker_name: str = ""
+    compile_ok: bool = False
+    compile_message: str = ""
+    compile_seconds: float = 0.0
+    datasets: list[DatasetOutcome] = field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    error: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def all_correct(self) -> bool:
+        return (self.compile_ok and bool(self.datasets)
+                and all(d.correct for d in self.datasets))
+
+    @property
+    def service_seconds(self) -> float:
+        return self.finished_at - self.started_at

@@ -1,0 +1,107 @@
+"""Worker provisioning policies.
+
+The paper's challenge C ("participation reduces as course progresses")
+motivates elastic capacity: "a statically-provisioned computing
+resource large enough for the beginning of the course will be mostly
+idle by the end", and operationally "we increased the number of GPUs
+available to WebGPU the day before the deadline" (Section III).
+
+Three policies cover the space the benchmarks sweep:
+
+* :class:`StaticProvisioner` — fixed fleet sized for the peak;
+* :class:`ReactiveAutoscaler` — utilisation-tracking scale up/down
+  with a cooldown (the cloud-native answer);
+* :class:`DeadlineAwareScaler` — reactive plus a pre-deadline boost
+  window, modelling what the operators actually did.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """Target worker count at a point in time, with the reason."""
+
+    timestamp: float
+    target: int
+    reason: str
+
+
+class StaticProvisioner:
+    """Always the same fleet size."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("fleet size must be >= 1")
+        self.size = size
+
+    def target_workers(self, now: float, demand: float,
+                       current: int) -> ScalingDecision:
+        return ScalingDecision(now, self.size, "static")
+
+
+@dataclass
+class ReactiveAutoscaler:
+    """Track demand: keep utilisation near ``target_utilization``.
+
+    ``demand`` is offered load in jobs-per-worker-capacity units (e.g.
+    active users x jobs/user-hour x service time / 3600). The policy
+    sizes the fleet to ``demand / target_utilization``, bounded by
+    [min_workers, max_workers], changing at most once per ``cooldown_s``.
+    """
+
+    target_utilization: float = 0.7
+    min_workers: int = 1
+    max_workers: int = 64
+    cooldown_s: float = 900.0
+    _last_change: float = field(default=-math.inf)
+    _current_target: int = 0
+    decisions: list[ScalingDecision] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not (0 < self.target_utilization <= 1):
+            raise ValueError("target_utilization must be in (0, 1]")
+        self._current_target = self.min_workers
+
+    def target_workers(self, now: float, demand: float,
+                       current: int) -> ScalingDecision:
+        desired = math.ceil(max(0.0, demand) / self.target_utilization)
+        desired = max(self.min_workers, min(self.max_workers, desired))
+        if desired != self._current_target \
+                and now - self._last_change >= self.cooldown_s:
+            self._current_target = desired
+            self._last_change = now
+            decision = ScalingDecision(now, desired,
+                                       f"reactive: demand={demand:.2f}")
+            self.decisions.append(decision)
+            return decision
+        return ScalingDecision(now, self._current_target, "hold")
+
+
+@dataclass
+class DeadlineAwareScaler:
+    """Reactive scaling plus a boost window before each deadline.
+
+    ``deadlines`` are timestamps (seconds); within ``boost_window_s``
+    before any of them, the fleet is at least ``boost_workers`` — the
+    paper's "increase the number of GPUs the day before the deadline".
+    """
+
+    base: ReactiveAutoscaler
+    deadlines: tuple[float, ...] = ()
+    boost_window_s: float = 24 * 3600.0
+    boost_workers: int = 8
+
+    def target_workers(self, now: float, demand: float,
+                       current: int) -> ScalingDecision:
+        decision = self.base.target_workers(now, demand, current)
+        for deadline in self.deadlines:
+            if 0 <= deadline - now <= self.boost_window_s:
+                if decision.target < self.boost_workers:
+                    return ScalingDecision(
+                        now, self.boost_workers,
+                        f"deadline boost (deadline at {deadline:.0f})")
+        return decision

@@ -1,0 +1,218 @@
+"""The GPU worker node (paper Sections III-C and III-D).
+
+"Upon a user program submission, the web-server selects a single worker
+node and sends user code along with configurations specified by the
+lab. The worker node then compiles, executes, and evaluates the code
+using the datasets provided by the instructor."
+
+Each dataset evaluation runs the full sandbox pipeline: blacklist scan,
+time-limited compile, seccomp-gated execution confined to a fresh temp
+directory. Results (or error messages) go back to the web-server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.job import DatasetOutcome, Job, JobKind, JobResult, JobStatus
+from repro.cluster.node import Clock, ManualClock, Node
+from repro.gpusim.device import DeviceSpec, KEPLER_K20
+from repro.labs.base import LabDefinition, execute_lab_source
+from repro.minicuda import CompileError, compile_source
+from repro.sandbox import (
+    BlacklistScanner,
+    SandboxConfig,
+    SandboxExecutor,
+    SeccompPolicy,
+)
+from repro.sandbox.sandbox import CompileFailure, ExecutionOutcome, SandboxEnv
+
+#: Fixed overhead per job for scheduling/IO on the worker, seconds.
+JOB_OVERHEAD_S = 0.15
+#: Interpreter step budget per wall-clock second of run limit.
+STEPS_PER_LIMIT_SECOND = 400_000
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Deployment parameters of one worker."""
+
+    tags: frozenset[str] = frozenset({"cuda"})
+    gpu_spec: DeviceSpec = KEPLER_K20
+    num_gpus: int = 1
+    health_interval_s: float = 10.0
+    policy: SeccompPolicy = field(default_factory=SeccompPolicy.baseline)
+    scanner: BlacklistScanner = field(default_factory=BlacklistScanner)
+
+
+class GpuWorker(Node):
+    """A worker node: accepts jobs, evaluates them in the sandbox."""
+
+    kind = "worker"
+
+    def __init__(self, config: WorkerConfig | None = None,
+                 clock: Clock | None = None, zone: str = "us-east-1a",
+                 name: str = ""):
+        super().__init__(zone=zone, name=name)
+        self.config = config or WorkerConfig()
+        self.clock = clock or ManualClock()
+        self.jobs_processed = 0
+        self.busy_seconds = 0.0
+        self.outcome_counts: dict[str, int] = {}
+        self.last_heartbeat = self.clock.now()
+        self.drop_health_checks = False  # fault injection
+        self.active_jobs = 0
+
+    # -- capability matching (v2 uses this for pull; v1 for placement) -----
+
+    def can_run(self, job: Job) -> bool:
+        needs = set(job.requirements)
+        if "multi-gpu" in needs and self.config.num_gpus < 2:
+            return False
+        needs.discard("multi-gpu")
+        return needs <= set(self.config.tags)
+
+    # -- health ----------------------------------------------------------------
+
+    def heartbeat(self) -> float | None:
+        """Emit a health check (returns the timestamp, or None if the
+        fault injector is suppressing them)."""
+        if not self.alive or self.drop_health_checks:
+            return None
+        self.last_heartbeat = self.clock.now()
+        return self.last_heartbeat
+
+    # -- job processing -----------------------------------------------------------
+
+    def process(self, job: Job) -> JobResult:
+        """Run one job to completion (synchronous, simulated time)."""
+        started = self.clock.now()
+        if not self.alive:
+            return JobResult(job_id=job.job_id, status=JobStatus.FAILED,
+                             worker_name=self.name, started_at=started,
+                             finished_at=started,
+                             error=f"worker {self.name} is down")
+        self.active_jobs += 1
+        self.jobs_processed += 1
+        try:
+            result = self._evaluate(job, started)
+        finally:
+            self.active_jobs -= 1
+        self.busy_seconds += result.service_seconds
+        for d in result.datasets:
+            self.outcome_counts[d.outcome] = (
+                self.outcome_counts.get(d.outcome, 0) + 1)
+        return result
+
+    def _evaluate(self, job: Job, started: float) -> JobResult:
+        lab = job.lab
+        sandbox = SandboxExecutor(SandboxConfig(
+            policy=self.config.policy,
+            compile_limit_s=lab.compile_limit_s,
+            run_limit_s=lab.run_limit_s,
+            scanner=self.config.scanner,
+        ))
+        result = JobResult(job_id=job.job_id, status=JobStatus.COMPLETED,
+                           worker_name=self.name, started_at=started)
+        elapsed = JOB_OVERHEAD_S
+
+        if job.kind is JobKind.COMPILE_ONLY:
+            indices: list[int] = []
+        elif job.kind is JobKind.FULL_GRADING:
+            indices = list(range(len(lab.dataset_sizes)))
+        else:
+            indices = [min(job.dataset_index, len(lab.dataset_sizes) - 1)]
+
+        # compile-only check first so pure compile jobs still sandbox-scan
+        compile_probe = sandbox.execute(
+            job.source, self._compile_fn(lab), lambda artifact, env: None)
+        result.compile_ok = compile_probe.ok
+        result.compile_message = compile_probe.stderr
+        result.compile_seconds = compile_probe.compile_seconds
+        elapsed += compile_probe.compile_seconds
+        if not compile_probe.ok:
+            result.finished_at = started + elapsed
+            return result
+
+        for index in indices:
+            data = lab.dataset(index)
+            max_steps = int(lab.run_limit_s * STEPS_PER_LIMIT_SECOND)
+            run = sandbox.execute(
+                job.source, self._compile_fn(lab),
+                self._run_fn(lab, data, max_steps))
+            elapsed += run.compile_seconds + run.run_seconds
+            if run.ok:
+                execution = run.value
+                result.datasets.append(DatasetOutcome(
+                    dataset_index=index,
+                    outcome=ExecutionOutcome.OK.value,
+                    correct=execution.passed,
+                    report=execution.compare.report(),
+                    stdout=tuple(execution.stdout),
+                    kernel_seconds=execution.kernel_seconds,
+                    profile=self._profile_summary(execution)))
+            else:
+                result.datasets.append(DatasetOutcome(
+                    dataset_index=index, outcome=run.outcome.value,
+                    correct=False, report=run.stderr))
+        result.finished_at = started + elapsed
+        return result
+
+    @staticmethod
+    def _profile_summary(execution: Any) -> dict[str, float]:
+        """Aggregate kernel counters into the per-attempt profile the
+        platform shows next to each attempt (and that automated
+        feedback reasons over)."""
+        stats = execution.kernel_stats
+        if not stats:
+            return {}
+        loads = sum(s.global_load_transactions for s in stats)
+        reqs = sum(s.global_load_requests for s in stats)
+        return {
+            "kernels": float(len(stats)),
+            "instructions": float(sum(s.instructions for s in stats)),
+            "load_transactions": float(loads),
+            "load_efficiency": (
+                min(1.0, sum(s.bytes_read for s in stats)
+                    / (loads * 128.0)) if loads else 1.0),
+            "load_requests": float(reqs),
+            "shared_accesses": float(sum(s.shared_accesses for s in stats)),
+            "bank_conflicts": float(sum(s.bank_conflicts for s in stats)),
+            "atomic_ops": float(sum(s.atomic_ops for s in stats)),
+            "max_atomic_contention": float(max(
+                (s.max_atomic_contention for s in stats), default=0)),
+            "barriers": float(sum(s.barriers for s in stats)),
+        }
+
+    def _compile_fn(self, lab: LabDefinition):
+        def compile_fn(source: str, limiter: Any):
+            try:
+                program = compile_source(source)
+            except CompileError as exc:
+                limiter.charge(0.2)  # front-end bails early
+                raise CompileFailure(str(exc)) from None
+            limiter.charge(program.estimated_compile_seconds)
+            return program
+
+        return compile_fn
+
+    def _run_fn(self, lab: LabDefinition, data: Any, max_steps: int):
+        from repro.minicuda.interpreter import KernelHang
+        from repro.sandbox.limits import TimeLimitExceeded
+
+        def run_fn(artifact: Any, env: SandboxEnv):
+            try:
+                execution = execute_lab_source(
+                    lab, artifact.source, data, spec=self.config.gpu_spec,
+                    max_steps=max_steps,
+                    stdout_hook=lambda _line: None,
+                    syscall_hook=env.gate.invoke)
+            except KernelHang:
+                # an exhausted step budget is the watchdog firing
+                raise TimeLimitExceeded("run", lab.run_limit_s,
+                                        lab.run_limit_s) from None
+            env.run_limiter.charge(execution.device_seconds + 0.01)
+            return execution
+
+        return run_fn

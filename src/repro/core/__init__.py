@@ -1,0 +1,57 @@
+"""The WebGPU platform core: courses, students, labs, grading.
+
+This is the paper's "web-server" logic (Sections III-A, IV): the six
+student actions (edit, compile, run-against-dataset, answer questions,
+submit for grading, view history), automatic grading against the
+instructor rubric, the gradebook with external export, peer review,
+and the instructor tools.
+
+Two facades assemble the platform:
+
+* :class:`repro.core.platform.WebGPU` — the original architecture
+  (Figure 2): the web-server pushes jobs to a worker pool and tracks
+  worker health itself.
+* :class:`repro.core.platform_v2.WebGPU2` — the 2.0 architecture
+  (Figure 6): jobs go to a replicated message broker; tag-matched
+  worker drivers pull them; datasets live in an object store.
+"""
+
+from repro.core.users import Role, User, UserStore
+from repro.core.course import Course, CourseOffering, Enrollment
+from repro.core.history import RevisionStore
+from repro.core.submission import Attempt, AttemptStore, SubmissionKind
+from repro.core.grading import GradeBreakdown, Grader
+from repro.core.feedback import Feedback, FeedbackEngine, HintService
+from repro.core.gradebook import GradeBook, GradeEntry
+from repro.core.peer_review import PeerReviewEngine, ReviewAssignment
+from repro.core.instructor import InstructorTools, RosterRow
+from repro.core.platform import PlatformError, RateLimited, WebGPU
+from repro.core.platform_v2 import WebGPU2
+
+__all__ = [
+    "Attempt",
+    "AttemptStore",
+    "Course",
+    "CourseOffering",
+    "Enrollment",
+    "Feedback",
+    "FeedbackEngine",
+    "HintService",
+    "GradeBook",
+    "GradeBreakdown",
+    "GradeEntry",
+    "Grader",
+    "InstructorTools",
+    "PeerReviewEngine",
+    "PlatformError",
+    "RateLimited",
+    "ReviewAssignment",
+    "RevisionStore",
+    "Role",
+    "RosterRow",
+    "SubmissionKind",
+    "User",
+    "UserStore",
+    "WebGPU",
+    "WebGPU2",
+]

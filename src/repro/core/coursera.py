@@ -1,0 +1,91 @@
+"""External gradebook export (the Coursera side of Section IV-F).
+
+"After students complete a submission, the system assigns a grade
+automatically and records it in the grade book (storing the grade in
+Coursera, for example)."
+
+The external service is modelled with realistic failure behaviour
+(requests can fail transiently), and :class:`ReliableExporter` gives
+the platform at-least-once delivery with an in-memory retry queue —
+the operational glue an actual Coursera integration needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.gradebook import GradeEntry
+
+
+class ExportRejected(Exception):
+    """The external gradebook refused or dropped the request."""
+
+
+@dataclass
+class CourseraGradebook:
+    """A stand-in for Coursera's gradebook API.
+
+    ``fail_every`` injects a transient failure on every n-th request
+    (0 = never fail). Successful pushes are idempotent per
+    (user, lab): the latest grade wins.
+    """
+
+    fail_every: int = 0
+    grades: dict[tuple[int, str], float] = field(default_factory=dict)
+    requests: int = 0
+    failures: int = 0
+
+    def push(self, entry: GradeEntry) -> None:
+        self.requests += 1
+        if self.fail_every and self.requests % self.fail_every == 0:
+            self.failures += 1
+            raise ExportRejected(
+                f"503 from external gradebook (request {self.requests})")
+        self.grades[(entry.user_id, entry.lab)] = entry.total_points
+
+    def grade_of(self, user_id: int, lab: str) -> float | None:
+        return self.grades.get((user_id, lab))
+
+
+class ReliableExporter:
+    """At-least-once delivery of grade entries to an external service.
+
+    Use as the platform's ``grade_exporter``: failed pushes are queued
+    and retried by :meth:`flush` (which an operator cron or the health
+    loop calls). Ordering per (user, lab) is preserved because only the
+    newest entry for a key stays queued.
+    """
+
+    def __init__(self, service: CourseraGradebook):
+        self.service = service
+        self._pending: dict[tuple[int, str], GradeEntry] = {}
+        self.delivered = 0
+        self.deferred = 0
+
+    def __call__(self, entry: GradeEntry) -> None:
+        try:
+            self.service.push(entry)
+            self.delivered += 1
+        except ExportRejected:
+            self._pending[(entry.user_id, entry.lab)] = entry
+            self.deferred += 1
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def flush(self, max_attempts: int = 3) -> int:
+        """Retry everything queued; returns entries delivered."""
+        delivered = 0
+        for key in list(self._pending):
+            entry = self._pending[key]
+            for _ in range(max_attempts):
+                try:
+                    self.service.push(entry)
+                except ExportRejected:
+                    continue
+                del self._pending[key]
+                self.delivered += 1
+                delivered += 1
+                break
+        return delivered

@@ -1,0 +1,298 @@
+"""Automated feedback and on-demand hints (the paper's future work).
+
+Section IV-D: "We are exploring an automated feedback approach for
+future offerings of the course." Section VIII: "Future work on WebGPU
+includes automated feedback to students and on-demand help/hints
+during development."
+
+Two mechanisms:
+
+* :class:`FeedbackEngine` — rule-based diagnosis of a failed (or
+  inefficient) attempt: compile diagnostics, sandbox outcomes, runtime
+  faults, mismatch patterns, and the kernel profile counters are
+  mapped to targeted, student-readable advice.
+* :class:`HintService` — staged per-lab hints a student can request;
+  usage is recorded so instructors can see who needed how many.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.cluster.job import DatasetOutcome, JobResult
+from repro.db import Column, ColumnType, Database, Schema
+from repro.labs.base import LabDefinition
+
+HINTS_SCHEMA = Schema(columns=[
+    Column("user_id", ColumnType.INT),
+    Column("lab", ColumnType.TEXT),
+    Column("hints_taken", ColumnType.INT, default=0),
+], unique=[("user_id", "lab")])
+
+#: Per-lab staged hints; generic defaults apply to unlisted labs.
+LAB_HINTS: dict[str, tuple[str, ...]] = {
+    "vector-add": (
+        "Compute one global index per thread from blockIdx, blockDim, "
+        "and threadIdx.",
+        "The grid is rounded up to whole blocks — guard with "
+        "`if (i < len)`.",
+        "Device memory is separate: allocate with cudaMalloc and move "
+        "data with cudaMemcpy in both directions.",
+    ),
+    "tiled-matmul": (
+        "Each thread loads exactly one element of each tile per phase.",
+        "Zero-fill tile entries that fall outside the matrices instead "
+        "of skipping the store.",
+        "Keep both __syncthreads() calls outside any divergent branch.",
+    ),
+    "reduction-scan": (
+        "Kogge-Stone needs a barrier between reading a neighbour and "
+        "overwriting your own slot.",
+        "The last thread of each block owns writing the block total "
+        "into the auxiliary array.",
+        "The add-aux kernel must skip block 0.",
+    ),
+    "image-equalization": (
+        "Build the histogram in __shared__ memory first, then merge "
+        "into the global histogram once per block.",
+        "Cast the pixel to int before using it as a bin index.",
+    ),
+    "bfs-queuing": (
+        "atomicCAS(levels + v, -1, depth) returns -1 only for the "
+        "thread that discovered v — only that thread may enqueue it.",
+        "Reserve a queue slot with atomicAdd on the tail counter.",
+    ),
+}
+
+GENERIC_HINTS: tuple[str, ...] = (
+    "Re-read the lab description: the dataset shapes and grading "
+    "rubric constrain the kernel signature.",
+    "Test against the smallest dataset first; its mismatch report "
+    "names exact indices.",
+    "Check every global access against the allocation's extent.",
+)
+
+
+@dataclass(frozen=True)
+class Feedback:
+    """One piece of automated advice."""
+
+    category: str      # compile | security | runtime | correctness | perf
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.category}] {self.message}"
+
+
+class FeedbackEngine:
+    """Maps a graded attempt to targeted advice (no humans involved —
+    the paper's point is exactly that staff does not scale)."""
+
+    def analyze(self, lab: LabDefinition, result: JobResult) -> list[Feedback]:
+        feedback: list[Feedback] = []
+        if not result.compile_ok:
+            feedback.extend(self._compile_feedback(result.compile_message))
+            return feedback
+        for outcome in result.datasets:
+            feedback.extend(self._dataset_feedback(lab, outcome))
+        return _dedup(feedback)
+
+    # -- compile-stage rules ------------------------------------------------
+
+    def _compile_feedback(self, message: str) -> list[Feedback]:
+        out: list[Feedback] = []
+        if "blacklisted" in message:
+            out.append(Feedback(
+                "security",
+                "Your code contains a construct WebGPU refuses at compile "
+                "time (e.g. inline assembly or process control). Remove it "
+                "— it is never needed for the labs, even in comments."))
+            return out
+        if "undeclared identifier" in message:
+            name = _first_quoted(message)
+            out.append(Feedback(
+                "compile",
+                f"'{name}' is used before any declaration — check the "
+                "spelling and that the declaration is in scope."))
+        if "expects" in message and "argument" in message:
+            out.append(Feedback(
+                "compile",
+                "An argument count does not match the function's "
+                "signature — compare your call against the skeleton's "
+                "declaration."))
+        if "kernels are launched with" in message:
+            out.append(Feedback(
+                "compile",
+                "Kernels are not called like functions: use the "
+                "name<<<grid, block>>>(args) launch syntax."))
+        if "__shared__" in message:
+            out.append(Feedback(
+                "compile",
+                "__shared__ memory only exists inside device code — "
+                "declare the array inside the kernel."))
+        if not out:
+            out.append(Feedback(
+                "compile",
+                "Fix the compiler diagnostics top-down; later errors are "
+                "often cascades of the first one. The line:column numbers "
+                "refer to your preprocessed source."))
+        return out
+
+    # -- run-stage rules ----------------------------------------------------------
+
+    def _dataset_feedback(self, lab: LabDefinition,
+                          outcome: DatasetOutcome) -> list[Feedback]:
+        out: list[Feedback] = []
+        report = outcome.report
+        if outcome.outcome == "syscall_killed":
+            out.append(Feedback(
+                "security",
+                "Your program invoked a system call outside the lab's "
+                "whitelist (file or network access); the sandbox killed "
+                "it. Labs never require I/O beyond wb* functions."))
+            return out
+        if outcome.outcome == "run_timeout":
+            out.append(Feedback(
+                "runtime",
+                "Execution exceeded the lab's time limit. Look for a loop "
+                "whose condition never becomes false — commonly a stride "
+                "that is zero or an index that is never advanced."))
+            return out
+        if outcome.outcome == "runtime_error":
+            if "out of bounds" in report:
+                out.append(Feedback(
+                    "runtime",
+                    "A memory access fell outside its allocation "
+                    f"({_first_sentence(report)}). The usual cause is a "
+                    "missing boundary check for the last, partial block."))
+            elif "__syncthreads" in report or "barrier" in report.lower():
+                out.append(Feedback(
+                    "runtime",
+                    "Threads of one block disagreed about reaching "
+                    "__syncthreads(). Barriers must be executed by every "
+                    "thread of the block: move them out of `if` bodies "
+                    "that depend on the thread index."))
+            elif "device pointer" in report:
+                out.append(Feedback(
+                    "runtime",
+                    "Host code dereferenced a device pointer. Device "
+                    "memory is only reachable from kernels; copy results "
+                    "back with cudaMemcpy(..., cudaMemcpyDeviceToHost)."))
+            elif "host pointer" in report:
+                out.append(Feedback(
+                    "runtime",
+                    "A kernel received a host pointer. Allocate a device "
+                    "buffer with cudaMalloc and pass that instead."))
+            else:
+                out.append(Feedback(
+                    "runtime", f"The program crashed: "
+                               f"{_first_sentence(report)}"))
+            return out
+        if outcome.outcome == "ok" and not outcome.correct:
+            out.append(self._mismatch_feedback(report))
+        if outcome.correct:
+            out.extend(self._performance_feedback(outcome.profile))
+        return out
+
+    def _mismatch_feedback(self, report: str) -> Feedback:
+        if "No solution was recorded" in report:
+            return Feedback(
+                "correctness",
+                "The program never called wbSolution() — keep the final "
+                "call from the skeleton so grading can see your output.")
+        match = re.search(r"\((\d+)/(\d+) elements differ\)", report)
+        fraction = None
+        if match:
+            fraction = int(match.group(1)) / int(match.group(2))
+        if fraction is not None and fraction > 0.9:
+            return Feedback(
+                "correctness",
+                "Nearly every element is wrong — the kernel's core "
+                "computation (or the data movement around it) is off, "
+                "not just an edge case. Verify the indexing formula on "
+                "paper for a 2x2 example.")
+        return Feedback(
+            "correctness",
+            "Only some elements mismatch — this is the signature of a "
+            "boundary problem: the first/last elements, the last partial "
+            "block or tile, or halo cells. The report's indices tell you "
+            "which region to look at: " + _first_sentence(report))
+
+    def _performance_feedback(self, profile: dict[str, float]) -> list[Feedback]:
+        out: list[Feedback] = []
+        if not profile:
+            return out
+        if profile.get("load_efficiency", 1.0) < 0.30 \
+                and profile.get("load_transactions", 0) > 16:
+            out.append(Feedback(
+                "perf",
+                "Global loads are badly uncoalesced (efficiency "
+                f"{profile['load_efficiency']:.0%}). Make consecutive "
+                "threads read consecutive addresses — swap the roles of "
+                "threadIdx.x and threadIdx.y in the index if needed."))
+        if profile.get("bank_conflicts", 0) > \
+                0.25 * max(1.0, profile.get("shared_accesses", 0)) \
+                and profile.get("shared_accesses", 0) > 64:
+            out.append(Feedback(
+                "perf",
+                "Shared-memory bank conflicts are serialising your warps "
+                "— pad the tile's inner dimension by one element."))
+        if profile.get("max_atomic_contention", 0) > 64:
+            out.append(Feedback(
+                "perf",
+                "Many threads hit the same address with atomics "
+                f"(contention {profile['max_atomic_contention']:.0f}). "
+                "Privatize the accumulator in shared memory and merge "
+                "once per block."))
+        return out
+
+
+class HintService:
+    """On-demand, staged hints with per-student usage tracking."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        if not db.has_table("hints_taken"):
+            db.create_table("hints_taken", HINTS_SCHEMA)
+
+    def hints_for(self, lab: LabDefinition) -> tuple[str, ...]:
+        return LAB_HINTS.get(lab.slug, GENERIC_HINTS)
+
+    def next_hint(self, user_id: int, lab: LabDefinition) -> str | None:
+        """Reveal the next hint (None when exhausted)."""
+        hints = self.hints_for(lab)
+        row = self.db.find_one("hints_taken", user_id=user_id, lab=lab.slug)
+        taken = row["hints_taken"] if row else 0
+        if taken >= len(hints):
+            return None
+        if row:
+            self.db.update("hints_taken", row["id"], hints_taken=taken + 1)
+        else:
+            self.db.insert("hints_taken", user_id=user_id, lab=lab.slug,
+                           hints_taken=1)
+        return hints[taken]
+
+    def hints_taken(self, user_id: int, lab_slug: str) -> int:
+        row = self.db.find_one("hints_taken", user_id=user_id, lab=lab_slug)
+        return row["hints_taken"] if row else 0
+
+
+def _first_quoted(message: str) -> str:
+    match = re.search(r"'([^']+)'", message)
+    return match.group(1) if match else "?"
+
+
+def _first_sentence(text: str) -> str:
+    line = text.splitlines()[0] if text else ""
+    return line[:160]
+
+
+def _dedup(items: list[Feedback]) -> list[Feedback]:
+    seen: set[str] = set()
+    out: list[Feedback] = []
+    for item in items:
+        if item.message not in seen:
+            seen.add(item.message)
+            out.append(item)
+    return out

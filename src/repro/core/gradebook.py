@@ -1,0 +1,122 @@
+"""Grade storage with external-gradebook export and overrides.
+
+"After students complete a submission, the system assigns a grade
+automatically and records it in the grade book (storing the grade in
+Coursera, for example). Instructors are provided an interface to
+override a grade." (Section IV-F)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.grading import GradeBreakdown
+from repro.db import Column, ColumnType, Database, Schema
+
+GRADES_SCHEMA = Schema(columns=[
+    Column("user_id", ColumnType.INT),
+    Column("lab", ColumnType.TEXT),
+    Column("program_points", ColumnType.FLOAT, default=0.0),
+    Column("question_points", ColumnType.FLOAT, default=0.0),
+    Column("total_points", ColumnType.FLOAT, default=0.0),
+    Column("graded_at", ColumnType.FLOAT, default=0.0),
+    Column("overridden", ColumnType.BOOL, default=False),
+    Column("override_reason", ColumnType.TEXT, default=""),
+], unique=[("user_id", "lab")])
+
+
+@dataclass(frozen=True)
+class GradeEntry:
+    user_id: int
+    lab: str
+    program_points: float
+    question_points: float
+    total_points: float
+    graded_at: float
+    overridden: bool = False
+    override_reason: str = ""
+
+
+class GradeBook:
+    """The canonical grade store, with export hooks to e.g. Coursera."""
+
+    def __init__(self, db: Database,
+                 exporter: Callable[[GradeEntry], None] | None = None):
+        self.db = db
+        self.exporter = exporter
+        self.exports = 0
+        if not db.has_table("grades"):
+            db.create_table("grades", GRADES_SCHEMA)
+
+    def record(self, user_id: int, breakdown: GradeBreakdown,
+               now: float) -> GradeEntry:
+        """Record an automatic grade. Re-grading keeps the best score
+        (students may resubmit); an instructor override is never
+        replaced automatically."""
+        program = breakdown.compile_points + breakdown.dataset_points
+        existing = self.db.find_one("grades", user_id=user_id,
+                                    lab=breakdown.lab)
+        if existing is not None:
+            if existing["overridden"] or existing["total_points"] >= \
+                    breakdown.total:
+                return self._to_entry(existing)
+            self.db.update("grades", existing["id"],
+                           program_points=program,
+                           question_points=breakdown.question_points,
+                           total_points=breakdown.total, graded_at=now)
+            entry = self._to_entry(self.db.get("grades", existing["id"]))
+        else:
+            grade_id = self.db.insert(
+                "grades", user_id=user_id, lab=breakdown.lab,
+                program_points=program,
+                question_points=breakdown.question_points,
+                total_points=breakdown.total, graded_at=now)
+            entry = self._to_entry(self.db.get("grades", grade_id))
+        self._export(entry)
+        return entry
+
+    def override(self, user_id: int, lab: str, total_points: float,
+                 reason: str, now: float) -> GradeEntry:
+        """Instructor override (always wins over automatic grading)."""
+        existing = self.db.find_one("grades", user_id=user_id, lab=lab)
+        if existing is None:
+            grade_id = self.db.insert(
+                "grades", user_id=user_id, lab=lab,
+                program_points=total_points, question_points=0.0,
+                total_points=total_points, graded_at=now, overridden=True,
+                override_reason=reason)
+        else:
+            self.db.update("grades", existing["id"],
+                           total_points=total_points, graded_at=now,
+                           overridden=True, override_reason=reason)
+            grade_id = existing["id"]
+        entry = self._to_entry(self.db.get("grades", grade_id))
+        self._export(entry)
+        return entry
+
+    def get(self, user_id: int, lab: str) -> GradeEntry | None:
+        row = self.db.find_one("grades", user_id=user_id, lab=lab)
+        return self._to_entry(row) if row else None
+
+    def for_lab(self, lab: str) -> list[GradeEntry]:
+        return [self._to_entry(r) for r in self.db.find("grades", lab=lab)]
+
+    def user_total(self, user_id: int) -> float:
+        return sum(r["total_points"]
+                   for r in self.db.find("grades", user_id=user_id))
+
+    def _export(self, entry: GradeEntry) -> None:
+        if self.exporter is not None:
+            self.exporter(entry)
+            self.exports += 1
+
+    @staticmethod
+    def _to_entry(row: dict) -> GradeEntry:
+        return GradeEntry(
+            user_id=row["user_id"], lab=row["lab"],
+            program_points=row["program_points"],
+            question_points=row["question_points"],
+            total_points=row["total_points"], graded_at=row["graded_at"],
+            overridden=row["overridden"],
+            override_reason=row["override_reason"])

@@ -1,0 +1,63 @@
+"""Automatic grading against the lab rubric (paper Section IV-F).
+
+"Points are arbitrarily divided among datasets, short-answer questions,
+presence of keywords, and successful compilation." Dataset points are
+split evenly across the lab's datasets; question points are awarded
+for *answering* (there is "no system for automatic grading of
+questions" — instructors adjust by override).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.job import JobResult
+from repro.labs.base import LabDefinition
+
+
+@dataclass(frozen=True)
+class GradeBreakdown:
+    """One graded submission's points."""
+
+    lab: str
+    compile_points: float
+    dataset_points: float
+    question_points: float
+    datasets_passed: int
+    datasets_total: int
+
+    @property
+    def total(self) -> float:
+        return self.compile_points + self.dataset_points + self.question_points
+
+
+class Grader:
+    """Turns a grading-job result plus answers into a rubric grade."""
+
+    def grade(self, lab: LabDefinition, result: JobResult,
+              answers: dict[int, str] | None = None) -> GradeBreakdown:
+        rubric = lab.rubric
+        compile_points = rubric.compile_points if result.compile_ok else 0.0
+
+        total_datasets = len(lab.dataset_sizes)
+        passed = sum(1 for d in result.datasets if d.correct)
+        if total_datasets > 0:
+            dataset_points = rubric.dataset_points * passed / total_datasets
+        else:
+            dataset_points = rubric.dataset_points if result.compile_ok else 0.0
+
+        answered = sum(1 for a in (answers or {}).values() if a.strip())
+        if lab.questions:
+            question_points = (rubric.question_points * answered
+                               / len(lab.questions))
+        else:
+            question_points = 0.0
+
+        return GradeBreakdown(
+            lab=lab.slug,
+            compile_points=float(compile_points),
+            dataset_points=float(dataset_points),
+            question_points=float(min(question_points,
+                                      rubric.question_points)),
+            datasets_passed=passed,
+            datasets_total=total_datasets)

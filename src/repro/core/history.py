@@ -1,0 +1,83 @@
+"""Code revision history (paper Sections III-A and IV-A).
+
+"It automatically saves all student code, and their compilation and
+execution status, and previous attempts so that a user can backtrack
+to earlier versions of their code."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from difflib import unified_diff
+
+from repro.db import Column, ColumnType, Database, Schema
+
+REVISIONS_SCHEMA = Schema(columns=[
+    Column("user_id", ColumnType.INT),
+    Column("lab", ColumnType.TEXT),
+    Column("source", ColumnType.TEXT),
+    Column("saved_at", ColumnType.FLOAT),
+    Column("reason", ColumnType.TEXT, default="autosave"),
+], indexes=[("user_id", "lab")])
+
+
+@dataclass(frozen=True)
+class Revision:
+    revision_id: int
+    user_id: int
+    lab: str
+    source: str
+    saved_at: float
+    reason: str
+
+
+class RevisionStore:
+    """Every edit is kept; students can inspect and compare versions."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        if not db.has_table("code_revisions"):
+            db.create_table("code_revisions", REVISIONS_SCHEMA)
+
+    def save(self, user_id: int, lab: str, source: str, now: float,
+             reason: str = "autosave") -> Revision:
+        """Record a new revision (no-op dedup: identical consecutive
+        saves are collapsed so autosave doesn't flood the history)."""
+        latest = self.latest(user_id, lab)
+        if latest is not None and latest.source == source:
+            return latest
+        rev_id = self.db.insert("code_revisions", user_id=user_id, lab=lab,
+                                source=source, saved_at=now, reason=reason)
+        return self._to_revision(self.db.get("code_revisions", rev_id))
+
+    def latest(self, user_id: int, lab: str) -> Revision | None:
+        rows = self.db.find("code_revisions", user_id=user_id, lab=lab)
+        if not rows:
+            return None
+        row = max(rows, key=lambda r: (r["saved_at"], r["id"]))
+        return self._to_revision(row)
+
+    def history(self, user_id: int, lab: str) -> list[Revision]:
+        """All revisions, newest first (the History view's order)."""
+        rows = self.db.find("code_revisions", user_id=user_id, lab=lab)
+        rows.sort(key=lambda r: (r["saved_at"], r["id"]), reverse=True)
+        return [self._to_revision(r) for r in rows]
+
+    def get(self, revision_id: int) -> Revision:
+        return self._to_revision(self.db.get("code_revisions", revision_id))
+
+    def diff(self, older_id: int, newer_id: int) -> str:
+        """Unified diff between two revisions ("students can inspect
+        and compare to previous codes")."""
+        older = self.get(older_id)
+        newer = self.get(newer_id)
+        return "".join(unified_diff(
+            older.source.splitlines(keepends=True),
+            newer.source.splitlines(keepends=True),
+            fromfile=f"revision {older_id}", tofile=f"revision {newer_id}"))
+
+    @staticmethod
+    def _to_revision(row: dict) -> Revision:
+        return Revision(revision_id=row["id"], user_id=row["user_id"],
+                        lab=row["lab"], source=row["source"],
+                        saved_at=row["saved_at"], reason=row["reason"])

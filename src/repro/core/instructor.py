@@ -1,0 +1,114 @@
+"""Instructor tools: roster, comments, grade overrides (Section IV-F).
+
+"Figure 5 shows the class roster view. This shows all students with a
+submission attempt for the Lab. Through the Roster interface, the
+instructor navigates to a student submission and reviews their code
+history, submission history, grades, and short-answer submissions. The
+instructor is able to comment on student's code and questions."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.gradebook import GradeBook
+from repro.core.history import RevisionStore
+from repro.core.submission import AttemptStore, SubmissionKind
+from repro.core.users import User, UserStore
+from repro.db import Column, ColumnType, Database, Schema
+
+COMMENTS_SCHEMA = Schema(columns=[
+    Column("instructor_id", ColumnType.INT),
+    Column("user_id", ColumnType.INT),
+    Column("lab", ColumnType.TEXT),
+    Column("target", ColumnType.TEXT, default="code"),  # code | question
+    Column("text", ColumnType.TEXT),
+    Column("created_at", ColumnType.FLOAT),
+], indexes=[("user_id", "lab")])
+
+
+@dataclass(frozen=True)
+class RosterRow:
+    """One roster line (Figure 5's columns)."""
+
+    user_id: int
+    name: str
+    email: str
+    attempts: int
+    last_submission_at: float | None
+    program_grade: float | None
+    question_grade: float | None
+    total_grade: float | None
+
+
+class InstructorTools:
+    """Everything the teaching staff does through a browser."""
+
+    def __init__(self, db: Database, users: UserStore,
+                 attempts: AttemptStore, revisions: RevisionStore,
+                 gradebook: GradeBook):
+        self.db = db
+        self.users = users
+        self.attempts = attempts
+        self.revisions = revisions
+        self.gradebook = gradebook
+        if not db.has_table("comments"):
+            db.create_table("comments", COMMENTS_SCHEMA)
+
+    def _require_staff(self, user: User) -> None:
+        if not user.is_staff:
+            raise PermissionError(
+                f"{user.email} is not on the teaching staff")
+
+    def roster(self, instructor: User, lab: str) -> list[RosterRow]:
+        """All students with a submission attempt for the lab."""
+        self._require_staff(instructor)
+        by_user: dict[int, list] = {}
+        for attempt in self.attempts.for_lab(lab):
+            by_user.setdefault(attempt.user_id, []).append(attempt)
+        rows = []
+        for user_id, user_attempts in sorted(by_user.items()):
+            student = self.users.get(user_id)
+            grade = self.gradebook.get(user_id, lab)
+            submissions = [a for a in user_attempts
+                           if a.kind is SubmissionKind.GRADE]
+            rows.append(RosterRow(
+                user_id=user_id, name=student.name, email=student.email,
+                attempts=len(user_attempts),
+                last_submission_at=max(
+                    (a.submitted_at for a in submissions), default=None),
+                program_grade=grade.program_points if grade else None,
+                question_grade=grade.question_points if grade else None,
+                total_grade=grade.total_points if grade else None))
+        return rows
+
+    def student_detail(self, instructor: User, user_id: int,
+                       lab: str) -> dict:
+        """Drill-down: code history, attempts, grade, answers."""
+        self._require_staff(instructor)
+        return {
+            "user": self.users.get(user_id),
+            "revisions": self.revisions.history(user_id, lab),
+            "attempts": self.attempts.for_user_lab(user_id, lab),
+            "grade": self.gradebook.get(user_id, lab),
+            "answers": self.attempts.answers(user_id, lab),
+            "comments": self.comments_for(user_id, lab),
+        }
+
+    def comment(self, instructor: User, user_id: int, lab: str, text: str,
+                now: float, target: str = "code") -> int:
+        self._require_staff(instructor)
+        if target not in ("code", "question"):
+            raise ValueError(f"invalid comment target {target!r}")
+        return self.db.insert(
+            "comments", instructor_id=instructor.user_id, user_id=user_id,
+            lab=lab, target=target, text=text, created_at=now)
+
+    def comments_for(self, user_id: int, lab: str) -> list[dict]:
+        return self.db.find("comments", user_id=user_id, lab=lab)
+
+    def override_grade(self, instructor: User, user_id: int, lab: str,
+                       total_points: float, reason: str, now: float):
+        self._require_staff(instructor)
+        return self.gradebook.override(user_id, lab, total_points, reason,
+                                       now)

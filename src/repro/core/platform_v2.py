@@ -1,0 +1,194 @@
+"""The WebGPU 2.0 facade: Figure 6 wired together.
+
+Same course/grading/student logic as v1, but the job path is the new
+architecture: the (OpenEdx-style) frontend publishes jobs to a
+zone-replicated message broker; tag-matched worker drivers *pull* jobs,
+run them in pooled containers, and report metrics to a replicated
+database; lab datasets live in an S3-style object store accessible to
+both the instructor tooling and the workers.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Callable
+
+import numpy as np
+
+from repro.broker import (
+    ConfigServer,
+    ContainerPool,
+    Dashboard,
+    MessageBroker,
+    WorkerDriver,
+)
+from repro.broker.containers import (
+    CUDA_IMAGE,
+    OPENACC_IMAGE,
+    OPENCL_IMAGE,
+    ContainerImage,
+)
+from repro.cluster import GpuWorker, WorkerConfig
+from repro.cluster.job import Job, JobKind, JobResult, JobStatus
+from repro.cluster.node import Clock
+from repro.core.gradebook import GradeEntry
+from repro.core.platform import PlatformError, WebGPU
+from repro.core.users import User
+from repro.db import Database, ReplicatedDatabase
+from repro.storage import ObjectStore
+
+#: Images every v2 worker carries unless configured otherwise.
+DEFAULT_IMAGES: tuple[ContainerImage, ...] = (CUDA_IMAGE, OPENCL_IMAGE)
+
+
+class WebGPU2(WebGPU):
+    """WebGPU 2.0: broker + pull workers + object store (Figure 6)."""
+
+    def __init__(self, clock: Clock | None = None, num_workers: int = 2,
+                 worker_config: WorkerConfig | None = None,
+                 db: Database | None = None,
+                 grade_exporter: Callable[[GradeEntry], None] | None = None,
+                 rate_per_minute: float = 6.0,
+                 zones: tuple[str, ...] = ("us-east-1a", "us-east-1b"),
+                 images: tuple[ContainerImage, ...] = DEFAULT_IMAGES):
+        self.zones = zones
+        self.images = images
+        self.broker = MessageBroker(zones=zones)
+        self.config_server = ConfigServer()
+        self.metrics = ReplicatedDatabase("metrics")
+        for zone in zones:
+            self.metrics.add_replica(zone)
+        self.object_store = ObjectStore()
+        self.dataset_bucket = self.object_store.create_bucket("webgpu-datasets")
+        self.drivers: list[WorkerDriver] = []
+        # base __init__ calls add_worker(), which we override to create
+        # drivers, so broker/config/metrics must exist first (above)
+        super().__init__(clock=clock, num_workers=num_workers,
+                         worker_config=worker_config, db=db,
+                         grade_exporter=grade_exporter,
+                         rate_per_minute=rate_per_minute)
+        self.dashboard = Dashboard(self.metrics.primary, self.broker)
+
+    # -- fleet ------------------------------------------------------------------
+
+    def add_worker(self, config: WorkerConfig | None = None,
+                   zone: str | None = None) -> GpuWorker:
+        """v2 workers are drivers pulling from the broker. Each node
+        carries only the container images its tags call for (the point
+        of tag matching: no node needs "the highest common multiple of
+        the system requirements of the labs")."""
+        cfg = config or self._worker_config
+        zone = zone or self.zones[len(self.drivers) % len(self.zones)]
+        worker = GpuWorker(cfg, clock=self.clock, zone=zone)
+        images = [CUDA_IMAGE]
+        if "opencl" in cfg.tags:
+            images.append(OPENCL_IMAGE)
+        if "openacc" in cfg.tags:
+            images.append(OPENACC_IMAGE)
+        containers = ContainerPool(images, num_gpus=cfg.num_gpus)
+        driver = WorkerDriver(worker, self.broker, containers,
+                              self.config_server, self.metrics.primary,
+                              clock=self.clock, zone=zone)
+        self.drivers.append(driver)
+        # the v1 pool/health bookkeeping still tracks fleet membership
+        self.worker_pool.register(worker)
+        self.health.record(worker.name, self.clock.now())
+        return worker
+
+    def remove_worker(self, name: str) -> bool:
+        self.drivers = [d for d in self.drivers if d.worker.name != name]
+        return super().remove_worker(name)
+
+    def pump(self, max_steps: int = 1000) -> list[JobResult]:
+        """Run driver pull loops until the queue drains (or step cap)."""
+        results: list[JobResult] = []
+        idle_rounds = 0
+        steps = 0
+        while steps < max_steps and idle_rounds < 1:
+            progressed = False
+            for driver in self.drivers:
+                result = driver.step()
+                steps += 1
+                if result is not None:
+                    results.append(result)
+                    progressed = True
+            idle_rounds = 0 if progressed else idle_rounds + 1
+        return results
+
+    # -- lab authoring through the object store -----------------------------------
+
+    def deploy_lab(self, lab) -> list[str]:
+        """Instructor tooling: write the full lab bundle (config.json,
+        description, skeleton, solution, datasets) to the S3 bucket —
+        the paper's §IV-E deployment artifacts on Figure 6's storage."""
+        from repro.labs.config import deploy_lab as _deploy
+        return _deploy(self.dataset_bucket, lab)
+
+    def install_lab(self, course_key: str, slug: str):
+        """Load a deployed lab bundle from the bucket into a course —
+        what makes a lab available to students without code changes."""
+        from repro.labs.config import load_lab
+        lab = load_lab(self.dataset_bucket, slug)
+        self.course(course_key).labs[lab.slug] = lab
+        return lab
+
+    # -- dataset authoring through the object store -----------------------------------
+
+    def upload_dataset(self, lab_slug: str, index: int,
+                       inputs: dict[str, np.ndarray],
+                       expected: np.ndarray) -> list[str]:
+        """Instructor tooling writes lab datasets to the S3 bucket
+        (Figure 6 item 5: "Lab datasets are stored on an Amazon S3
+        Bucket which is accessible by both the OpenEdx instructor and
+        the worker nodes")."""
+        keys = []
+        for name, array in list(inputs.items()) + [("expected", expected)]:
+            buffer = io.BytesIO()
+            np.save(buffer, array)
+            key = f"{lab_slug}/{index}/{name}.npy"
+            self.dataset_bucket.put(key, buffer.getvalue())
+            keys.append(key)
+        return keys
+
+    def fetch_dataset_arrays(self, lab_slug: str,
+                             index: int) -> dict[str, np.ndarray]:
+        """What a worker does to obtain dataset files."""
+        out: dict[str, np.ndarray] = {}
+        prefix = f"{lab_slug}/{index}/"
+        for key in self.dataset_bucket.list(prefix):
+            name = key[len(prefix):-len(".npy")]
+            out[name] = np.load(io.BytesIO(self.dataset_bucket.get(key)))
+        return out
+
+    # -- job plumbing override: publish + pull instead of push -----------------------------
+
+    def _run_job(self, course_key: str, user: User, lab_slug: str,
+                 kind: JobKind, dataset_index: int):
+        from repro.core.platform import RateLimited
+
+        self._require_enrolled(course_key, user)
+        lab = self._lab_for(course_key, lab_slug)
+        now = self.clock.now()
+        if not self.rate_limiter.try_submit(user.email, now):
+            raise RateLimited(
+                f"{user.email} is submitting too fast; try again shortly")
+        revision = self.revisions.latest(user.user_id, lab_slug)
+        if revision is None:
+            raise PlatformError("no code saved for this lab yet")
+
+        job = Job(lab=lab, source=revision.source, kind=kind,
+                  dataset_index=dataset_index, user=user.email,
+                  submitted_at=now)
+        self.broker.publish(job, now)
+        results = self.pump()
+        result = next((r for r in results if r.job_id == job.job_id), None)
+        if result is None:
+            result = JobResult(
+                job_id=job.job_id, status=JobStatus.FAILED,
+                error="no worker in the fleet can satisfy this job's "
+                      f"requirements ({sorted(job.requirements)})")
+        attempt = self.attempts.record(
+            user.user_id, lab_slug, self._kind_for(kind),
+            revision.revision_id, dataset_index, now, result)
+        self._last_results[(user.user_id, lab_slug)] = result
+        return attempt, result

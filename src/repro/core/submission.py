@@ -1,0 +1,149 @@
+"""Attempts and submissions (the Attempts view's data).
+
+An *attempt* is any compile/run/grade the student triggered; every one
+is stored with its result so the Attempts view can show "the result of
+every time the code has been run against one of the test data sets"
+including what the code looked like at that moment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cluster.job import JobResult
+from repro.db import Column, ColumnType, Database, Schema
+
+
+class SubmissionKind(enum.Enum):
+    COMPILE = "compile"
+    RUN = "run"
+    GRADE = "grade"
+
+
+ATTEMPTS_SCHEMA = Schema(columns=[
+    Column("user_id", ColumnType.INT),
+    Column("lab", ColumnType.TEXT),
+    Column("kind", ColumnType.TEXT),
+    Column("revision_id", ColumnType.INT),
+    Column("dataset_index", ColumnType.INT, default=0),
+    Column("submitted_at", ColumnType.FLOAT),
+    Column("status", ColumnType.TEXT, default=""),
+    Column("compile_ok", ColumnType.BOOL, default=False),
+    Column("correct", ColumnType.BOOL, default=False),
+    Column("report", ColumnType.TEXT, default=""),
+    Column("worker", ColumnType.TEXT, default=""),
+    Column("service_seconds", ColumnType.FLOAT, default=0.0),
+    Column("shared_publicly", ColumnType.BOOL, default=False),
+], indexes=[("user_id", "lab"), ("lab",)])
+
+ANSWERS_SCHEMA = Schema(columns=[
+    Column("user_id", ColumnType.INT),
+    Column("lab", ColumnType.TEXT),
+    Column("question_index", ColumnType.INT),
+    Column("answer", ColumnType.TEXT),
+    Column("answered_at", ColumnType.FLOAT),
+], unique=[("user_id", "lab", "question_index")])
+
+
+@dataclass(frozen=True)
+class Attempt:
+    attempt_id: int
+    user_id: int
+    lab: str
+    kind: SubmissionKind
+    revision_id: int
+    dataset_index: int
+    submitted_at: float
+    status: str
+    compile_ok: bool
+    correct: bool
+    report: str
+    worker: str = ""
+    service_seconds: float = 0.0
+    shared_publicly: bool = False
+
+
+class AttemptStore:
+    """Persistence for attempts and short-answer responses."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        if not db.has_table("attempts"):
+            db.create_table("attempts", ATTEMPTS_SCHEMA)
+        if not db.has_table("answers"):
+            db.create_table("answers", ANSWERS_SCHEMA)
+
+    def record(self, user_id: int, lab: str, kind: SubmissionKind,
+               revision_id: int, dataset_index: int, now: float,
+               result: JobResult) -> Attempt:
+        report_parts = []
+        if not result.compile_ok:
+            report_parts.append(result.compile_message)
+        for d in result.datasets:
+            report_parts.append(f"[dataset {d.dataset_index}] "
+                                f"{d.outcome}: {d.report}")
+        attempt_id = self.db.insert(
+            "attempts", user_id=user_id, lab=lab, kind=kind.value,
+            revision_id=revision_id, dataset_index=dataset_index,
+            submitted_at=now, status=result.status.value,
+            compile_ok=result.compile_ok,
+            correct=result.all_correct if kind is not SubmissionKind.COMPILE
+            else result.compile_ok,
+            report="\n".join(p for p in report_parts if p),
+            worker=result.worker_name,
+            service_seconds=result.service_seconds)
+        return self.get(attempt_id)
+
+    def get(self, attempt_id: int) -> Attempt:
+        return self._to_attempt(self.db.get("attempts", attempt_id))
+
+    def for_user_lab(self, user_id: int, lab: str) -> list[Attempt]:
+        """Newest first, as the Attempts view lists them."""
+        rows = self.db.find("attempts", user_id=user_id, lab=lab)
+        rows.sort(key=lambda r: (r["submitted_at"], r["id"]), reverse=True)
+        return [self._to_attempt(r) for r in rows]
+
+    def for_lab(self, lab: str) -> list[Attempt]:
+        return [self._to_attempt(r) for r in self.db.find("attempts", lab=lab)]
+
+    def share_publicly(self, attempt_id: int, deadline: float | None,
+                       now: float) -> str:
+        """Generate a public link — allowed only after the deadline
+        ("A student can generate a public link to their attempt once
+        the lab deadline has passed")."""
+        if deadline is not None and now < deadline:
+            raise PermissionError(
+                "attempts cannot be shared before the lab deadline")
+        self.db.update("attempts", attempt_id, shared_publicly=True)
+        return f"/shared/attempt/{attempt_id}"
+
+    # -- short-answer questions -----------------------------------------
+
+    def save_answer(self, user_id: int, lab: str, question_index: int,
+                    answer: str, now: float) -> None:
+        existing = self.db.find_one("answers", user_id=user_id, lab=lab,
+                                    question_index=question_index)
+        if existing is not None:
+            self.db.update("answers", existing["id"], answer=answer,
+                           answered_at=now)
+        else:
+            self.db.insert("answers", user_id=user_id, lab=lab,
+                           question_index=question_index, answer=answer,
+                           answered_at=now)
+
+    def answers(self, user_id: int, lab: str) -> dict[int, str]:
+        return {r["question_index"]: r["answer"]
+                for r in self.db.find("answers", user_id=user_id, lab=lab)}
+
+    @staticmethod
+    def _to_attempt(row: dict) -> Attempt:
+        return Attempt(
+            attempt_id=row["id"], user_id=row["user_id"], lab=row["lab"],
+            kind=SubmissionKind(row["kind"]), revision_id=row["revision_id"],
+            dataset_index=row["dataset_index"],
+            submitted_at=row["submitted_at"], status=row["status"],
+            compile_ok=row["compile_ok"], correct=row["correct"],
+            report=row["report"], worker=row["worker"],
+            service_seconds=row["service_seconds"],
+            shared_publicly=row["shared_publicly"])

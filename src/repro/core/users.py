@@ -1,0 +1,95 @@
+"""User accounts and roles, backed by the database substrate."""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+
+from repro.db import Column, ColumnType, Database, DuplicateKeyError, Schema
+
+
+class Role(enum.Enum):
+    STUDENT = "student"
+    INSTRUCTOR = "instructor"
+    ADMIN = "admin"
+
+
+USERS_SCHEMA = Schema(columns=[
+    Column("email", ColumnType.TEXT),
+    Column("name", ColumnType.TEXT),
+    Column("role", ColumnType.TEXT, default=Role.STUDENT.value),
+    Column("password_hash", ColumnType.TEXT),
+    Column("registered_at", ColumnType.FLOAT, default=0.0),
+    Column("device_class", ColumnType.TEXT, default="desktop"),
+    Column("active", ColumnType.BOOL, default=True),
+], unique=[("email",)])
+
+
+@dataclass(frozen=True)
+class User:
+    """A platform account."""
+
+    user_id: int
+    email: str
+    name: str
+    role: Role
+    registered_at: float = 0.0
+    device_class: str = "desktop"
+
+    @property
+    def is_staff(self) -> bool:
+        return self.role in (Role.INSTRUCTOR, Role.ADMIN)
+
+
+def _hash_password(password: str) -> str:
+    return hashlib.sha256(("webgpu:" + password).encode()).hexdigest()
+
+
+class UserStore:
+    """Registration and lookup; the paper's open sign-up model."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        if not db.has_table("users"):
+            db.create_table("users", USERS_SCHEMA)
+
+    def register(self, email: str, name: str, password: str,
+                 role: Role = Role.STUDENT, now: float = 0.0,
+                 device_class: str = "desktop") -> User:
+        """Create an account. Anyone may sign up (Section III: 'allowing
+        anyone to sign up for the course without verification')."""
+        if "@" not in email:
+            raise ValueError(f"invalid email {email!r}")
+        try:
+            user_id = self.db.insert(
+                "users", email=email, name=name,
+                role=role.value, password_hash=_hash_password(password),
+                registered_at=now, device_class=device_class)
+        except DuplicateKeyError:
+            raise ValueError(f"email {email!r} is already registered") from None
+        return self.get(user_id)
+
+    def get(self, user_id: int) -> User:
+        row = self.db.get("users", user_id)
+        return self._to_user(row)
+
+    def by_email(self, email: str) -> User | None:
+        row = self.db.find_one("users", email=email)
+        return self._to_user(row) if row else None
+
+    def authenticate(self, email: str, password: str) -> User | None:
+        row = self.db.find_one("users", email=email)
+        if row is None or row["password_hash"] != _hash_password(password):
+            return None
+        return self._to_user(row)
+
+    def count(self) -> int:
+        return self.db.count("users")
+
+    @staticmethod
+    def _to_user(row: dict) -> User:
+        return User(user_id=row["id"], email=row["email"], name=row["name"],
+                    role=Role(row["role"]),
+                    registered_at=row["registered_at"],
+                    device_class=row["device_class"])

@@ -1,0 +1,50 @@
+"""In-memory relational database substrate.
+
+The paper's WebGPU stores user records, program submissions, and grades in
+a MySQL (later Amazon Aurora) database, accessed through a connection pool
+maintained by the web-server (Section III-B), and WebGPU 2.0 records
+metrics and logging information in a *replicated* database (Section VI-A).
+
+This package provides the equivalent substrate: a schema-checked table
+engine with primary keys and unique/secondary indexes, a small query layer,
+primary -> replica log-shipping replication with configurable lag, and a
+bounded connection pool.
+"""
+
+from repro.db.schema import Column, ColumnType, Schema
+from repro.db.table import Table
+from repro.db.engine import Database
+from repro.db.query import Query, asc, desc
+from repro.db.replication import ReplicatedDatabase, Replica
+from repro.db.pool import ConnectionPool, PooledConnection
+from repro.db.errors import (
+    DatabaseError,
+    DuplicateKeyError,
+    IntegrityError,
+    NoSuchRowError,
+    NoSuchTableError,
+    PoolExhaustedError,
+    SchemaError,
+)
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "ConnectionPool",
+    "Database",
+    "DatabaseError",
+    "DuplicateKeyError",
+    "IntegrityError",
+    "NoSuchRowError",
+    "NoSuchTableError",
+    "PoolExhaustedError",
+    "PooledConnection",
+    "Query",
+    "Replica",
+    "ReplicatedDatabase",
+    "Schema",
+    "SchemaError",
+    "Table",
+    "asc",
+    "desc",
+]

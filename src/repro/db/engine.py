@@ -1,0 +1,109 @@
+"""The database engine: a named collection of tables plus a write log.
+
+Every mutation is appended to an ordered write log (a logical WAL) so
+that :mod:`repro.db.replication` can ship it to replicas. Log sequence
+numbers (LSNs) are monotonically increasing integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.db.errors import NoSuchTableError, SchemaError
+from repro.db.schema import Schema
+from repro.db.table import Table
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One replicated mutation."""
+
+    lsn: int
+    op: str  # "insert" | "update" | "delete"
+    table: str
+    row_id: int
+    values: dict[str, Any]  # column values for insert/update; {} for delete
+
+
+class Database:
+    """A collection of schema-checked tables with a replication log."""
+
+    def __init__(self, name: str = "webgpu"):
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._log: list[LogRecord] = []
+        self._observers: list[Callable[[LogRecord], None]] = []
+
+    # -- schema management -------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise NoSuchTableError(f"no such table {name!r}") from None
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    # -- logged mutations ---------------------------------------------------
+
+    @property
+    def lsn(self) -> int:
+        """LSN of the most recent mutation (0 when empty)."""
+        return self._log[-1].lsn if self._log else 0
+
+    def insert(self, table: str, **values: Any) -> int:
+        row_id = self.table(table).insert(**values)
+        self._append("insert", table, row_id, self.table(table).get(row_id))
+        return row_id
+
+    def update(self, table: str, row_id: int, **values: Any) -> dict[str, Any]:
+        row = self.table(table).update(row_id, **values)
+        self._append("update", table, row_id, dict(values))
+        return row
+
+    def delete(self, table: str, row_id: int) -> None:
+        self.table(table).delete(row_id)
+        self._append("delete", table, row_id, {})
+
+    def _append(self, op: str, table: str, row_id: int, values: dict[str, Any]) -> None:
+        record = LogRecord(lsn=self.lsn + 1, op=op, table=table,
+                           row_id=row_id, values=values)
+        self._log.append(record)
+        for observer in self._observers:
+            observer(record)
+
+    def log_since(self, lsn: int) -> list[LogRecord]:
+        """All log records with LSN strictly greater than ``lsn``."""
+        # LSNs are dense and 1-based, so slicing is exact.
+        return self._log[lsn:]
+
+    def subscribe(self, observer: Callable[[LogRecord], None]) -> None:
+        """Register a callback invoked synchronously on every mutation."""
+        self._observers.append(observer)
+
+    # -- reads (not logged) --------------------------------------------------
+
+    def get(self, table: str, row_id: int) -> dict[str, Any]:
+        return self.table(table).get(row_id)
+
+    def find(self, table: str, **conditions: Any) -> list[dict[str, Any]]:
+        return self.table(table).find(**conditions)
+
+    def find_one(self, table: str, **conditions: Any) -> dict[str, Any] | None:
+        return self.table(table).find_one(**conditions)
+
+    def count(self, table: str) -> int:
+        return len(self.table(table))

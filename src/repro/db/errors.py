@@ -1,0 +1,29 @@
+"""Exception hierarchy for the database substrate."""
+
+
+class DatabaseError(Exception):
+    """Base class for all database errors."""
+
+
+class SchemaError(DatabaseError):
+    """A row or table definition violates the declared schema."""
+
+
+class IntegrityError(DatabaseError):
+    """A constraint (NOT NULL, foreign key, unique) was violated."""
+
+
+class DuplicateKeyError(IntegrityError):
+    """An insert or update would duplicate a primary or unique key."""
+
+
+class NoSuchTableError(DatabaseError):
+    """The requested table does not exist."""
+
+
+class NoSuchRowError(DatabaseError):
+    """The requested row does not exist."""
+
+
+class PoolExhaustedError(DatabaseError):
+    """No connection is available and the pool is at capacity."""

@@ -1,0 +1,138 @@
+"""A tiny composable query layer over table rows.
+
+Rows are plain dicts; a :class:`Query` is a chain of filter / order /
+limit operations evaluated lazily against a row iterable. This mirrors
+the handful of access patterns the WebGPU web-server needs (look up a
+user, list a student's attempts newest-first, page a roster).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+Row = Mapping[str, Any]
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+    "in": lambda a, b: a in b,
+    "contains": lambda a, b: b in a,
+}
+
+
+@dataclass(frozen=True)
+class _Order:
+    key: str
+    reverse: bool
+
+
+def asc(key: str) -> _Order:
+    """Sort ascending by ``key``."""
+    return _Order(key, reverse=False)
+
+
+def desc(key: str) -> _Order:
+    """Sort descending by ``key``."""
+    return _Order(key, reverse=True)
+
+
+class Query:
+    """Lazily-evaluated filter/order/limit pipeline over rows.
+
+    Filter keyword syntax follows the Django-style double-underscore
+    convention: ``where(points__ge=10, user_id=3)``. A bare key means
+    equality.
+    """
+
+    def __init__(self, rows: Iterable[Row]):
+        self._rows = rows
+        self._predicates: list[Callable[[Row], bool]] = []
+        self._orders: list[_Order] = []
+        self._offset = 0
+        self._limit: int | None = None
+
+    def where(self, **conditions: Any) -> "Query":
+        """Add equality / comparison predicates (ANDed together)."""
+        for key, expected in conditions.items():
+            name, _, op = key.partition("__")
+            if not op:
+                op = "eq"
+            if op not in _OPS:
+                raise ValueError(f"unknown query operator {op!r} in {key!r}")
+            fn = _OPS[op]
+            self._predicates.append(
+                lambda row, n=name, f=fn, e=expected: n in row and f(row[n], e)
+            )
+        return self
+
+    def filter(self, predicate: Callable[[Row], bool]) -> "Query":
+        """Add an arbitrary row predicate."""
+        self._predicates.append(predicate)
+        return self
+
+    def order_by(self, *orders: _Order | str) -> "Query":
+        """Sort by one or more keys (strings mean ascending)."""
+        for o in orders:
+            self._orders.append(asc(o) if isinstance(o, str) else o)
+        return self
+
+    def offset(self, n: int) -> "Query":
+        if n < 0:
+            raise ValueError("offset must be non-negative")
+        self._offset = n
+        return self
+
+    def limit(self, n: int) -> "Query":
+        if n < 0:
+            raise ValueError("limit must be non-negative")
+        self._limit = n
+        return self
+
+    def __iter__(self) -> Iterator[Row]:
+        rows: Iterable[Row] = (
+            r for r in self._rows if all(p(r) for p in self._predicates)
+        )
+        if self._orders:
+            rows = list(rows)
+            # apply orders right-to-left for stable multi-key sort
+            for o in reversed(self._orders):
+                rows.sort(key=lambda r: r[o.key], reverse=o.reverse)
+        it = iter(rows)
+        for _ in range(self._offset):
+            next(it, None)
+        if self._limit is not None:
+            for i, row in enumerate(it):
+                if i >= self._limit:
+                    return
+                yield row
+        else:
+            yield from it
+
+    def all(self) -> list[dict[str, Any]]:
+        """Evaluate and return all matching rows as fresh dicts."""
+        return [dict(r) for r in self]
+
+    def first(self) -> dict[str, Any] | None:
+        """Return the first matching row, or ``None``."""
+        for row in self:
+            return dict(row)
+        return None
+
+    def count(self) -> int:
+        """Number of matching rows (ignores offset/limit windowing)."""
+        return sum(1 for _ in self)
+
+    def values(self, key: str) -> list[Any]:
+        """Project a single column from all matching rows."""
+        return [r[key] for r in self]
+
+
+def match_rows(rows: Sequence[Row], **conditions: Any) -> list[dict[str, Any]]:
+    """Convenience: ``Query(rows).where(**conditions).all()``."""
+    return Query(rows).where(**conditions).all()

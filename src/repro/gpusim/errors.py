@@ -1,0 +1,34 @@
+"""GPU simulator exception hierarchy (mirrors CUDA error classes)."""
+
+
+class GpuError(Exception):
+    """Base class for all simulator errors."""
+
+
+class OutOfMemoryError(GpuError):
+    """cudaMalloc-equivalent failed: device global memory exhausted."""
+
+
+class OutOfBoundsError(GpuError):
+    """A device memory access fell outside its allocation.
+
+    Real GPUs may silently corrupt memory here; the simulator behaves
+    like ``cuda-memcheck`` and faults deterministically.
+    """
+
+
+class InvalidPointerError(GpuError):
+    """A freed or foreign pointer was dereferenced / freed."""
+
+
+class LaunchConfigError(GpuError):
+    """Grid/block dimensions or shared memory exceed device limits."""
+
+
+class BarrierDivergenceError(GpuError):
+    """Threads of one block disagreed about reaching __syncthreads().
+
+    On hardware this deadlocks or yields undefined behaviour; the
+    simulator detects it and fails the kernel, which is exactly the
+    feedback a GPU-programming student needs.
+    """

@@ -1,0 +1,63 @@
+"""Grid and block dimensions (CUDA ``dim3``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """A CUDA ``dim3``: extents along x, y, z (all >= 1)."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        for axis in (self.x, self.y, self.z):
+            if not isinstance(axis, int) or axis < 1:
+                raise ValueError(f"dim3 components must be ints >= 1, got {self}")
+
+    @property
+    def count(self) -> int:
+        """Total number of points in the 3-D extent."""
+        return self.x * self.y * self.z
+
+    def linear_index(self, x: int, y: int, z: int) -> int:
+        """Row-major linearisation used for warp assignment (x fastest)."""
+        return (z * self.y + y) * self.x + x
+
+    def iter_points(self) -> Iterator[tuple[int, int, int]]:
+        """All (x, y, z) points, x varying fastest (CUDA thread order)."""
+        for z in range(self.z):
+            for y in range(self.y):
+                for x in range(self.x):
+                    yield (x, y, z)
+
+
+@dataclass(frozen=True)
+class Idx3:
+    """A coordinate (CUDA ``uint3``): components >= 0."""
+
+    x: int = 0
+    y: int = 0
+    z: int = 0
+
+    def __post_init__(self) -> None:
+        for axis in (self.x, self.y, self.z):
+            if not isinstance(axis, int) or axis < 0:
+                raise ValueError(f"Idx3 components must be ints >= 0, got {self}")
+
+
+def dim3(x: int | tuple[int, ...] | Dim3 = 1, y: int = 1, z: int = 1) -> Dim3:
+    """Coerce ints / tuples / Dim3 into a :class:`Dim3`.
+
+    Accepts ``dim3(256)``, ``dim3((16, 16))``, ``dim3(Dim3(8, 8, 8))``.
+    """
+    if isinstance(x, Dim3):
+        return x
+    if isinstance(x, tuple):
+        parts = tuple(x) + (1, 1, 1)
+        return Dim3(*parts[:3])
+    return Dim3(x, y, z)

@@ -1,0 +1,173 @@
+"""Device memory spaces: global buffers, pointers, shared arrays.
+
+Global memory is a set of typed allocations (numpy-backed). Device
+pointers are (allocation, element offset) pairs supporting pointer
+arithmetic; all dereferences are bounds-checked so student
+out-of-bounds bugs fault deterministically (like ``cuda-memcheck``)
+instead of corrupting neighbouring data.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+import numpy as np
+
+from repro.gpusim.errors import InvalidPointerError, OutOfBoundsError
+
+#: CUDA-C scalar type name -> numpy dtype.
+CTYPE_TO_DTYPE: dict[str, np.dtype] = {
+    "float": np.dtype(np.float32),
+    "double": np.dtype(np.float64),
+    "int": np.dtype(np.int32),
+    "unsigned": np.dtype(np.uint32),
+    "unsigned int": np.dtype(np.uint32),
+    "long": np.dtype(np.int64),
+    "char": np.dtype(np.int8),
+    "unsigned char": np.dtype(np.uint8),
+    "bool": np.dtype(np.bool_),
+}
+
+_alloc_ids = itertools.count(1)
+
+
+class DeviceBuffer:
+    """One global-memory allocation on a device."""
+
+    def __init__(self, num_elements: int, dtype: np.dtype | str,
+                 read_only: bool = False, label: str = ""):
+        if isinstance(dtype, str):
+            dtype = CTYPE_TO_DTYPE[dtype] if dtype in CTYPE_TO_DTYPE \
+                else np.dtype(dtype)
+        if num_elements < 1:
+            raise ValueError("allocation must hold at least one element")
+        self.alloc_id = next(_alloc_ids)
+        self.dtype = np.dtype(dtype)
+        self.data = np.zeros(num_elements, dtype=self.dtype)
+        self.read_only = read_only
+        self.label = label or f"alloc{self.alloc_id}"
+        self.freed = False
+
+    @property
+    def num_elements(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def _check(self, index: int) -> None:
+        if self.freed:
+            raise InvalidPointerError(f"use after free of {self.label}")
+        if not (0 <= index < self.data.size):
+            raise OutOfBoundsError(
+                f"index {index} out of bounds for {self.label} "
+                f"[{self.data.size} x {self.dtype.name}]"
+            )
+
+    def read(self, index: int) -> Any:
+        self._check(index)
+        value = self.data[index]
+        return value.item() if self.dtype != np.bool_ else bool(value)
+
+    def write(self, index: int, value: Any) -> None:
+        self._check(index)
+        if self.read_only:
+            raise OutOfBoundsError(f"write to read-only memory {self.label}")
+        self.data[index] = value
+
+    def byte_address(self, index: int) -> int:
+        """A synthetic flat byte address used by the coalescing model."""
+        return (self.alloc_id << 40) + index * self.dtype.itemsize
+
+    def ptr(self, offset: int = 0) -> "DevicePtr":
+        return DevicePtr(self, offset)
+
+
+class DevicePtr:
+    """A typed pointer into a :class:`DeviceBuffer` (element-granular)."""
+
+    __slots__ = ("buffer", "offset")
+
+    def __init__(self, buffer: DeviceBuffer, offset: int = 0):
+        self.buffer = buffer
+        self.offset = offset
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.buffer.dtype
+
+    def __add__(self, n: int) -> "DevicePtr":
+        return DevicePtr(self.buffer, self.offset + int(n))
+
+    __radd__ = __add__
+
+    def __sub__(self, n: int) -> "DevicePtr":
+        return DevicePtr(self.buffer, self.offset - int(n))
+
+    def read(self, index: int = 0) -> Any:
+        return self.buffer.read(self.offset + int(index))
+
+    def write(self, index: int, value: Any) -> None:
+        self.buffer.write(self.offset + int(index), value)
+
+    def byte_address(self, index: int = 0) -> int:
+        return self.buffer.byte_address(self.offset + int(index))
+
+    def as_array(self, length: int | None = None) -> np.ndarray:
+        """Host-side view of the pointed-to elements (for memcpy)."""
+        end = None if length is None else self.offset + length
+        return self.buffer.data[self.offset:end]
+
+    def __repr__(self) -> str:
+        return f"DevicePtr({self.buffer.label}+{self.offset})"
+
+
+class SharedArray:
+    """A per-block ``__shared__`` array.
+
+    Access is bounds-checked; the scheduler's thread context counts
+    bank conflicts when threads of a warp hit the same bank.
+    """
+
+    __slots__ = ("name", "data", "dtype")
+
+    NUM_BANKS = 32
+
+    def __init__(self, name: str, num_elements: int, dtype: np.dtype | str):
+        if isinstance(dtype, str):
+            dtype = CTYPE_TO_DTYPE[dtype] if dtype in CTYPE_TO_DTYPE \
+                else np.dtype(dtype)
+        self.name = name
+        self.dtype = np.dtype(dtype)
+        self.data = np.zeros(num_elements, dtype=self.dtype)
+
+    @property
+    def num_elements(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def _check(self, index: int) -> None:
+        if not (0 <= index < self.data.size):
+            raise OutOfBoundsError(
+                f"index {index} out of bounds for __shared__ {self.name} "
+                f"[{self.data.size} x {self.dtype.name}]"
+            )
+
+    def read(self, index: int) -> Any:
+        self._check(index)
+        value = self.data[index]
+        return value.item() if self.dtype != np.bool_ else bool(value)
+
+    def write(self, index: int, value: Any) -> None:
+        self._check(index)
+        self.data[index] = value
+
+    def bank(self, index: int) -> int:
+        """Which of the 32 banks a 4-byte word at ``index`` maps to."""
+        byte = index * self.dtype.itemsize
+        return (byte // 4) % self.NUM_BANKS

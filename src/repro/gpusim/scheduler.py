@@ -1,0 +1,301 @@
+"""SIMT execution: blocks, warps, lockstep barriers, access tracking.
+
+Kernels are Python callables ``kernel(ctx, *args)``. A kernel that uses
+``__syncthreads`` must be a *generator* function yielding
+:data:`SYNC` at each barrier; barrier-free kernels may be plain
+functions. Each block's threads run in linear-thread-id order between
+barriers, which is deterministic and correct for data-race-free
+programs (racy programs are student bugs; the simulator's serial order
+simply picks one outcome deterministically).
+
+Functional execution doubles as profiling: every global access is
+recorded with its warp id and per-thread access sequence number so the
+coalescing model can count 128-byte transactions per warp request, and
+shared accesses are checked for bank conflicts.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.gpusim.device import Device
+from repro.gpusim.errors import BarrierDivergenceError, LaunchConfigError
+from repro.gpusim.grid import Dim3, Idx3
+from repro.gpusim.memory import DevicePtr, SharedArray
+from repro.gpusim.timing import SEGMENT_BYTES, KernelStats
+
+#: Sentinel yielded by kernel generators at ``__syncthreads()``.
+SYNC = object()
+
+
+@dataclass
+class BlockResult:
+    """Stats and output for one executed block."""
+
+    stats: KernelStats
+    output: list[str] = field(default_factory=list)
+
+
+class _BlockState:
+    """Mutable per-block execution state shared by its threads."""
+
+    def __init__(self, device: Device, block_dim: Dim3):
+        self.device = device
+        self.block_dim = block_dim
+        self.shared: dict[str, SharedArray] = {}
+        self.shared_bytes = 0
+        self.stats = KernelStats()
+        # (warp, seq) -> list of (byte_address, nbytes), separate ld/st
+        self.load_accesses: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        self.store_accesses: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        # (warp, seq) -> list of (bank, word) for shared accesses
+        self.shared_hits: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        self.output: list[str] = []
+
+    def finalize(self) -> None:
+        """Convert raw access records into transaction/conflict counts."""
+        st = self.stats
+        for accesses in self.load_accesses.values():
+            st.global_load_requests += 1
+            segments = {addr // SEGMENT_BYTES for addr, _ in accesses}
+            st.global_load_transactions += len(segments)
+            st.bytes_read += sum(n for _, n in accesses)
+        for accesses in self.store_accesses.values():
+            st.global_store_requests += 1
+            segments = {addr // SEGMENT_BYTES for addr, _ in accesses}
+            st.global_store_transactions += len(segments)
+            st.bytes_written += sum(n for _, n in accesses)
+        for hits in self.shared_hits.values():
+            st.shared_accesses += len(hits)
+            words_per_bank: dict[int, set[int]] = {}
+            for bank, word in hits:
+                words_per_bank.setdefault(bank, set()).add(word)
+            if words_per_bank:
+                replays = max(len(words) for words in words_per_bank.values())
+                st.bank_conflicts += replays - 1
+
+
+class ThreadContext:
+    """The per-thread view a kernel executes against.
+
+    Exposes CUDA's builtin variables plus checked, profiled accessors
+    for global/shared memory and atomics. The minicuda interpreter and
+    hand-written Python kernels both target this interface.
+    """
+
+    __slots__ = ("threadIdx", "blockIdx", "blockDim", "gridDim",
+                 "_block", "_warp", "_seq", "_linear_tid")
+
+    def __init__(self, threadIdx: Idx3, blockIdx: Idx3, blockDim: Dim3,
+                 gridDim: Dim3, block_state: _BlockState):
+        self.threadIdx = threadIdx
+        self.blockIdx = blockIdx
+        self.blockDim = blockDim
+        self.gridDim = gridDim
+        self._block = block_state
+        self._linear_tid = blockDim.linear_index(
+            threadIdx.x, threadIdx.y, threadIdx.z)
+        self._warp = self._linear_tid // block_state.device.spec.warp_size
+        self._seq = 0
+
+    # -- indexing helpers -------------------------------------------------
+
+    @property
+    def global_x(self) -> int:
+        """``blockIdx.x * blockDim.x + threadIdx.x``."""
+        return self.blockIdx.x * self.blockDim.x + self.threadIdx.x
+
+    @property
+    def global_y(self) -> int:
+        return self.blockIdx.y * self.blockDim.y + self.threadIdx.y
+
+    @property
+    def global_z(self) -> int:
+        return self.blockIdx.z * self.blockDim.z + self.threadIdx.z
+
+    @property
+    def warp_id(self) -> int:
+        return self._warp
+
+    # -- instruction accounting --------------------------------------------
+
+    def count_instr(self, n: int = 1) -> None:
+        """Charge ``n`` dynamic instructions to this thread."""
+        self._block.stats.instructions += n
+
+    # -- global memory -----------------------------------------------------
+
+    def load(self, ptr: DevicePtr, index: int = 0) -> Any:
+        """Profiled, bounds-checked global load."""
+        value = ptr.read(index)
+        key = (self._warp, self._seq)
+        self._seq += 1
+        self._block.load_accesses.setdefault(key, []).append(
+            (ptr.byte_address(index), ptr.dtype.itemsize))
+        self._block.stats.instructions += 1
+        return value
+
+    def store(self, ptr: DevicePtr, index: int, value: Any) -> None:
+        """Profiled, bounds-checked global store."""
+        ptr.write(index, value)
+        key = (self._warp, self._seq)
+        self._seq += 1
+        self._block.store_accesses.setdefault(key, []).append(
+            (ptr.byte_address(index), ptr.dtype.itemsize))
+        self._block.stats.instructions += 1
+
+    # -- shared memory -------------------------------------------------------
+
+    def shared(self, name: str, num_elements: int, dtype: Any = "float") -> SharedArray:
+        """Get or allocate this block's ``__shared__`` array ``name``."""
+        block = self._block
+        arr = block.shared.get(name)
+        if arr is None:
+            arr = SharedArray(name, num_elements, dtype)
+            limit = block.device.spec.shared_mem_per_block
+            if block.shared_bytes + arr.nbytes > limit:
+                raise LaunchConfigError(
+                    f"shared memory exceeded: {block.shared_bytes + arr.nbytes}"
+                    f" > {limit} bytes (allocating {name!r})"
+                )
+            block.shared[name] = arr
+            block.shared_bytes += arr.nbytes
+        return arr
+
+    def shared_load(self, arr: SharedArray, index: int) -> Any:
+        key = (self._warp, self._seq)
+        self._seq += 1
+        index = int(index)
+        self._block.shared_hits.setdefault(key, []).append(
+            (arr.bank(index), index * arr.dtype.itemsize // 4))
+        self._block.stats.instructions += 1
+        return arr.read(index)
+
+    def shared_store(self, arr: SharedArray, index: int, value: Any) -> None:
+        key = (self._warp, self._seq)
+        self._seq += 1
+        index = int(index)
+        self._block.shared_hits.setdefault(key, []).append(
+            (arr.bank(index), index * arr.dtype.itemsize // 4))
+        self._block.stats.instructions += 1
+        arr.write(index, value)
+
+    # -- atomics ---------------------------------------------------------------
+
+    def _atomic(self, target: DevicePtr | SharedArray, index: int,
+                update: Callable[[Any], Any]) -> Any:
+        index = int(index)
+        stats = self._block.stats
+        old = target.read(index)
+        target.write(index, update(old))
+        stats.atomic_ops += 1
+        stats.instructions += 1
+        if isinstance(target, SharedArray):
+            # shared atomics serialise only within the block's SM; the
+            # timing model charges them at a fraction of global cost
+            addr = (id(target) << 20) + index
+            hits = stats.shared_atomic_addresses
+            hits[addr] = hits.get(addr, 0) + 1
+            stats.max_shared_atomic_contention = max(
+                stats.max_shared_atomic_contention, hits[addr])
+        else:
+            addr = target.byte_address(index)
+            hits = stats.atomic_addresses
+            hits[addr] = hits.get(addr, 0) + 1
+        return old
+
+    def atomic_add(self, target: DevicePtr | SharedArray, index: int, value: Any) -> Any:
+        """``atomicAdd``: returns the old value."""
+        return self._atomic(target, index, lambda old: old + value)
+
+    def atomic_max(self, target: DevicePtr | SharedArray, index: int, value: Any) -> Any:
+        return self._atomic(target, index, lambda old: max(old, value))
+
+    def atomic_min(self, target: DevicePtr | SharedArray, index: int, value: Any) -> Any:
+        return self._atomic(target, index, lambda old: min(old, value))
+
+    def atomic_exch(self, target: DevicePtr | SharedArray, index: int, value: Any) -> Any:
+        return self._atomic(target, index, lambda old: value)
+
+    def atomic_cas(self, target: DevicePtr | SharedArray, index: int,
+                   compare: Any, value: Any) -> Any:
+        return self._atomic(
+            target, index, lambda old: value if old == compare else old)
+
+    # -- output ---------------------------------------------------------------
+
+    def printf(self, text: str) -> None:
+        """Device-side printf (collected into the launch output)."""
+        self._block.output.append(text)
+
+
+def _as_generator(kernel: Callable[..., Any], ctx: ThreadContext,
+                  args: tuple[Any, ...]):
+    """Normalise plain-function kernels into (empty) generators."""
+    if inspect.isgeneratorfunction(kernel):
+        return kernel(ctx, *args)
+
+    def _wrapped():
+        kernel(ctx, *args)
+        return
+        yield  # pragma: no cover - makes _wrapped a generator
+
+    return _wrapped()
+
+
+def run_block(device: Device, kernel: Callable[..., Any], grid: Dim3,
+              block: Dim3, block_idx: Idx3, args: tuple[Any, ...]) -> BlockResult:
+    """Execute one block to completion with lockstep barriers."""
+    state = _BlockState(device, block)
+    threads = []
+    for (x, y, z) in block.iter_points():
+        ctx = ThreadContext(Idx3(x, y, z), block_idx, block, grid, state)
+        threads.append(_as_generator(kernel, ctx, args))
+
+    state.stats.blocks = 1
+    state.stats.threads = block.count
+    warp_size = device.spec.warp_size
+    state.stats.warps = (block.count + warp_size - 1) // warp_size
+
+    live = list(range(len(threads)))
+    while live:
+        arrived: list[int] = []
+        finished: list[int] = []
+        for i in live:
+            try:
+                token = next(threads[i])
+            except StopIteration:
+                finished.append(i)
+                continue
+            if token is not SYNC:
+                raise BarrierDivergenceError(
+                    f"kernel yielded unexpected token {token!r}; kernels "
+                    "must yield SYNC only"
+                )
+            arrived.append(i)
+        if arrived and finished:
+            raise BarrierDivergenceError(
+                f"{len(arrived)} thread(s) waiting at __syncthreads() while "
+                f"{len(finished)} thread(s) exited the kernel in block "
+                f"({block_idx.x},{block_idx.y},{block_idx.z})"
+            )
+        if arrived:
+            state.stats.barriers += 1
+        live = arrived
+
+    state.finalize()
+    return BlockResult(stats=state.stats, output=state.output)
+
+
+def run_grid(device: Device, kernel: Callable[..., Any], grid: Dim3,
+             block: Dim3, args: tuple[Any, ...] = ()) -> tuple[KernelStats, list[str]]:
+    """Execute every block of the launch; returns merged stats + output."""
+    merged = KernelStats()
+    output: list[str] = []
+    for (bx, by, bz) in grid.iter_points():
+        result = run_block(device, kernel, grid, block, Idx3(bx, by, bz), args)
+        merged.merge(result.stats)
+        output.extend(result.output)
+    return merged, output

@@ -1,0 +1,39 @@
+"""The Table-II lab catalog.
+
+Fifteen labs, each with a markdown description, a solution skeleton
+shown to students, a reference solution in the CUDA-C subset, seeded
+dataset generators, a grading rubric, and the course matrix from the
+paper's Table II (HPP = Heterogeneous Parallel Programming on Coursera,
+408 = ECE 408, 598 = ECE 598HK, PUMPS = the UPC Barcelona summer
+school).
+"""
+
+from repro.labs.base import (
+    EvaluationMode,
+    LabDefinition,
+    LabExecution,
+    Rubric,
+    execute_lab_source,
+)
+from repro.labs.catalog import (
+    ALL_LABS,
+    COURSES,
+    EXTRA_LABS,
+    course_matrix,
+    get_lab,
+    labs_for_course,
+)
+
+__all__ = [
+    "ALL_LABS",
+    "COURSES",
+    "EXTRA_LABS",
+    "EvaluationMode",
+    "LabDefinition",
+    "LabExecution",
+    "Rubric",
+    "course_matrix",
+    "execute_lab_source",
+    "get_lab",
+    "labs_for_course",
+]

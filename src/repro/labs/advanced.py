@@ -1,0 +1,372 @@
+"""Advanced labs: OpenCL VecAdd, Scatter-to-Gather, Stencil, SGEMM."""
+
+from repro.labs.base import EvaluationMode, LabDefinition
+
+# --------------------------------------------------------- OpenCL Vector Addition
+
+_OPENCL_SKELETON = r'''
+// OpenCL Vector Addition.
+// Write ONLY the kernel; the harness compiles it with the OpenCL
+// toolchain, creates the buffers, and enqueues the NDRange.
+
+__kernel void vecAdd(__global float *a, __global float *b,
+                     __global float *c, int n) {
+  //@@ Compute the global work-item id and add the vectors.
+}
+'''
+
+_OPENCL_SOLUTION = r'''
+__kernel void vecAdd(__global float *a, __global float *b,
+                     __global float *c, int n) {
+  int i = get_global_id(0);
+  if (i < n) {
+    c[i] = a[i] + b[i];
+  }
+}
+'''
+
+OPENCL_VECADD = LabDefinition(
+    slug="opencl-vecadd",
+    title="OpenCL Vector Addition",
+    description="""# OpenCL Vector Addition
+
+Re-express the vector-addition kernel in OpenCL C.
+
+## Objectives
+
+* OpenCL's work-item indexing: `get_global_id(0)` replaces the
+  `blockIdx.x * blockDim.x + threadIdx.x` computation.
+* `__kernel` / `__global` qualifiers.
+
+The host side (context, command queue, buffers, `clEnqueueNDRangeKernel`)
+is provided by the harness so you can focus on the kernel language
+differences.
+""",
+    skeleton=_OPENCL_SKELETON,
+    solution=_OPENCL_SOLUTION,
+    generator="vector_add",
+    dataset_sizes=(64, 300, 1024),
+    language="opencl",
+    mode=EvaluationMode.KERNEL_ONLY,
+    kernel_name="vecAdd",
+    requirements=frozenset({"opencl"}),
+    courses=frozenset({"HPP"}),
+    questions=("Which CUDA builtin corresponds to get_local_id(0)?",),
+)
+
+# ------------------------------------------------------------ Scatter to Gather
+
+_SG_HOST = r'''
+int main(int argc, char **argv) {
+  wbArg_t args;
+  int len;
+  float *hostInput, *hostOutput;
+  float *deviceInput, *deviceOutput;
+
+  args = wbArg_read(argc, argv);
+  hostInput = (float *)wbImport(wbArg_getInputFile(args, 0), &len);
+  hostOutput = (float *)malloc(len * sizeof(float));
+
+  cudaMalloc((void **)&deviceInput, len * sizeof(float));
+  cudaMalloc((void **)&deviceOutput, len * sizeof(float));
+  cudaMemcpy(deviceInput, hostInput, len * sizeof(float),
+             cudaMemcpyHostToDevice);
+
+  int numBlocks = (len + 127) / 128;
+  gatherKernel<<<numBlocks, 128>>>(deviceInput, deviceOutput, len);
+  cudaDeviceSynchronize();
+
+  cudaMemcpy(hostOutput, deviceOutput, len * sizeof(float),
+             cudaMemcpyDeviceToHost);
+  wbSolution(args, hostOutput, len);
+
+  cudaFree(deviceInput);
+  cudaFree(deviceOutput);
+  free(hostOutput);
+  return 0;
+}
+'''
+
+_SG_SKELETON = r'''
+#include <wb.h>
+
+// The scatter formulation (each input element ADDS itself into three
+// output cells) requires atomics:
+//
+//   atomicAdd(&out[i-1], in[i]); atomicAdd(&out[i], in[i]); ...
+//
+// Rewrite it as a GATHER: each thread OWNS one output element and reads
+// the inputs that contribute to it. No atomics needed.
+
+__global__ void gatherKernel(float *in, float *out, int len) {
+  //@@ out[i] = in[i-1] + in[i] + in[i+1], with neighbours outside the
+  //@@ array treated as absent.
+}
+''' + _SG_HOST
+
+_SG_SOLUTION = r'''
+#include <wb.h>
+
+__global__ void gatherKernel(float *in, float *out, int len) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < len) {
+    float sum = in[i];
+    if (i > 0)
+      sum += in[i - 1];
+    if (i < len - 1)
+      sum += in[i + 1];
+    out[i] = sum;
+  }
+}
+''' + _SG_HOST
+
+SCATTER_GATHER = LabDefinition(
+    slug="scatter-gather",
+    title="Scatter to Gather",
+    description="""# Scatter to Gather Transformation
+
+A neighbourhood sum can be written as a *scatter* (each input element
+pushes its value into the three outputs it affects, which races and
+needs atomics) or as a *gather* (each output element pulls the inputs
+that affect it — no races at all).
+
+## Objectives
+
+* Recognise scatter patterns and their synchronisation cost.
+* Transform the ownership structure: one thread per *output*.
+* Boundary handling when the gather window runs off the array.
+""",
+    skeleton=_SG_SKELETON,
+    solution=_SG_SOLUTION,
+    generator="scatter_gather",
+    dataset_sizes=(32, 500, 1000),
+    courses=frozenset({"598", "PUMPS"}),
+    questions=("Why does the gather formulation need no atomic "
+               "operations while the scatter one does?",),
+)
+
+# ---------------------------------------------------------------------- Stencil
+
+_STENCIL_HOST = r'''
+int main(int argc, char **argv) {
+  wbArg_t args;
+  int height, width;
+  float *hostInput, *hostOutput;
+  float *deviceInput, *deviceOutput;
+
+  args = wbArg_read(argc, argv);
+  hostInput = (float *)wbImport(wbArg_getInputFile(args, 0), &height,
+                                &width);
+  hostOutput = (float *)malloc(height * width * sizeof(float));
+
+  cudaMalloc((void **)&deviceInput, height * width * sizeof(float));
+  cudaMalloc((void **)&deviceOutput, height * width * sizeof(float));
+  cudaMemcpy(deviceInput, hostInput, height * width * sizeof(float),
+             cudaMemcpyHostToDevice);
+
+  dim3 dimBlock(8, 4);
+  dim3 dimGrid((width + 7) / 8,
+               (height + 4 * COARSEN - 1) / (4 * COARSEN));
+  stencilKernel<<<dimGrid, dimBlock>>>(deviceInput, deviceOutput, height,
+                                       width);
+  cudaDeviceSynchronize();
+
+  cudaMemcpy(hostOutput, deviceOutput, height * width * sizeof(float),
+             cudaMemcpyDeviceToHost);
+  wbSolution(args, hostOutput, height, width);
+
+  cudaFree(deviceInput);
+  cudaFree(deviceOutput);
+  free(hostOutput);
+  return 0;
+}
+'''
+
+_STENCIL_SKELETON = r'''
+#include <wb.h>
+
+#define COARSEN 2
+
+// Five-point stencil with thread coarsening: each thread produces
+// COARSEN consecutive output ROWS, keeping reused values in registers.
+
+__global__ void stencilKernel(float *in, float *out, int height,
+                              int width) {
+  //@@ For each of the COARSEN rows this thread owns:
+  //@@   interior cells:  out = 0.2 * (C + N + S + W + E)
+  //@@   boundary cells:  out = in (copied through)
+}
+''' + _STENCIL_HOST
+
+_STENCIL_SOLUTION = r'''
+#include <wb.h>
+
+#define COARSEN 2
+
+__global__ void stencilKernel(float *in, float *out, int height,
+                              int width) {
+  int col = blockIdx.x * blockDim.x + threadIdx.x;
+  int rowBase = (blockIdx.y * blockDim.y + threadIdx.y) * COARSEN;
+  for (int k = 0; k < COARSEN; k++) {
+    int row = rowBase + k;
+    if (row < height && col < width) {
+      if (row > 0 && row < height - 1 && col > 0 && col < width - 1) {
+        out[row * width + col] =
+            0.2f * (in[row * width + col] + in[(row - 1) * width + col] +
+                    in[(row + 1) * width + col] + in[row * width + col - 1] +
+                    in[row * width + col + 1]);
+      } else {
+        out[row * width + col] = in[row * width + col];
+      }
+    }
+  }
+}
+''' + _STENCIL_HOST
+
+STENCIL = LabDefinition(
+    slug="stencil",
+    title="Stencil",
+    description="""# Stencil with Thread Coarsening
+
+Apply a five-point averaging stencil to a 2-D grid. Each thread
+computes COARSEN consecutive output rows instead of one ("thread
+coarsening"), amortising index arithmetic and improving register reuse.
+
+## Objectives
+
+* Register tiling / thread coarsening as an optimisation lever, and its
+  interaction with occupancy (fewer, fatter threads).
+* Boundary cells are copied through unchanged — a common convention for
+  iterative PDE solvers.
+""",
+    skeleton=_STENCIL_SKELETON,
+    solution=_STENCIL_SOLUTION,
+    generator="stencil2d",
+    dataset_sizes=(8, 17, 24),
+    courses=frozenset({"598"}),
+    questions=("What limits how far you can usefully raise COARSEN?",),
+)
+
+# ------------------------------------------------------------------------ SGEMM
+
+_SGEMM_HOST = r'''
+int main(int argc, char **argv) {
+  wbArg_t args;
+  int n, nB, nB2;
+  float *hostA, *hostB, *hostC;
+  float *deviceA, *deviceB, *deviceC;
+
+  args = wbArg_read(argc, argv);
+  hostA = (float *)wbImport(wbArg_getInputFile(args, 0), &n, &nB);
+  hostB = (float *)wbImport(wbArg_getInputFile(args, 1), &nB, &nB2);
+  hostC = (float *)malloc(n * n * sizeof(float));
+
+  cudaMalloc((void **)&deviceA, n * n * sizeof(float));
+  cudaMalloc((void **)&deviceB, n * n * sizeof(float));
+  cudaMalloc((void **)&deviceC, n * n * sizeof(float));
+  cudaMemcpy(deviceA, hostA, n * n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(deviceB, hostB, n * n * sizeof(float), cudaMemcpyHostToDevice);
+
+  dim3 dimBlock(TILE, TILE);
+  dim3 dimGrid((n + TILE * COARSEN - 1) / (TILE * COARSEN),
+               (n + TILE - 1) / TILE);
+  sgemm<<<dimGrid, dimBlock>>>(deviceA, deviceB, deviceC, n);
+  cudaDeviceSynchronize();
+
+  cudaMemcpy(hostC, deviceC, n * n * sizeof(float), cudaMemcpyDeviceToHost);
+  wbSolution(args, hostC, n, n);
+
+  cudaFree(deviceA);
+  cudaFree(deviceB);
+  cudaFree(deviceC);
+  free(hostC);
+  return 0;
+}
+'''
+
+_SGEMM_SKELETON = r'''
+#include <wb.h>
+
+#define TILE 8
+#define COARSEN 2
+
+// Register-tiled SGEMM (square matrices): each thread computes COARSEN
+// output elements, TILE columns apart, from one shared A tile and a
+// COARSEN-wide shared B tile.
+
+__global__ void sgemm(float *A, float *B, float *C, int n) {
+  __shared__ float sA[TILE][TILE];
+  __shared__ float sB[TILE][TILE * COARSEN];
+  //@@ Load tiles, synchronize, accumulate COARSEN results in
+  //@@ registers, synchronize, repeat; then write the results.
+}
+''' + _SGEMM_HOST
+
+_SGEMM_SOLUTION = r'''
+#include <wb.h>
+
+#define TILE 8
+#define COARSEN 2
+
+__global__ void sgemm(float *A, float *B, float *C, int n) {
+  __shared__ float sA[TILE][TILE];
+  __shared__ float sB[TILE][TILE * COARSEN];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int row = blockIdx.y * TILE + ty;
+  int colBase = blockIdx.x * TILE * COARSEN + tx;
+  float acc0 = 0.0f;
+  float acc1 = 0.0f;
+  int numTiles = (n + TILE - 1) / TILE;
+  for (int m = 0; m < numTiles; m++) {
+    if (row < n && m * TILE + tx < n)
+      sA[ty][tx] = A[row * n + m * TILE + tx];
+    else
+      sA[ty][tx] = 0.0f;
+    for (int c = 0; c < COARSEN; c++) {
+      int col = colBase + c * TILE;
+      if (m * TILE + ty < n && col < n)
+        sB[ty][tx + c * TILE] = B[(m * TILE + ty) * n + col];
+      else
+        sB[ty][tx + c * TILE] = 0.0f;
+    }
+    __syncthreads();
+    for (int k = 0; k < TILE; k++) {
+      acc0 += sA[ty][k] * sB[k][tx];
+      acc1 += sA[ty][k] * sB[k][tx + TILE];
+    }
+    __syncthreads();
+  }
+  if (row < n && colBase < n)
+    C[row * n + colBase] = acc0;
+  if (row < n && colBase + TILE < n)
+    C[row * n + colBase + TILE] = acc1;
+}
+''' + _SGEMM_HOST
+
+SGEMM = LabDefinition(
+    slug="sgemm",
+    title="SGEMM",
+    description="""# SGEMM with Register Tiling and Thread Coarsening
+
+Single-precision matrix multiply on square matrices, pushing past the
+plain tiled version: each thread accumulates COARSEN output elements in
+registers, reusing every loaded A value COARSEN times.
+
+## Objectives
+
+* Register tiling: accumulators live in registers across all tile
+  phases.
+* Thread coarsening along the output row: wider shared B tile, fewer
+  blocks, more work per thread.
+* Reason about the arithmetic-intensity improvement over the basic
+  tiled kernel (check the transaction counts in the attempt profile).
+""",
+    skeleton=_SGEMM_SKELETON,
+    solution=_SGEMM_SOLUTION,
+    generator="sgemm",
+    dataset_sizes=(8, 16, 20),
+    courses=frozenset({"598"}),
+    questions=("How does thread coarsening change the number of global "
+               "loads of B per output element?",),
+)

@@ -1,0 +1,378 @@
+"""Introductory labs: Device Query, Vector Addition, basic & tiled MatMul."""
+
+from repro.labs.base import EvaluationMode, LabDefinition, Rubric
+
+# --------------------------------------------------------------- Device Query
+
+_DEVICE_QUERY_SOURCE = r'''
+#include <wb.h>
+
+int main(int argc, char **argv) {
+  int deviceCount;
+
+  wbArg_read(argc, argv);
+  cudaGetDeviceCount(&deviceCount);
+
+  for (int dev = 0; dev < deviceCount; dev++) {
+    cudaDeviceProp deviceProp;
+    cudaGetDeviceProperties(&deviceProp, dev);
+    wbLog(TRACE, "Device ", dev, " name: ", deviceProp.name);
+    wbLog(TRACE, " Computational Capabilities: ", deviceProp.major, ".",
+          deviceProp.minor);
+    wbLog(TRACE, " Maximum global memory size: ", deviceProp.totalGlobalMem);
+    wbLog(TRACE, " Maximum shared memory size per block: ",
+          deviceProp.sharedMemPerBlock);
+    wbLog(TRACE, " Maximum block dimensions: ", deviceProp.maxThreadsDim[0],
+          " x ", deviceProp.maxThreadsDim[1], " x ",
+          deviceProp.maxThreadsDim[2]);
+    wbLog(TRACE, " Maximum grid dimensions: ", deviceProp.maxGridSize[0],
+          " x ", deviceProp.maxGridSize[1], " x ", deviceProp.maxGridSize[2]);
+    wbLog(TRACE, " Warp size: ", deviceProp.warpSize);
+    wbLog(TRACE, " Multiprocessor count: ", deviceProp.multiProcessorCount);
+  }
+
+  return 0;
+}
+'''
+
+DEVICE_QUERY = LabDefinition(
+    slug="device-query",
+    title="Device Query",
+    description="""# Device Query
+
+The purpose of this lab is to introduce you to WebGPU and verify that
+you can compile and run a CUDA program. The provided code queries every
+GPU visible to the runtime with `cudaGetDeviceProperties` and logs its
+capabilities.
+
+## Instructions
+
+No code changes are required. Compile the program, run it, and submit.
+Read the output carefully: the device limits it reports (threads per
+block, shared memory per block, warp size) constrain every later lab.
+""",
+    skeleton=_DEVICE_QUERY_SOURCE,
+    solution=_DEVICE_QUERY_SOURCE,
+    generator="device_query",
+    dataset_sizes=(1,),
+    mode=EvaluationMode.STDOUT_MARKERS,
+    stdout_markers=("Computational Capabilities", "Warp size",
+                    "Multiprocessor count"),
+    courses=frozenset({"HPP", "408", "598"}),
+    rubric=Rubric(dataset_points=90, compile_points=10, question_points=0),
+    questions=("How many multiprocessors does the device report, and why "
+               "does that matter for choosing a grid size?",),
+)
+
+# ------------------------------------------------------------- Vector Addition
+
+_VECADD_SKELETON = r'''
+#include <wb.h>
+
+__global__ void vecAdd(float *in1, float *in2, float *out, int len) {
+  //@@ Insert code to implement vector addition here
+}
+
+int main(int argc, char **argv) {
+  wbArg_t args;
+  int inputLength;
+  float *hostInput1, *hostInput2, *hostOutput;
+  float *deviceInput1, *deviceInput2, *deviceOutput;
+
+  args = wbArg_read(argc, argv);
+
+  hostInput1 = (float *)wbImport(wbArg_getInputFile(args, 0), &inputLength);
+  hostInput2 = (float *)wbImport(wbArg_getInputFile(args, 1), &inputLength);
+  hostOutput = (float *)malloc(inputLength * sizeof(float));
+
+  wbLog(TRACE, "The input length is ", inputLength);
+
+  //@@ Allocate GPU memory here
+
+  //@@ Copy memory to the GPU here
+
+  //@@ Initialize the grid and block dimensions here
+
+  //@@ Launch the GPU Kernel here
+
+  cudaDeviceSynchronize();
+
+  //@@ Copy the GPU memory back to the CPU here
+
+  //@@ Free the GPU memory here
+
+  wbSolution(args, hostOutput, inputLength);
+
+  free(hostOutput);
+  return 0;
+}
+'''
+
+_VECADD_SOLUTION = r'''
+#include <wb.h>
+
+__global__ void vecAdd(float *in1, float *in2, float *out, int len) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < len) {
+    out[i] = in1[i] + in2[i];
+  }
+}
+
+int main(int argc, char **argv) {
+  wbArg_t args;
+  int inputLength;
+  float *hostInput1, *hostInput2, *hostOutput;
+  float *deviceInput1, *deviceInput2, *deviceOutput;
+
+  args = wbArg_read(argc, argv);
+
+  hostInput1 = (float *)wbImport(wbArg_getInputFile(args, 0), &inputLength);
+  hostInput2 = (float *)wbImport(wbArg_getInputFile(args, 1), &inputLength);
+  hostOutput = (float *)malloc(inputLength * sizeof(float));
+
+  wbLog(TRACE, "The input length is ", inputLength);
+
+  cudaMalloc((void **)&deviceInput1, inputLength * sizeof(float));
+  cudaMalloc((void **)&deviceInput2, inputLength * sizeof(float));
+  cudaMalloc((void **)&deviceOutput, inputLength * sizeof(float));
+
+  cudaMemcpy(deviceInput1, hostInput1, inputLength * sizeof(float),
+             cudaMemcpyHostToDevice);
+  cudaMemcpy(deviceInput2, hostInput2, inputLength * sizeof(float),
+             cudaMemcpyHostToDevice);
+
+  dim3 dimBlock(256);
+  dim3 dimGrid((inputLength + 255) / 256);
+
+  vecAdd<<<dimGrid, dimBlock>>>(deviceInput1, deviceInput2, deviceOutput,
+                                inputLength);
+  cudaDeviceSynchronize();
+
+  cudaMemcpy(hostOutput, deviceOutput, inputLength * sizeof(float),
+             cudaMemcpyDeviceToHost);
+
+  cudaFree(deviceInput1);
+  cudaFree(deviceInput2);
+  cudaFree(deviceOutput);
+
+  wbSolution(args, hostOutput, inputLength);
+
+  free(hostOutput);
+  return 0;
+}
+'''
+
+VECTOR_ADD = LabDefinition(
+    slug="vector-add",
+    title="Vector Addition",
+    description="""# Vector Addition
+
+Implement element-wise addition of two input vectors on the GPU.
+
+## Objectives
+
+* Allocate device memory with `cudaMalloc` and free it with `cudaFree`.
+* Copy data between host and device with `cudaMemcpy`.
+* Write a CUDA kernel using `blockIdx`, `blockDim`, and `threadIdx` to
+  compute a global index, with a boundary check against the length.
+* Launch the kernel with a one-dimensional grid that covers the input.
+
+## Grading
+
+Your program is run against several datasets of different lengths; the
+output recorded by `wbSolution` must match the expected sum.
+""",
+    skeleton=_VECADD_SKELETON,
+    solution=_VECADD_SOLUTION,
+    generator="vector_add",
+    dataset_sizes=(16, 100, 257, 1024),
+    courses=frozenset({"HPP", "408"}),
+    questions=("Why is the boundary check `i < len` necessary even though "
+               "the grid was sized from the input length?",),
+)
+
+# --------------------------------------------------- Basic Matrix Multiplication
+
+_MATMUL_HOST = r'''
+int main(int argc, char **argv) {
+  wbArg_t args;
+  int numARows, numAColumns, numBRows, numBColumns;
+  float *hostA, *hostB, *hostC;
+  float *deviceA, *deviceB, *deviceC;
+
+  args = wbArg_read(argc, argv);
+
+  hostA = (float *)wbImport(wbArg_getInputFile(args, 0), &numARows,
+                            &numAColumns);
+  hostB = (float *)wbImport(wbArg_getInputFile(args, 1), &numBRows,
+                            &numBColumns);
+  hostC = (float *)malloc(numARows * numBColumns * sizeof(float));
+
+  wbLog(TRACE, "The dimensions of A are ", numARows, " x ", numAColumns);
+  wbLog(TRACE, "The dimensions of B are ", numBRows, " x ", numBColumns);
+
+  cudaMalloc((void **)&deviceA, numARows * numAColumns * sizeof(float));
+  cudaMalloc((void **)&deviceB, numBRows * numBColumns * sizeof(float));
+  cudaMalloc((void **)&deviceC, numARows * numBColumns * sizeof(float));
+
+  cudaMemcpy(deviceA, hostA, numARows * numAColumns * sizeof(float),
+             cudaMemcpyHostToDevice);
+  cudaMemcpy(deviceB, hostB, numBRows * numBColumns * sizeof(float),
+             cudaMemcpyHostToDevice);
+
+  dim3 dimBlock(8, 8);
+  dim3 dimGrid((numBColumns + 7) / 8, (numARows + 7) / 8);
+
+  matrixMultiply<<<dimGrid, dimBlock>>>(deviceA, deviceB, deviceC, numARows,
+                                        numAColumns, numBRows, numBColumns);
+  cudaDeviceSynchronize();
+
+  cudaMemcpy(hostC, deviceC, numARows * numBColumns * sizeof(float),
+             cudaMemcpyDeviceToHost);
+
+  cudaFree(deviceA);
+  cudaFree(deviceB);
+  cudaFree(deviceC);
+
+  wbSolution(args, hostC, numARows, numBColumns);
+
+  free(hostC);
+  return 0;
+}
+'''
+
+_MATMUL_SKELETON = r'''
+#include <wb.h>
+
+__global__ void matrixMultiply(float *A, float *B, float *C, int numARows,
+                               int numAColumns, int numBRows,
+                               int numBColumns) {
+  //@@ Insert code to implement basic matrix multiplication here
+  //@@ Do not use shared memory for this lab
+}
+''' + _MATMUL_HOST
+
+_MATMUL_SOLUTION = r'''
+#include <wb.h>
+
+__global__ void matrixMultiply(float *A, float *B, float *C, int numARows,
+                               int numAColumns, int numBRows,
+                               int numBColumns) {
+  int row = blockIdx.y * blockDim.y + threadIdx.y;
+  int col = blockIdx.x * blockDim.x + threadIdx.x;
+  if (row < numARows && col < numBColumns) {
+    float sum = 0.0f;
+    for (int k = 0; k < numAColumns; k++) {
+      sum += A[row * numAColumns + k] * B[k * numBColumns + col];
+    }
+    C[row * numBColumns + col] = sum;
+  }
+}
+''' + _MATMUL_HOST
+
+BASIC_MATMUL = LabDefinition(
+    slug="basic-matmul",
+    title="Basic Matrix Multiplication",
+    description="""# Basic Matrix Multiplication
+
+Compute C = A x B for arbitrary (compatible) matrix shapes.
+
+## Objectives
+
+* Use two-dimensional grids and blocks and derive `(row, col)` from the
+  builtin index variables.
+* Check boundaries in both dimensions — the matrices are generally not
+  multiples of the block size.
+* Index flattened row-major matrices correctly.
+
+This lab deliberately forbids shared memory; the tiled version is the
+next lab, and comparing the two is part of the point.
+""",
+    skeleton=_MATMUL_SKELETON,
+    solution=_MATMUL_SOLUTION,
+    generator="matmul",
+    dataset_sizes=(8, 15, 20),
+    courses=frozenset({"HPP", "408"}),
+    questions=("How many times is each element of A loaded from global "
+               "memory during the computation?",),
+)
+
+# --------------------------------------------------- Tiled Matrix Multiplication
+
+_TILED_SKELETON = r'''
+#include <wb.h>
+
+#define TILE_WIDTH 8
+
+__global__ void matrixMultiplyShared(float *A, float *B, float *C,
+                                     int numARows, int numAColumns,
+                                     int numBRows, int numBColumns) {
+  __shared__ float ds_A[TILE_WIDTH][TILE_WIDTH];
+  __shared__ float ds_B[TILE_WIDTH][TILE_WIDTH];
+  //@@ Insert code to implement tiled matrix multiplication here
+  //@@ Load tiles cooperatively, synchronize, accumulate, synchronize
+}
+''' + _MATMUL_HOST.replace("matrixMultiply<<<", "matrixMultiplyShared<<<")
+
+_TILED_SOLUTION = r'''
+#include <wb.h>
+
+#define TILE_WIDTH 8
+
+__global__ void matrixMultiplyShared(float *A, float *B, float *C,
+                                     int numARows, int numAColumns,
+                                     int numBRows, int numBColumns) {
+  __shared__ float ds_A[TILE_WIDTH][TILE_WIDTH];
+  __shared__ float ds_B[TILE_WIDTH][TILE_WIDTH];
+  int bx = blockIdx.x, by = blockIdx.y;
+  int tx = threadIdx.x, ty = threadIdx.y;
+  int Row = by * TILE_WIDTH + ty;
+  int Col = bx * TILE_WIDTH + tx;
+  float Pvalue = 0.0f;
+  for (int m = 0; m < (numAColumns - 1) / TILE_WIDTH + 1; ++m) {
+    if (Row < numARows && m * TILE_WIDTH + tx < numAColumns)
+      ds_A[ty][tx] = A[Row * numAColumns + m * TILE_WIDTH + tx];
+    else
+      ds_A[ty][tx] = 0.0f;
+    if (Col < numBColumns && m * TILE_WIDTH + ty < numBRows)
+      ds_B[ty][tx] = B[(m * TILE_WIDTH + ty) * numBColumns + Col];
+    else
+      ds_B[ty][tx] = 0.0f;
+    __syncthreads();
+    for (int k = 0; k < TILE_WIDTH; ++k)
+      Pvalue += ds_A[ty][k] * ds_B[k][tx];
+    __syncthreads();
+  }
+  if (Row < numARows && Col < numBColumns)
+    C[Row * numBColumns + Col] = Pvalue;
+}
+''' + _MATMUL_HOST.replace("matrixMultiply<<<", "matrixMultiplyShared<<<")
+
+TILED_MATMUL = LabDefinition(
+    slug="tiled-matmul",
+    title="Tiled Matrix Multiplication",
+    description="""# Tiled Matrix Multiplication
+
+Re-implement matrix multiplication using shared-memory tiling.
+
+## Objectives
+
+* Declare `__shared__` tiles and load them cooperatively — one element
+  per thread per phase, with boundary handling that writes zeros for
+  out-of-range elements.
+* Use `__syncthreads()` correctly: once after loading, once after
+  accumulating, and *never* inside divergent control flow.
+* Observe (in the profiler output shown with each attempt) how tiling
+  reduces global-memory transactions by a factor of TILE_WIDTH.
+""",
+    skeleton=_TILED_SKELETON,
+    solution=_TILED_SOLUTION,
+    generator="matmul",
+    dataset_sizes=(8, 15, 20),
+    courses=frozenset({"HPP", "408"}),
+    questions=(
+        "Why must __syncthreads() not be placed inside the boundary-check "
+        "if statement?",
+        "By what factor does tiling reduce global memory traffic?",
+    ),
+)

@@ -1,0 +1,83 @@
+"""The Table-II catalog: all fifteen labs and the course matrix.
+
+Course codes: HPP (Heterogeneous Parallel Programming, Coursera),
+408 (ECE 408), 598 (ECE 598HK), PUMPS (UPC Barcelona summer school).
+
+The x-marks in the paper's Table II are reproduced here; where the
+scanned table's column alignment is ambiguous, assignments follow the
+course descriptions in Section V (introductory labs to HPP/408,
+advanced algorithmic-technique labs to 598, and the irregular/MPI labs
+to 598/PUMPS). This assumption is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.labs.advanced import OPENCL_VECADD, SCATTER_GATHER, SGEMM, STENCIL
+from repro.labs.openacc import OPENACC_VECADD
+from repro.labs.base import LabDefinition
+from repro.labs.basic import BASIC_MATMUL, DEVICE_QUERY, TILED_MATMUL, VECTOR_ADD
+from repro.labs.irregular import BFS_QUEUING, INPUT_BINNING, MPI_STENCIL, SPMV
+from repro.labs.memory import CONVOLUTION_2D, IMAGE_EQUALIZATION, REDUCTION_SCAN
+
+#: Course codes, in the paper's column order.
+COURSES: tuple[str, ...] = ("HPP", "408", "598", "PUMPS")
+
+#: All labs in the paper's Table II row order.
+ALL_LABS: tuple[LabDefinition, ...] = (
+    DEVICE_QUERY,
+    VECTOR_ADD,
+    BASIC_MATMUL,
+    TILED_MATMUL,
+    CONVOLUTION_2D,
+    REDUCTION_SCAN,
+    IMAGE_EQUALIZATION,
+    OPENCL_VECADD,
+    SCATTER_GATHER,
+    STENCIL,
+    SGEMM,
+    SPMV,
+    INPUT_BINNING,
+    BFS_QUEUING,
+    MPI_STENCIL,
+)
+
+#: Extension labs beyond Table II (toolchains the paper names but the
+#: table does not row: OpenACC).
+EXTRA_LABS: tuple[LabDefinition, ...] = (OPENACC_VECADD,)
+
+_BY_SLUG = {lab.slug: lab for lab in ALL_LABS + EXTRA_LABS}
+
+
+def get_lab(slug: str) -> LabDefinition:
+    """Look a lab up by slug; raises KeyError with the known slugs."""
+    try:
+        return _BY_SLUG[slug]
+    except KeyError:
+        raise KeyError(
+            f"no lab {slug!r}; known labs: {sorted(_BY_SLUG)}") from None
+
+
+def labs_for_course(course: str) -> list[LabDefinition]:
+    """All labs offered in ``course`` (Table II column)."""
+    if course not in COURSES:
+        raise KeyError(f"unknown course {course!r}; known: {COURSES}")
+    return [lab for lab in ALL_LABS if course in lab.courses]
+
+
+def course_matrix() -> list[tuple[str, dict[str, bool]]]:
+    """Table II as data: [(lab title, {course: offered})]."""
+    return [
+        (lab.title, {course: course in lab.courses for course in COURSES})
+        for lab in ALL_LABS
+    ]
+
+
+def render_course_matrix() -> str:
+    """Table II as fixed-width text, like the paper renders it."""
+    width = max(len(lab.title) for lab in ALL_LABS) + 2
+    header = "Lab".ljust(width) + "  ".join(f"{c:>5}" for c in COURSES)
+    lines = [header, "-" * len(header)]
+    for title, marks in course_matrix():
+        cells = "  ".join(f"{'x' if marks[c] else '':>5}" for c in COURSES)
+        lines.append(title.ljust(width) + cells)
+    return "\n".join(lines)

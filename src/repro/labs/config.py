@@ -1,0 +1,140 @@
+"""Lab deployment format: the paper's JSON configuration (§IV-E).
+
+"A lab is defined by: a markdown description, a solution skeleton,
+datasets, short-answer questions, and **Configuration Data: a JSON file
+which describes the problem deadline, how to award points, the name of
+the Lab, and other similar information**."
+
+This module round-trips :class:`LabDefinition` through exactly that
+deployment shape — a JSON config plus separate description/skeleton/
+solution files — and can deploy/load a lab bundle to/from the v2
+object store (where "lab datasets are stored on an Amazon S3 bucket
+accessible by both the OpenEdx instructor and the worker nodes").
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.labs.base import EvaluationMode, LabDefinition, Rubric
+from repro.storage import Bucket
+
+
+def lab_config_json(lab: LabDefinition) -> str:
+    """The §IV-E JSON configuration file for a lab."""
+    config: dict[str, Any] = {
+        "name": lab.title,
+        "slug": lab.slug,
+        "language": lab.language,
+        "evaluation": lab.mode.value,
+        "deadline": lab.deadline,
+        "points": {
+            "datasets": lab.rubric.dataset_points,
+            "compilation": lab.rubric.compile_points,
+            "questions": lab.rubric.question_points,
+        },
+        "datasets": {
+            "generator": lab.generator,
+            "sizes": list(lab.dataset_sizes),
+        },
+        "questions": list(lab.questions),
+        "courses": sorted(lab.courses),
+        "requirements": sorted(lab.requirements),
+        "limits": {
+            "compile_seconds": lab.compile_limit_s,
+            "run_seconds": lab.run_limit_s,
+        },
+    }
+    if lab.stdout_markers:
+        config["stdout_markers"] = list(lab.stdout_markers)
+    if lab.kernel_name:
+        config["kernel_name"] = lab.kernel_name
+    return json.dumps(config, indent=2)
+
+
+def lab_from_config(config_json: str, description: str, skeleton: str,
+                    solution: str) -> LabDefinition:
+    """Rebuild a lab from its deployment files."""
+    config = json.loads(config_json)
+    points = config.get("points", {})
+    limits = config.get("limits", {})
+    datasets = config["datasets"]
+    return LabDefinition(
+        slug=config["slug"],
+        title=config["name"],
+        description=description,
+        skeleton=skeleton,
+        solution=solution,
+        generator=datasets["generator"],
+        dataset_sizes=tuple(int(s) for s in datasets["sizes"]),
+        language=config.get("language", "cuda"),
+        mode=EvaluationMode(config.get("evaluation", "solution")),
+        courses=frozenset(config.get("courses", ())),
+        requirements=frozenset(config.get("requirements", ())),
+        rubric=Rubric(
+            dataset_points=int(points.get("datasets", 80)),
+            compile_points=int(points.get("compilation", 10)),
+            question_points=int(points.get("questions", 10))),
+        questions=tuple(config.get("questions", ())),
+        stdout_markers=tuple(config.get("stdout_markers", ())),
+        kernel_name=config.get("kernel_name", ""),
+        compile_limit_s=float(limits.get("compile_seconds", 30.0)),
+        run_limit_s=float(limits.get("run_seconds", 60.0)),
+        deadline=config.get("deadline"),
+    )
+
+
+# -- object-store deployment (the v2 instructor path) ----------------------
+
+def deploy_lab(bucket: Bucket, lab: LabDefinition,
+               base_seed: int = 1234) -> list[str]:
+    """Write a complete lab bundle under ``labs/<slug>/`` in the bucket:
+    config.json, description.md, skeleton.cu, solution.cu, and every
+    generated dataset as .npy objects."""
+    prefix = f"labs/{lab.slug}"
+    keys: list[str] = []
+
+    def put_text(name: str, text: str) -> None:
+        key = f"{prefix}/{name}"
+        bucket.put_text(key, text)
+        keys.append(key)
+
+    put_text("config.json", lab_config_json(lab))
+    put_text("description.md", lab.description)
+    put_text("skeleton.cu", lab.skeleton)
+    put_text("solution.cu", lab.solution)
+
+    for index, data in enumerate(lab.datasets(base_seed)):
+        for name, array in list(data.inputs.items()) + [
+                ("expected", data.expected)]:
+            buffer = io.BytesIO()
+            np.save(buffer, array)
+            key = f"{prefix}/datasets/{index}/{name}.npy"
+            bucket.put(key, buffer.getvalue())
+            keys.append(key)
+    return keys
+
+
+def load_lab(bucket: Bucket, slug: str) -> LabDefinition:
+    """Reconstruct a lab from its deployed bundle."""
+    prefix = f"labs/{slug}"
+    return lab_from_config(
+        bucket.get_text(f"{prefix}/config.json"),
+        bucket.get_text(f"{prefix}/description.md"),
+        bucket.get_text(f"{prefix}/skeleton.cu"),
+        bucket.get_text(f"{prefix}/solution.cu"))
+
+
+def load_dataset_arrays(bucket: Bucket, slug: str,
+                        index: int) -> dict[str, np.ndarray]:
+    """What a v2 worker fetches to grade a dataset."""
+    prefix = f"labs/{slug}/datasets/{index}/"
+    out: dict[str, np.ndarray] = {}
+    for key in bucket.list(prefix):
+        name = key[len(prefix):-len(".npy")]
+        out[name] = np.load(io.BytesIO(bucket.get(key)))
+    return out

@@ -1,0 +1,603 @@
+"""Irregular-parallelism labs: SpMV, Input Binning, BFS, Multi-GPU MPI Stencil."""
+
+from repro.labs.base import EvaluationMode, LabDefinition
+
+# -------------------------------------------------------------------------- SpMV
+
+_SPMV_HOST = r'''
+int main(int argc, char **argv) {
+  wbArg_t args;
+  int numRowsPlusOne, nnz, nnz2, numRows;
+  int *hostRowPtr, *hostColIdx;
+  float *hostValues, *hostVector, *hostOutput;
+  int *deviceRowPtr, *deviceColIdx;
+  float *deviceValues, *deviceVector, *deviceOutput;
+
+  args = wbArg_read(argc, argv);
+  hostRowPtr = (int *)wbImport(wbArg_getInputFile(args, 0),
+                               &numRowsPlusOne);
+  hostColIdx = (int *)wbImport(wbArg_getInputFile(args, 1), &nnz);
+  hostValues = (float *)wbImport(wbArg_getInputFile(args, 2), &nnz2);
+  hostVector = (float *)wbImport(wbArg_getInputFile(args, 3), &numRows);
+  hostOutput = (float *)malloc(numRows * sizeof(float));
+
+  wbLog(TRACE, "Matrix has ", numRows, " rows and ", nnz, " non-zeros");
+
+  cudaMalloc((void **)&deviceRowPtr, numRowsPlusOne * sizeof(int));
+  cudaMalloc((void **)&deviceColIdx, nnz * sizeof(int));
+  cudaMalloc((void **)&deviceValues, nnz * sizeof(float));
+  cudaMalloc((void **)&deviceVector, numRows * sizeof(float));
+  cudaMalloc((void **)&deviceOutput, numRows * sizeof(float));
+
+  cudaMemcpy(deviceRowPtr, hostRowPtr, numRowsPlusOne * sizeof(int),
+             cudaMemcpyHostToDevice);
+  cudaMemcpy(deviceColIdx, hostColIdx, nnz * sizeof(int),
+             cudaMemcpyHostToDevice);
+  cudaMemcpy(deviceValues, hostValues, nnz * sizeof(float),
+             cudaMemcpyHostToDevice);
+  cudaMemcpy(deviceVector, hostVector, numRows * sizeof(float),
+             cudaMemcpyHostToDevice);
+
+  int numBlocks = (numRows + 127) / 128;
+  spmvCSRKernel<<<numBlocks, 128>>>(deviceRowPtr, deviceColIdx, deviceValues,
+                                    deviceVector, deviceOutput, numRows);
+  cudaDeviceSynchronize();
+
+  cudaMemcpy(hostOutput, deviceOutput, numRows * sizeof(float),
+             cudaMemcpyDeviceToHost);
+  wbSolution(args, hostOutput, numRows);
+
+  cudaFree(deviceRowPtr);
+  cudaFree(deviceColIdx);
+  cudaFree(deviceValues);
+  cudaFree(deviceVector);
+  cudaFree(deviceOutput);
+  free(hostOutput);
+  return 0;
+}
+'''
+
+_SPMV_SKELETON = r'''
+#include <wb.h>
+
+// Sparse matrix-vector multiply, CSR format: one thread per row.
+
+__global__ void spmvCSRKernel(int *rowPtr, int *colIdx, float *values,
+                              float *x, float *out, int numRows) {
+  //@@ Each thread walks its row's [rowPtr[row], rowPtr[row+1]) slice
+  //@@ of colIdx/values and accumulates the dot product with x.
+}
+''' + _SPMV_HOST
+
+_SPMV_SOLUTION = r'''
+#include <wb.h>
+
+__global__ void spmvCSRKernel(int *rowPtr, int *colIdx, float *values,
+                              float *x, float *out, int numRows) {
+  int row = blockIdx.x * blockDim.x + threadIdx.x;
+  if (row < numRows) {
+    float dot = 0.0f;
+    int start = rowPtr[row];
+    int end = rowPtr[row + 1];
+    for (int j = start; j < end; j++) {
+      dot += values[j] * x[colIdx[j]];
+    }
+    out[row] = dot;
+  }
+}
+''' + _SPMV_HOST
+
+SPMV = LabDefinition(
+    slug="spmv",
+    title="SpMV",
+    description="""# Sparse Matrix-Vector Multiplication (CSR)
+
+Multiply a sparse matrix in Compressed Sparse Row format by a dense
+vector, one thread per row.
+
+## Objectives
+
+* Index-chasing through the CSR arrays (`rowPtr`, `colIdx`, `values`).
+* Load imbalance: rows have different numbers of non-zeros, so warps
+  containing a heavy row stall their 31 neighbours — compare the
+  transaction/instruction profile against the dense kernels.
+* The gathered reads of `x[colIdx[j]]` are *not* coalesced; observe the
+  load-efficiency counter. (JDS/ELL formats fix exactly this.)
+""",
+    skeleton=_SPMV_SKELETON,
+    solution=_SPMV_SOLUTION,
+    generator="spmv",
+    dataset_sizes=(8, 24, 40),
+    courses=frozenset({"598", "PUMPS"}),
+    questions=("Why does the CSR one-thread-per-row mapping suffer from "
+               "control divergence?",),
+)
+
+# ----------------------------------------------------------------- Input Binning
+
+_BINNING_HOST = r'''
+int main(int argc, char **argv) {
+  wbArg_t args;
+  int numPoints, one;
+  float *hostPoints, *hostNumBins, *hostOutput;
+  float *devicePoints, *deviceSums, *deviceOutput;
+  int *deviceCounts;
+
+  args = wbArg_read(argc, argv);
+  hostPoints = (float *)wbImport(wbArg_getInputFile(args, 0), &numPoints);
+  hostNumBins = (float *)wbImport(wbArg_getInputFile(args, 1), &one);
+  int numBins = (int)hostNumBins[0];
+
+  hostOutput = (float *)malloc(numBins * sizeof(float));
+
+  cudaMalloc((void **)&devicePoints, numPoints * sizeof(float));
+  cudaMalloc((void **)&deviceSums, numBins * sizeof(float));
+  cudaMalloc((void **)&deviceCounts, numBins * sizeof(int));
+  cudaMalloc((void **)&deviceOutput, numBins * sizeof(float));
+
+  cudaMemcpy(devicePoints, hostPoints, numPoints * sizeof(float),
+             cudaMemcpyHostToDevice);
+  cudaMemset(deviceSums, 0, numBins * sizeof(float));
+  cudaMemset(deviceCounts, 0, numBins * sizeof(int));
+
+  int numBlocks = (numPoints + 127) / 128;
+  binKernel<<<numBlocks, 128>>>(devicePoints, deviceSums, deviceCounts,
+                                numPoints, numBins);
+  int avgBlocks = (numBins + 127) / 128;
+  averageKernel<<<avgBlocks, 128>>>(deviceSums, deviceCounts, deviceOutput,
+                                    numBins);
+  cudaDeviceSynchronize();
+
+  cudaMemcpy(hostOutput, deviceOutput, numBins * sizeof(float),
+             cudaMemcpyDeviceToHost);
+  wbSolution(args, hostOutput, numBins);
+
+  cudaFree(devicePoints);
+  cudaFree(deviceSums);
+  cudaFree(deviceCounts);
+  cudaFree(deviceOutput);
+  free(hostOutput);
+  return 0;
+}
+'''
+
+_BINNING_SKELETON = r'''
+#include <wb.h>
+
+// Input binning: distribute points in [0, 1) into numBins spatial bins
+// (scatter with atomics), then compute each bin's average (gather).
+
+__global__ void binKernel(float *points, float *sums, int *counts,
+                          int numPoints, int numBins) {
+  //@@ Compute each point's bin = min((int)(p * numBins), numBins - 1)
+  //@@ and atomically accumulate the bin's sum and count.
+}
+
+__global__ void averageKernel(float *sums, int *counts, float *output,
+                              int numBins) {
+  //@@ One thread per bin: average, or 0 for an empty bin.
+}
+''' + _BINNING_HOST
+
+_BINNING_SOLUTION = r'''
+#include <wb.h>
+
+__global__ void binKernel(float *points, float *sums, int *counts,
+                          int numPoints, int numBins) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < numPoints) {
+    float p = points[i];
+    int bin = (int)(p * numBins);
+    if (bin > numBins - 1)
+      bin = numBins - 1;
+    atomicAdd(&(sums[bin]), p);
+    atomicAdd(&(counts[bin]), 1);
+  }
+}
+
+__global__ void averageKernel(float *sums, int *counts, float *output,
+                              int numBins) {
+  int b = blockIdx.x * blockDim.x + threadIdx.x;
+  if (b < numBins) {
+    int c = counts[b];
+    if (c > 0)
+      output[b] = sums[b] / (float)c;
+    else
+      output[b] = 0.0f;
+  }
+}
+''' + _BINNING_HOST
+
+INPUT_BINNING = LabDefinition(
+    slug="input-binning",
+    title="Input Binning",
+    description="""# Input Binning
+
+Bin a set of 1-D points into uniform spatial bins and report each bin's
+average value. Binning is the standard preprocessing step that converts
+an irregular neighbour search into a regular per-bin traversal (cut-off
+pair interactions, spatial hashing, bucketed sorting).
+
+## Objectives
+
+* Scatter-with-atomics into per-bin accumulators.
+* The two-phase structure: irregular scatter, then regular gather.
+* Performance effects of bin count and input skew on atomic contention
+  (visible in the attempt's contention counter).
+""",
+    skeleton=_BINNING_SKELETON,
+    solution=_BINNING_SOLUTION,
+    generator="binning",
+    dataset_sizes=(64, 256, 512),
+    courses=frozenset({"598", "PUMPS"}),
+    questions=("When does privatizing the bin accumulators in shared "
+               "memory stop helping?",),
+)
+
+# -------------------------------------------------------------------- BFS Queuing
+
+_BFS_HOST = r'''
+int main(int argc, char **argv) {
+  wbArg_t args;
+  int numNodesPlusOne, numEdges, numNodes;
+  int *hostRowPtr, *hostColIdx, *hostLevels;
+  float *hostOutput;
+  int *deviceRowPtr, *deviceColIdx, *deviceLevels;
+  int *deviceFrontier, *deviceNextFrontier, *deviceNextSize;
+  int hostNextSize[1];
+
+  args = wbArg_read(argc, argv);
+  hostRowPtr = (int *)wbImport(wbArg_getInputFile(args, 0),
+                               &numNodesPlusOne);
+  hostColIdx = (int *)wbImport(wbArg_getInputFile(args, 1), &numEdges);
+  numNodes = numNodesPlusOne - 1;
+
+  hostLevels = (int *)malloc(numNodes * sizeof(int));
+  hostOutput = (float *)malloc(numNodes * sizeof(float));
+
+  cudaMalloc((void **)&deviceRowPtr, numNodesPlusOne * sizeof(int));
+  cudaMalloc((void **)&deviceColIdx, numEdges * sizeof(int));
+  cudaMalloc((void **)&deviceLevels, numNodes * sizeof(int));
+  cudaMalloc((void **)&deviceFrontier, numNodes * sizeof(int));
+  cudaMalloc((void **)&deviceNextFrontier, numNodes * sizeof(int));
+  cudaMalloc((void **)&deviceNextSize, sizeof(int));
+
+  cudaMemcpy(deviceRowPtr, hostRowPtr, numNodesPlusOne * sizeof(int),
+             cudaMemcpyHostToDevice);
+  cudaMemcpy(deviceColIdx, hostColIdx, numEdges * sizeof(int),
+             cudaMemcpyHostToDevice);
+
+  initLevelsKernel<<<(numNodes + 127) / 128, 128>>>(deviceLevels,
+                                                    deviceFrontier,
+                                                    numNodes);
+  cudaDeviceSynchronize();
+
+  int frontierSize = 1;
+  int depth = 0;
+  int *hostNextSizePtr = hostNextSize;
+  while (frontierSize > 0) {
+    depth = depth + 1;
+    cudaMemset(deviceNextSize, 0, sizeof(int));
+    int numBlocks = (frontierSize + 127) / 128;
+    bfsKernel<<<numBlocks, 128>>>(deviceRowPtr, deviceColIdx, deviceLevels,
+                                  deviceFrontier, frontierSize,
+                                  deviceNextFrontier, deviceNextSize, depth);
+    cudaDeviceSynchronize();
+    cudaMemcpy(hostNextSizePtr, deviceNextSize, sizeof(int),
+               cudaMemcpyDeviceToHost);
+    frontierSize = hostNextSize[0];
+    int *swap = deviceFrontier;
+    deviceFrontier = deviceNextFrontier;
+    deviceNextFrontier = swap;
+  }
+
+  cudaMemcpy(hostLevels, deviceLevels, numNodes * sizeof(int),
+             cudaMemcpyDeviceToHost);
+  for (int i = 0; i < numNodes; i++) {
+    hostOutput[i] = (float)hostLevels[i];
+  }
+  wbSolution(args, hostOutput, numNodes);
+
+  cudaFree(deviceRowPtr);
+  cudaFree(deviceColIdx);
+  cudaFree(deviceLevels);
+  cudaFree(deviceFrontier);
+  cudaFree(deviceNextFrontier);
+  cudaFree(deviceNextSize);
+  free(hostLevels);
+  free(hostOutput);
+  return 0;
+}
+'''
+
+_BFS_SKELETON = r'''
+#include <wb.h>
+
+// Level-synchronous BFS from node 0 with a work queue: each iteration
+// expands the current frontier and atomically appends newly-discovered
+// nodes to the next frontier.
+
+__global__ void initLevelsKernel(int *levels, int *frontier, int numNodes) {
+  //@@ levels[i] = -1 for all i, except levels[0] = 0; frontier[0] = 0.
+}
+
+__global__ void bfsKernel(int *rowPtr, int *colIdx, int *levels,
+                          int *frontier, int frontierSize,
+                          int *nextFrontier, int *nextSize, int depth) {
+  //@@ One thread per frontier node: for each neighbour, claim it with
+  //@@ atomicCAS(levels, -1, depth); the winning thread appends it to
+  //@@ nextFrontier at a position reserved with atomicAdd(nextSize, 1).
+}
+''' + _BFS_HOST
+
+_BFS_SOLUTION = r'''
+#include <wb.h>
+
+__global__ void initLevelsKernel(int *levels, int *frontier, int numNodes) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < numNodes) {
+    if (i == 0)
+      levels[i] = 0;
+    else
+      levels[i] = -1;
+  }
+  if (i == 0)
+    frontier[0] = 0;
+}
+
+__global__ void bfsKernel(int *rowPtr, int *colIdx, int *levels,
+                          int *frontier, int frontierSize,
+                          int *nextFrontier, int *nextSize, int depth) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < frontierSize) {
+    int node = frontier[i];
+    int start = rowPtr[node];
+    int end = rowPtr[node + 1];
+    for (int j = start; j < end; j++) {
+      int neighbor = colIdx[j];
+      int old = atomicCAS(&(levels[neighbor]), -1, depth);
+      if (old == -1) {
+        int position = atomicAdd(&(nextSize[0]), 1);
+        nextFrontier[position] = neighbor;
+      }
+    }
+  }
+}
+''' + _BFS_HOST
+
+#: Alternative BFS solution with *hierarchical* queuing: newly
+#: discovered nodes first land in a block-local shared-memory queue,
+#: which is flushed to the global next-frontier once per block — the
+#: optimisation the lab's Table II description ("Hierarchical queuing
+#: performance effects") is about. One global atomicAdd per block
+#: replaces one per discovered node.
+BFS_HIERARCHICAL_SOLUTION = r'''
+#include <wb.h>
+
+#define LOCAL_QUEUE_SIZE 512
+
+__global__ void initLevelsKernel(int *levels, int *frontier, int numNodes) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < numNodes) {
+    if (i == 0)
+      levels[i] = 0;
+    else
+      levels[i] = -1;
+  }
+  if (i == 0)
+    frontier[0] = 0;
+}
+
+__global__ void bfsKernel(int *rowPtr, int *colIdx, int *levels,
+                          int *frontier, int frontierSize,
+                          int *nextFrontier, int *nextSize, int depth) {
+  __shared__ int localQueue[LOCAL_QUEUE_SIZE];
+  __shared__ int localSize[1];
+  __shared__ int globalBase[1];
+  int t = threadIdx.x;
+
+  if (t == 0)
+    localSize[0] = 0;
+  __syncthreads();
+
+  int i = blockIdx.x * blockDim.x + t;
+  if (i < frontierSize) {
+    int node = frontier[i];
+    int start = rowPtr[node];
+    int end = rowPtr[node + 1];
+    for (int j = start; j < end; j++) {
+      int neighbor = colIdx[j];
+      int old = atomicCAS(&(levels[neighbor]), -1, depth);
+      if (old == -1) {
+        int position = atomicAdd(&(localSize[0]), 1);
+        if (position < LOCAL_QUEUE_SIZE) {
+          localQueue[position] = neighbor;
+        } else {
+          int overflow = atomicAdd(&(nextSize[0]), 1);
+          nextFrontier[overflow] = neighbor;
+        }
+      }
+    }
+  }
+  __syncthreads();
+
+  if (t == 0) {
+    int count = min(localSize[0], LOCAL_QUEUE_SIZE);
+    globalBase[0] = atomicAdd(&(nextSize[0]), count);
+  }
+  __syncthreads();
+
+  int count = min(localSize[0], LOCAL_QUEUE_SIZE);
+  for (int k = t; k < count; k += blockDim.x) {
+    nextFrontier[globalBase[0] + k] = localQueue[k];
+  }
+}
+''' + _BFS_HOST
+
+BFS_QUEUING = LabDefinition(
+    slug="bfs-queuing",
+    title="BFS Queuing",
+    description="""# BFS with Work Queues
+
+Breadth-first search over a CSR graph, level by level, using a global
+work queue for the frontier.
+
+## Objectives
+
+* `atomicCAS` as a claim operation: exactly one thread wins each
+  newly-discovered node, so it is enqueued exactly once.
+* `atomicAdd` as a queue-append primitive and its contention cost —
+  the hierarchical-queue optimisation (block-local queues flushed once
+  per block) targets exactly this counter.
+* Host-driven iteration: the frontier size comes back to the host each
+  level to size the next launch.
+""",
+    skeleton=_BFS_SKELETON,
+    solution=_BFS_SOLUTION,
+    generator="bfs",
+    dataset_sizes=(16, 48),
+    courses=frozenset({"598", "PUMPS"}),
+    questions=("Why must discovery use atomicCAS rather than a plain "
+               "read-check-write of levels[]?",),
+)
+
+# --------------------------------------------------------- Multi-GPU Stencil (MPI)
+
+_MPI_STENCIL_SOURCE = r'''
+#include <wb.h>
+
+__global__ void stencil1D(float *in, float *out, int localN, int start,
+                          int totalLen) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < localN) {
+    int g = start + i;
+    if (g == 0 || g == totalLen - 1) {
+      out[i] = in[i + 1];
+    } else {
+      out[i] = (in[i] + in[i + 1] + in[i + 2]) / 3.0f;
+    }
+  }
+}
+
+int main(int argc, char **argv) {
+  wbArg_t args;
+  int rank, size, len;
+  float *input, *local, *hostOut, *result;
+  float *deviceIn, *deviceOut;
+
+  MPI_Init(NULL, NULL);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+
+  args = wbArg_read(argc, argv);
+  input = (float *)wbImport(wbArg_getInputFile(args, 0), &len);
+
+  int chunk = (len + size - 1) / size;
+  int start = rank * chunk;
+  int end = min(start + chunk, len);
+  int localN = end - start;
+
+  local = (float *)malloc((localN + 2) * sizeof(float));
+  local[0] = 0.0f;
+  local[localN + 1] = 0.0f;
+  for (int i = 0; i < localN; i++) {
+    local[i + 1] = input[start + i];
+  }
+
+  if (rank > 0) {
+    MPI_Send(&(local[1]), 1, MPI_FLOAT, rank - 1, 0, MPI_COMM_WORLD);
+  }
+  if (rank < size - 1) {
+    MPI_Recv(&(local[localN + 1]), 1, MPI_FLOAT, rank + 1, 0,
+             MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    MPI_Send(&(local[localN]), 1, MPI_FLOAT, rank + 1, 1, MPI_COMM_WORLD);
+  }
+  if (rank > 0) {
+    MPI_Recv(&(local[0]), 1, MPI_FLOAT, rank - 1, 1, MPI_COMM_WORLD,
+             MPI_STATUS_IGNORE);
+  }
+
+  cudaMalloc((void **)&deviceIn, (localN + 2) * sizeof(float));
+  cudaMalloc((void **)&deviceOut, localN * sizeof(float));
+  cudaMemcpy(deviceIn, local, (localN + 2) * sizeof(float),
+             cudaMemcpyHostToDevice);
+
+  int numBlocks = (localN + 127) / 128;
+  stencil1D<<<numBlocks, 128>>>(deviceIn, deviceOut, localN, start, len);
+  cudaDeviceSynchronize();
+
+  hostOut = (float *)malloc(localN * sizeof(float));
+  cudaMemcpy(hostOut, deviceOut, localN * sizeof(float),
+             cudaMemcpyDeviceToHost);
+
+  if (rank == 0) {
+    result = (float *)malloc(len * sizeof(float));
+    for (int i = 0; i < localN; i++) {
+      result[i] = hostOut[i];
+    }
+    for (int r = 1; r < size; r++) {
+      int rStart = r * chunk;
+      int rEnd = min(rStart + chunk, len);
+      MPI_Recv(&(result[rStart]), rEnd - rStart, MPI_FLOAT, r, 2,
+               MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+    wbSolution(args, result, len);
+    free(result);
+  } else {
+    MPI_Send(hostOut, localN, MPI_FLOAT, 0, 2, MPI_COMM_WORLD);
+  }
+
+  MPI_Finalize();
+
+  cudaFree(deviceIn);
+  cudaFree(deviceOut);
+  free(local);
+  free(hostOut);
+  return 0;
+}
+'''
+
+_MPI_STENCIL_SKELETON = _MPI_STENCIL_SOURCE.replace(
+    """  if (rank > 0) {
+    MPI_Send(&(local[1]), 1, MPI_FLOAT, rank - 1, 0, MPI_COMM_WORLD);
+  }
+  if (rank < size - 1) {
+    MPI_Recv(&(local[localN + 1]), 1, MPI_FLOAT, rank + 1, 0,
+             MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    MPI_Send(&(local[localN]), 1, MPI_FLOAT, rank + 1, 1, MPI_COMM_WORLD);
+  }
+  if (rank > 0) {
+    MPI_Recv(&(local[0]), 1, MPI_FLOAT, rank - 1, 1, MPI_COMM_WORLD,
+             MPI_STATUS_IGNORE);
+  }""",
+    "  //@@ Exchange halo cells with your left and right neighbours.\n"
+    "  //@@ Mind the send/receive ordering: a symmetric send-first\n"
+    "  //@@ protocol deadlocks.")
+
+MPI_STENCIL = LabDefinition(
+    slug="mpi-stencil",
+    title="Multi-GPU Stencil with MPI",
+    description="""# Multi-GPU Stencil with MPI
+
+Distribute a 1-D three-point stencil across several GPUs, one MPI rank
+per device.
+
+## Objectives
+
+* Domain decomposition: each rank owns a contiguous chunk plus two halo
+  cells.
+* Halo exchange with `MPI_Send`/`MPI_Recv` — ordered so neighbouring
+  ranks never both block in a send.
+* Combining the results at rank 0 for submission.
+""",
+    skeleton=_MPI_STENCIL_SKELETON,
+    solution=_MPI_STENCIL_SOURCE,
+    generator="mpi_stencil",
+    dataset_sizes=(64, 128),
+    language="cuda-mpi",
+    mode=EvaluationMode.MPI,
+    requirements=frozenset({"mpi", "multi-gpu"}),
+    courses=frozenset({"PUMPS"}),
+    questions=("Why does the naive 'everyone sends left, then everyone "
+               "sends right' protocol deadlock with blocking sends?",),
+)

@@ -1,0 +1,428 @@
+"""Memory-hierarchy labs: 2-D Convolution, Reduction & Scan, Image Equalization."""
+
+from repro.labs.base import LabDefinition
+
+# -------------------------------------------------------------- 2D Convolution
+
+_CONV_HOST = r'''
+int main(int argc, char **argv) {
+  wbArg_t args;
+  int imageHeight, imageWidth, maskRows, maskColumns;
+  float *hostImage, *hostMask, *hostOutput;
+  float *deviceImage, *deviceOutput;
+
+  args = wbArg_read(argc, argv);
+
+  hostImage = (float *)wbImport(wbArg_getInputFile(args, 0), &imageHeight,
+                                &imageWidth);
+  hostMask = (float *)wbImport(wbArg_getInputFile(args, 1), &maskRows,
+                               &maskColumns);
+  hostOutput = (float *)malloc(imageHeight * imageWidth * sizeof(float));
+
+  cudaMalloc((void **)&deviceImage, imageHeight * imageWidth * sizeof(float));
+  cudaMalloc((void **)&deviceOutput, imageHeight * imageWidth * sizeof(float));
+  cudaMemcpy(deviceImage, hostImage, imageHeight * imageWidth * sizeof(float),
+             cudaMemcpyHostToDevice);
+  cudaMemcpyToSymbol(M, hostMask, MASK_WIDTH * MASK_WIDTH * sizeof(float));
+
+  dim3 dimBlock(O_TILE_WIDTH, O_TILE_WIDTH);
+  dim3 dimGrid((imageWidth + O_TILE_WIDTH - 1) / O_TILE_WIDTH,
+               (imageHeight + O_TILE_WIDTH - 1) / O_TILE_WIDTH);
+  convolution2D<<<dimGrid, dimBlock>>>(deviceImage, deviceOutput, imageHeight,
+                                       imageWidth);
+  cudaDeviceSynchronize();
+
+  cudaMemcpy(hostOutput, deviceOutput,
+             imageHeight * imageWidth * sizeof(float),
+             cudaMemcpyDeviceToHost);
+
+  wbSolution(args, hostOutput, imageHeight, imageWidth);
+
+  cudaFree(deviceImage);
+  cudaFree(deviceOutput);
+  free(hostOutput);
+  return 0;
+}
+'''
+
+_CONV_SKELETON = r'''
+#include <wb.h>
+
+#define MASK_WIDTH 3
+#define O_TILE_WIDTH 8
+
+__constant__ float M[MASK_WIDTH * MASK_WIDTH];
+
+__global__ void convolution2D(float *input, float *output, int height,
+                              int width) {
+  __shared__ float tile[O_TILE_WIDTH + MASK_WIDTH - 1]
+                       [O_TILE_WIDTH + MASK_WIDTH - 1];
+  //@@ Load the input tile (including the halo) into shared memory,
+  //@@ synchronize, then compute one output element per thread using
+  //@@ the __constant__ mask M.
+}
+''' + _CONV_HOST
+
+_CONV_SOLUTION = r'''
+#include <wb.h>
+
+#define MASK_WIDTH 3
+#define O_TILE_WIDTH 8
+
+__constant__ float M[MASK_WIDTH * MASK_WIDTH];
+
+__global__ void convolution2D(float *input, float *output, int height,
+                              int width) {
+  __shared__ float tile[O_TILE_WIDTH + MASK_WIDTH - 1]
+                       [O_TILE_WIDTH + MASK_WIDTH - 1];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int col = blockIdx.x * O_TILE_WIDTH + tx;
+  int row = blockIdx.y * O_TILE_WIDTH + ty;
+
+  for (int dy = ty; dy < O_TILE_WIDTH + MASK_WIDTH - 1; dy += O_TILE_WIDTH) {
+    for (int dx = tx; dx < O_TILE_WIDTH + MASK_WIDTH - 1;
+         dx += O_TILE_WIDTH) {
+      int r = blockIdx.y * O_TILE_WIDTH + dy - MASK_WIDTH / 2;
+      int c = blockIdx.x * O_TILE_WIDTH + dx - MASK_WIDTH / 2;
+      if (r >= 0 && r < height && c >= 0 && c < width)
+        tile[dy][dx] = input[r * width + c];
+      else
+        tile[dy][dx] = 0.0f;
+    }
+  }
+  __syncthreads();
+
+  if (row < height && col < width) {
+    float sum = 0.0f;
+    for (int ky = 0; ky < MASK_WIDTH; ky++) {
+      for (int kx = 0; kx < MASK_WIDTH; kx++) {
+        sum += M[ky * MASK_WIDTH + kx] * tile[ty + ky][tx + kx];
+      }
+    }
+    output[row * width + col] = sum;
+  }
+}
+''' + _CONV_HOST
+
+CONVOLUTION_2D = LabDefinition(
+    slug="convolution-2d",
+    title="2D Convolution",
+    description="""# 2D Convolution
+
+Convolve an image with a 3x3 mask using constant memory for the mask
+and a shared-memory input tile with halo cells.
+
+## Objectives
+
+* Place the (read-only, small, uniformly-accessed) mask in
+  `__constant__` memory and fill it with `cudaMemcpyToSymbol`.
+* Load an input tile *larger* than the output tile: each block needs a
+  halo of MASK_WIDTH/2 cells in every direction, with ghost cells
+  (zeros) past the image boundary.
+* Synchronize between the load phase and the compute phase.
+""",
+    skeleton=_CONV_SKELETON,
+    solution=_CONV_SOLUTION,
+    generator="convolution2d",
+    dataset_sizes=(8, 13, 24),
+    courses=frozenset({"HPP", "408"}),
+    questions=("Why is constant memory a better home for the mask than "
+               "shared memory?",),
+)
+
+# ------------------------------------------------------------ Reduction and Scan
+
+_SCAN_HOST = r'''
+int main(int argc, char **argv) {
+  wbArg_t args;
+  int numElements;
+  float *hostInput, *hostOutput;
+  float *deviceInput, *deviceOutput, *deviceAux, *deviceAuxScanned;
+
+  args = wbArg_read(argc, argv);
+  hostInput = (float *)wbImport(wbArg_getInputFile(args, 0), &numElements);
+  hostOutput = (float *)malloc(numElements * sizeof(float));
+
+  int numBlocks = (numElements + BLOCK_SIZE - 1) / BLOCK_SIZE;
+
+  cudaMalloc((void **)&deviceInput, numElements * sizeof(float));
+  cudaMalloc((void **)&deviceOutput, numElements * sizeof(float));
+  cudaMalloc((void **)&deviceAux, numBlocks * sizeof(float));
+  cudaMalloc((void **)&deviceAuxScanned, numBlocks * sizeof(float));
+
+  cudaMemcpy(deviceInput, hostInput, numElements * sizeof(float),
+             cudaMemcpyHostToDevice);
+
+  scanKernel<<<numBlocks, BLOCK_SIZE>>>(deviceInput, deviceOutput, deviceAux,
+                                        numElements);
+  scanKernel<<<1, BLOCK_SIZE>>>(deviceAux, deviceAuxScanned, deviceAux,
+                                numBlocks);
+  addAuxKernel<<<numBlocks, BLOCK_SIZE>>>(deviceOutput, deviceAuxScanned,
+                                          numElements);
+  cudaDeviceSynchronize();
+
+  cudaMemcpy(hostOutput, deviceOutput, numElements * sizeof(float),
+             cudaMemcpyDeviceToHost);
+
+  wbSolution(args, hostOutput, numElements);
+
+  cudaFree(deviceInput);
+  cudaFree(deviceOutput);
+  cudaFree(deviceAux);
+  cudaFree(deviceAuxScanned);
+  free(hostOutput);
+  return 0;
+}
+'''
+
+_SCAN_SKELETON = r'''
+#include <wb.h>
+
+#define BLOCK_SIZE 128
+
+__global__ void scanKernel(float *input, float *output, float *aux,
+                           int len) {
+  __shared__ float buffer[BLOCK_SIZE];
+  //@@ Perform an inclusive scan of this block's elements (Kogge-Stone),
+  //@@ write the scanned values to output, and store the block total in
+  //@@ aux[blockIdx.x].
+}
+
+__global__ void addAuxKernel(float *output, float *auxScanned, int len) {
+  //@@ Add the scanned block totals of all preceding blocks to each
+  //@@ element of this block.
+}
+''' + _SCAN_HOST
+
+_SCAN_SOLUTION = r'''
+#include <wb.h>
+
+#define BLOCK_SIZE 128
+
+__global__ void scanKernel(float *input, float *output, float *aux,
+                           int len) {
+  __shared__ float buffer[BLOCK_SIZE];
+  int t = threadIdx.x;
+  int i = blockIdx.x * blockDim.x + t;
+
+  if (i < len)
+    buffer[t] = input[i];
+  else
+    buffer[t] = 0.0f;
+  __syncthreads();
+
+  for (int stride = 1; stride < BLOCK_SIZE; stride *= 2) {
+    float value = 0.0f;
+    if (t >= stride)
+      value = buffer[t - stride];
+    __syncthreads();
+    buffer[t] += value;
+    __syncthreads();
+  }
+
+  if (i < len)
+    output[i] = buffer[t];
+  if (t == BLOCK_SIZE - 1)
+    aux[blockIdx.x] = buffer[t];
+}
+
+__global__ void addAuxKernel(float *output, float *auxScanned, int len) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (blockIdx.x > 0 && i < len) {
+    output[i] += auxScanned[blockIdx.x - 1];
+  }
+}
+''' + _SCAN_HOST
+
+REDUCTION_SCAN = LabDefinition(
+    slug="reduction-scan",
+    title="Reduction and Scan",
+    description="""# Reduction and Scan
+
+Compute the inclusive prefix sum (scan) of an arbitrary-length vector
+using the three-phase hierarchical algorithm:
+
+1. each block scans its own elements in shared memory (a tree-like
+   Kogge-Stone sweep) and records its total in an auxiliary array;
+2. a single block scans the auxiliary array;
+3. every block adds the scanned total of all preceding blocks.
+
+## Objectives
+
+* Tree-structured shared-memory algorithms and their `__syncthreads()`
+  discipline (note the *two* barriers per sweep step — read then write).
+* Work-efficiency: compare the O(n log n) Kogge-Stone sweep with the
+  O(n) sequential scan and the Brent-Kung alternative.
+* Floating-point: the parallel sum association order differs from the
+  sequential one, which is why grading uses a tolerance.
+""",
+    skeleton=_SCAN_SKELETON,
+    solution=_SCAN_SOLUTION,
+    generator="scan",
+    dataset_sizes=(64, 200, 513),
+    courses=frozenset({"HPP", "408"}),
+    questions=(
+        "Why does the Kogge-Stone sweep need a barrier both before and "
+        "after the in-place update?",
+        "What is the maximum input length this three-kernel structure "
+        "supports, and what would a fourth level buy you?",
+    ),
+)
+
+# ------------------------------------------------------------ Image Equalization
+
+_HISTEQ_HOST = r'''
+int main(int argc, char **argv) {
+  wbArg_t args;
+  int imageHeight, imageWidth;
+  float *hostImage, *hostOutput;
+  float *deviceImage, *deviceOutput, *deviceLut;
+  int *deviceHistogram;
+  int hostHistogram[HISTOGRAM_LENGTH];
+  float cdf[HISTOGRAM_LENGTH];
+  float lut[HISTOGRAM_LENGTH];
+
+  args = wbArg_read(argc, argv);
+  hostImage = (float *)wbImport(wbArg_getInputFile(args, 0), &imageHeight,
+                                &imageWidth);
+  int imageSize = imageHeight * imageWidth;
+  hostOutput = (float *)malloc(imageSize * sizeof(float));
+
+  cudaMalloc((void **)&deviceImage, imageSize * sizeof(float));
+  cudaMalloc((void **)&deviceOutput, imageSize * sizeof(float));
+  cudaMalloc((void **)&deviceLut, HISTOGRAM_LENGTH * sizeof(float));
+  cudaMalloc((void **)&deviceHistogram, HISTOGRAM_LENGTH * sizeof(int));
+
+  cudaMemcpy(deviceImage, hostImage, imageSize * sizeof(float),
+             cudaMemcpyHostToDevice);
+  cudaMemset(deviceHistogram, 0, HISTOGRAM_LENGTH * sizeof(int));
+
+  int numBlocks = (imageSize + HISTOGRAM_LENGTH - 1) / HISTOGRAM_LENGTH;
+  histogramKernel<<<numBlocks, HISTOGRAM_LENGTH>>>(deviceImage,
+                                                   deviceHistogram,
+                                                   imageSize);
+  cudaDeviceSynchronize();
+
+  int *hostHistogramPtr = hostHistogram;
+  cudaMemcpy(hostHistogramPtr, deviceHistogram,
+             HISTOGRAM_LENGTH * sizeof(int), cudaMemcpyDeviceToHost);
+
+  float cumulative = 0.0f;
+  float cdfMin = -1.0f;
+  for (int v = 0; v < HISTOGRAM_LENGTH; v++) {
+    cumulative += (float)hostHistogram[v] / (float)imageSize;
+    cdf[v] = cumulative;
+    if (cdfMin < 0.0f && hostHistogram[v] > 0) {
+      cdfMin = cdf[v];
+    }
+  }
+  for (int v = 0; v < HISTOGRAM_LENGTH; v++) {
+    float corrected = 255.0f * (cdf[v] - cdfMin) / (1.0f - cdfMin);
+    lut[v] = min(max(corrected, 0.0f), 255.0f);
+  }
+
+  float *hostLutPtr = lut;
+  cudaMemcpy(deviceLut, hostLutPtr, HISTOGRAM_LENGTH * sizeof(float),
+             cudaMemcpyHostToDevice);
+
+  int applyBlocks = (imageSize + 255) / 256;
+  applyLutKernel<<<applyBlocks, 256>>>(deviceImage, deviceLut, deviceOutput,
+                                       imageSize);
+  cudaDeviceSynchronize();
+
+  cudaMemcpy(hostOutput, deviceOutput, imageSize * sizeof(float),
+             cudaMemcpyDeviceToHost);
+
+  wbSolution(args, hostOutput, imageHeight, imageWidth);
+
+  cudaFree(deviceImage);
+  cudaFree(deviceOutput);
+  cudaFree(deviceLut);
+  cudaFree(deviceHistogram);
+  free(hostOutput);
+  return 0;
+}
+'''
+
+_HISTEQ_SKELETON = r'''
+#include <wb.h>
+
+#define HISTOGRAM_LENGTH 256
+
+__global__ void histogramKernel(float *image, int *histogram, int size) {
+  __shared__ int privateHistogram[HISTOGRAM_LENGTH];
+  //@@ Build a privatized histogram in shared memory with atomicAdd,
+  //@@ then merge it into the global histogram.
+}
+
+__global__ void applyLutKernel(float *image, float *lut, float *output,
+                               int size) {
+  //@@ Map every pixel through the lookup table.
+}
+''' + _HISTEQ_HOST
+
+_HISTEQ_SOLUTION = r'''
+#include <wb.h>
+
+#define HISTOGRAM_LENGTH 256
+
+__global__ void histogramKernel(float *image, int *histogram, int size) {
+  __shared__ int privateHistogram[HISTOGRAM_LENGTH];
+  int t = threadIdx.x;
+  if (t < HISTOGRAM_LENGTH)
+    privateHistogram[t] = 0;
+  __syncthreads();
+
+  int i = blockIdx.x * blockDim.x + t;
+  int stride = blockDim.x * gridDim.x;
+  while (i < size) {
+    int value = (int)image[i];
+    atomicAdd(&(privateHistogram[value]), 1);
+    i += stride;
+  }
+  __syncthreads();
+
+  if (t < HISTOGRAM_LENGTH)
+    atomicAdd(&(histogram[t]), privateHistogram[t]);
+}
+
+__global__ void applyLutKernel(float *image, float *lut, float *output,
+                               int size) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < size) {
+    int value = (int)image[i];
+    output[i] = lut[value];
+  }
+}
+''' + _HISTEQ_HOST
+
+IMAGE_EQUALIZATION = LabDefinition(
+    slug="image-equalization",
+    title="Image Equalization",
+    description="""# Image Equalization
+
+Equalize the histogram of a grayscale image (pixel values 0-255):
+
+1. build the intensity histogram on the GPU with atomic operations,
+   using a *privatized* per-block histogram in shared memory to reduce
+   contention on global memory;
+2. compute the CDF and the correction lookup table on the host;
+3. map every pixel through the table on the GPU.
+
+## Objectives
+
+* `atomicAdd` on shared and global memory, and why privatization
+  matters (compare the atomic-contention counter in the profile output
+  with and without the private histogram).
+* Mixed host/device algorithms: the 256-entry CDF is cheaper on the
+  host than a kernel launch.
+""",
+    skeleton=_HISTEQ_SKELETON,
+    solution=_HISTEQ_SOLUTION,
+    generator="image_equalization",
+    dataset_sizes=(16, 24),
+    courses=frozenset({"HPP", "408"}),
+    questions=("Why does a privatized histogram reduce the cost of the "
+               "atomic operations?",),
+)

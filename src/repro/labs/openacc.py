@@ -1,0 +1,80 @@
+"""Extension lab: OpenACC Vector Addition.
+
+Not a Table II row, but the paper states WebGPU "has been used as the
+CUDA, OpenACC, and OpenCL programming environment" — this lab exercises
+the OpenACC toolchain path (``#pragma acc parallel loop`` offload with
+implicit data movement, served by workers carrying the PGI image).
+"""
+
+from repro.labs.base import LabDefinition
+
+_ACC_HOST = r'''
+int main(int argc, char **argv) {
+  wbArg_t args;
+  int len;
+  float *hostInput1, *hostInput2, *hostOutput;
+
+  args = wbArg_read(argc, argv);
+  hostInput1 = (float *)wbImport(wbArg_getInputFile(args, 0), &len);
+  hostInput2 = (float *)wbImport(wbArg_getInputFile(args, 1), &len);
+  hostOutput = (float *)malloc(len * sizeof(float));
+
+  addVectors(hostInput1, hostInput2, hostOutput, len);
+
+  wbSolution(args, hostOutput, len);
+  free(hostOutput);
+  return 0;
+}
+'''
+
+_ACC_SKELETON = r'''
+#include <wb.h>
+
+void addVectors(float *in1, float *in2, float *out, int len) {
+  //@@ Annotate the loop below with an OpenACC directive so it runs on
+  //@@ the GPU. No CUDA indexing, no cudaMalloc/cudaMemcpy: the
+  //@@ compiler manages the data movement.
+  for (int i = 0; i < len; i++) {
+    out[i] = in1[i] + in2[i];
+  }
+}
+''' + _ACC_HOST
+
+_ACC_SOLUTION = r'''
+#include <wb.h>
+
+void addVectors(float *in1, float *in2, float *out, int len) {
+  #pragma acc parallel loop
+  for (int i = 0; i < len; i++) {
+    out[i] = in1[i] + in2[i];
+  }
+}
+''' + _ACC_HOST
+
+OPENACC_VECADD = LabDefinition(
+    slug="openacc-vecadd",
+    title="OpenACC Vector Addition",
+    description="""# OpenACC Vector Addition
+
+Add two vectors using OpenACC directives instead of CUDA.
+
+## Objectives
+
+* Directive-based offload: `#pragma acc parallel loop` turns a
+  canonical sequential loop into a GPU kernel.
+* Implicit data movement: no explicit `cudaMalloc`/`cudaMemcpy` — the
+  compiler copies the arrays the loop body touches.
+* Compare the directive model's brevity with the CUDA version of this
+  same lab, and inspect the attempt profile: the generated kernel has
+  the same coalesced access pattern.
+""",
+    skeleton=_ACC_SKELETON,
+    solution=_ACC_SOLUTION,
+    generator="vector_add",
+    dataset_sizes=(64, 300, 1024),
+    language="openacc",
+    requirements=frozenset({"openacc"}),
+    courses=frozenset(),   # extension: offered outside the Table II set
+    questions=("What data clauses would you add if only part of the "
+               "output array were written?",),
+)

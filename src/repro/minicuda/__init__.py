@@ -1,0 +1,53 @@
+"""minicuda: a from-scratch compiler for a CUDA-C subset.
+
+The paper's workers invoke ``nvcc`` (or the OpenCL/OpenACC toolchains)
+on student source. This package substitutes a complete, self-contained
+toolchain for a C dialect large enough to express every lab in the
+course (Table II):
+
+* :mod:`repro.minicuda.preprocessor` — comments, ``#define`` object- and
+  function-like macros, ``#include``, ``#ifdef`` conditionals;
+* :mod:`repro.minicuda.lexer` — tokens with line/column positions;
+* :mod:`repro.minicuda.parser` — recursive descent into a typed AST,
+  including CUDA's ``kernel<<<grid, block>>>(...)`` launch syntax,
+  ``__global__ / __device__ / __shared__ / __constant__`` qualifiers and
+  OpenCL's ``__kernel / __global`` spellings;
+* :mod:`repro.minicuda.semantic` — symbol resolution, kernel signature
+  collection, lvalue and arity checking with source positions;
+* :mod:`repro.minicuda.interpreter` — a tree-walking interpreter.
+  Device kernels execute as per-thread generators against
+  :class:`repro.gpusim.ThreadContext` (so ``__syncthreads()`` maps onto
+  the scheduler's lockstep barrier and every memory access is profiled);
+  host code runs against a CUDA-runtime + libwb host API
+  (:mod:`repro.minicuda.hostapi`).
+
+The facade is :func:`repro.minicuda.compiler.compile_source`.
+"""
+
+from repro.minicuda.diagnostics import CompileError, Diagnostic, SourcePos
+from repro.minicuda.preprocessor import Preprocessor, preprocess
+from repro.minicuda.lexer import Lexer, Token, TokenKind, tokenize
+from repro.minicuda.parser import Parser, parse
+from repro.minicuda.semantic import analyze
+from repro.minicuda.compiler import CompiledProgram, compile_source
+from repro.minicuda.hostapi import HostEnv, SolutionRecorded, WbTimer
+
+__all__ = [
+    "CompileError",
+    "CompiledProgram",
+    "Diagnostic",
+    "HostEnv",
+    "Lexer",
+    "Parser",
+    "Preprocessor",
+    "SolutionRecorded",
+    "SourcePos",
+    "Token",
+    "TokenKind",
+    "WbTimer",
+    "analyze",
+    "compile_source",
+    "parse",
+    "preprocess",
+    "tokenize",
+]

@@ -1,0 +1,93 @@
+"""Compiler facade: source text -> checked, runnable program."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.gpusim.host import GpuRuntime
+from repro.minicuda.diagnostics import CompileError
+from repro.minicuda.hostapi import ExitProgram, HostEnv
+from repro.minicuda.interpreter import Interpreter
+from repro.minicuda.parser import DEFAULT_TYPEDEFS, parse
+from repro.minicuda.preprocessor import preprocess
+from repro.minicuda.semantic import ProgramInfo, analyze
+
+#: Extra handle types beyond the parser defaults.
+EXTRA_TYPEDEFS = frozenset({"cudaDeviceProp", "MPI_Status"})
+
+#: Synthetic nvcc cost model: fixed front-end cost plus per-byte cost.
+COMPILE_BASE_SECONDS = 0.8
+COMPILE_SECONDS_PER_CHAR = 2e-5
+
+
+@dataclass
+class HostRunResult:
+    """Outcome of running a program's ``main``."""
+
+    exit_code: int
+    host_env: HostEnv
+    interpreter: Interpreter
+
+
+class CompiledProgram:
+    """A parsed + semantically-checked translation unit."""
+
+    def __init__(self, source: str, preprocessed: str, info: ProgramInfo):
+        self.source = source
+        self.preprocessed = preprocessed
+        self.info = info
+
+    @property
+    def kernel_names(self) -> tuple[str, ...]:
+        return tuple(self.info.kernels)
+
+    @property
+    def estimated_compile_seconds(self) -> float:
+        """Synthetic wall-clock cost of the 'nvcc' invocation."""
+        return COMPILE_BASE_SECONDS + len(self.source) * COMPILE_SECONDS_PER_CHAR
+
+    def run_main(self, runtime: GpuRuntime | None = None,
+                 host_env: HostEnv | None = None,
+                 max_steps: int = 50_000_000) -> HostRunResult:
+        """Execute ``main`` (the usual lab entry point)."""
+        if not self.info.has_main:
+            raise CompileError("program has no main() function")
+        runtime = runtime or GpuRuntime()
+        host_env = host_env or HostEnv()
+        interp = Interpreter(self.info, runtime, host_env,
+                             max_steps=max_steps)
+        main = self.info.host_functions["main"]
+        args: tuple[Any, ...] = ()
+        if len(main.params) >= 2:
+            from repro.minicuda.values import NULL
+            args = (len(host_env.argv), NULL)
+        try:
+            code = interp.run_host_function("main", args)
+        except ExitProgram as exc:
+            code = exc.code
+        return HostRunResult(exit_code=int(code or 0), host_env=host_env,
+                             interpreter=interp)
+
+    def launch(self, runtime: GpuRuntime, kernel: str, grid: Any, block: Any,
+               *args: Any, host_env: HostEnv | None = None,
+               max_steps: int = 50_000_000) -> Any:
+        """Directly launch a single kernel (kernel-only labs: OpenCL)."""
+        interp = Interpreter(self.info, runtime, host_env,
+                             max_steps=max_steps)
+        return interp.launch_kernel(kernel, grid, block, tuple(args))
+
+
+def compile_source(source: str,
+                   headers: Mapping[str, str] | None = None,
+                   defines: Mapping[str, str] | None = None) -> CompiledProgram:
+    """Preprocess, parse, and check a CUDA-C source file.
+
+    Raises :class:`CompileError` carrying every diagnostic on failure,
+    mirroring how WebGPU's worker relays nvcc output to the student.
+    """
+    preprocessed = preprocess(source, headers=headers, predefined=defines)
+    unit = parse(preprocessed,
+                 typedef_names=frozenset(DEFAULT_TYPEDEFS) | EXTRA_TYPEDEFS)
+    info = analyze(unit)
+    return CompiledProgram(source=source, preprocessed=preprocessed, info=info)

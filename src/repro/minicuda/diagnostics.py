@@ -1,0 +1,43 @@
+"""Source positions and compile-time diagnostics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourcePos:
+    """Line/column position in the (preprocessed) source, 1-based."""
+
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One compiler message."""
+
+    message: str
+    pos: SourcePos = SourcePos()
+    severity: str = "error"
+
+    def __str__(self) -> str:
+        return f"{self.severity}: {self.pos}: {self.message}"
+
+
+class CompileError(Exception):
+    """Compilation failed; carries all accumulated diagnostics.
+
+    The worker relays ``str(error)`` to the student, mirroring how
+    WebGPU shows nvcc's error output in the code view.
+    """
+
+    def __init__(self, diagnostics: list[Diagnostic] | str,
+                 pos: SourcePos | None = None):
+        if isinstance(diagnostics, str):
+            diagnostics = [Diagnostic(diagnostics, pos or SourcePos())]
+        self.diagnostics = diagnostics
+        super().__init__("\n".join(str(d) for d in diagnostics))

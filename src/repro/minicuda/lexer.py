@@ -1,0 +1,203 @@
+"""Tokenizer for the CUDA-C subset."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.minicuda.diagnostics import CompileError, SourcePos
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    CHAR = "char"
+    PUNCT = "punct"
+    PRAGMA = "pragma"   # a surviving "#pragma ..." line (OpenACC)
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "void", "int", "float", "double", "char", "bool", "long", "short",
+    "unsigned", "signed", "const", "static", "struct", "size_t",
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "switch", "case", "default",
+    "sizeof", "true", "false", "NULL",
+    "__global__", "__device__", "__host__", "__shared__", "__constant__",
+    "__restrict__", "extern",
+    # OpenCL spellings
+    "__kernel", "__local", "__global",
+    # types provided by the runtime
+    "dim3",
+})
+
+# Longest first so that e.g. ">>=" is not read as ">" ">" "=".
+# Note: "<<<" / ">>>" (kernel launch) are produced by the parser from
+# shift tokens, because ">>>" is ambiguous with nested templates in real
+# C++ but unambiguous here: we emit them directly as 3-char puncts.
+PUNCTUATION = (
+    "<<<", ">>>",
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+)
+
+_FLOAT_RE = re.compile(
+    r"(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)[fF]?"
+    r"|\d+[fF]"
+)
+_INT_RE = re.compile(r"0[xX][0-9a-fA-F]+|\d+[uUlL]*")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+            '"': '"', "'": "'"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    pos: SourcePos
+    value: Any = None  # parsed literal value for INT/FLOAT/STRING/CHAR
+
+    def is_punct(self, *texts: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text in texts
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})@{self.pos}"
+
+
+class Lexer:
+    """Streaming tokenizer with 1-based line/column tracking."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.i = 0
+        self.line = 1
+        self.col = 1
+
+    def _pos(self) -> SourcePos:
+        return SourcePos(self.line, self.col)
+
+    def _advance(self, n: int) -> None:
+        chunk = self.source[self.i:self.i + n]
+        newlines = chunk.count("\n")
+        if newlines:
+            self.line += newlines
+            self.col = n - chunk.rfind("\n")
+        else:
+            self.col += n
+        self.i += n
+
+    def tokens(self) -> Iterator[Token]:
+        src = self.source
+        n = len(src)
+        while self.i < n:
+            ch = src[self.i]
+            if ch in " \t\r\n":
+                self._advance(1)
+                continue
+            if ch == "#":
+                # surviving "#pragma" lines become PRAGMA tokens so the
+                # parser can attach OpenACC directives to loops; other
+                # stray hash lines are skipped
+                pos = self._pos()
+                end = src.find("\n", self.i)
+                line = src[self.i:end if end >= 0 else n]
+                self._advance(len(line))
+                stripped = line.lstrip("#").strip()
+                if stripped.startswith("pragma"):
+                    yield Token(TokenKind.PRAGMA, line, pos,
+                                stripped[len("pragma"):].strip())
+                continue
+            pos = self._pos()
+            if ch == '"':
+                text, value = self._string(pos)
+                yield Token(TokenKind.STRING, text, pos, value)
+                continue
+            if ch == "'":
+                text, value = self._char(pos)
+                yield Token(TokenKind.CHAR, text, pos, value)
+                continue
+            m = _FLOAT_RE.match(src, self.i)
+            if m:
+                text = m.group(0)
+                self._advance(len(text))
+                yield Token(TokenKind.FLOAT, text, pos,
+                            float(text.rstrip("fF")))
+                continue
+            m = _INT_RE.match(src, self.i)
+            if m:
+                text = m.group(0)
+                self._advance(len(text))
+                digits = text.rstrip("uUlL")
+                value = int(digits, 16) if digits.lower().startswith("0x") \
+                    else int(digits)
+                yield Token(TokenKind.INT, text, pos, value)
+                continue
+            m = _IDENT_RE.match(src, self.i)
+            if m:
+                text = m.group(0)
+                self._advance(len(text))
+                kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+                yield Token(kind, text, pos)
+                continue
+            for punct in PUNCTUATION:
+                if src.startswith(punct, self.i):
+                    self._advance(len(punct))
+                    yield Token(TokenKind.PUNCT, punct, pos)
+                    break
+            else:
+                raise CompileError(f"unexpected character {ch!r}", pos)
+        yield Token(TokenKind.EOF, "", self._pos())
+
+    def _string(self, pos: SourcePos) -> tuple[str, str]:
+        src = self.source
+        j = self.i + 1
+        chars: list[str] = []
+        while j < len(src):
+            c = src[j]
+            if c == "\\" and j + 1 < len(src):
+                chars.append(_ESCAPES.get(src[j + 1], src[j + 1]))
+                j += 2
+                continue
+            if c == '"':
+                text = src[self.i:j + 1]
+                self._advance(j + 1 - self.i)
+                return text, "".join(chars)
+            if c == "\n":
+                break
+            chars.append(c)
+            j += 1
+        raise CompileError("unterminated string literal", pos)
+
+    def _char(self, pos: SourcePos) -> tuple[str, int]:
+        src = self.source
+        j = self.i + 1
+        if j < len(src) and src[j] == "\\" and j + 2 < len(src) \
+                and src[j + 2] == "'":
+            value = ord(_ESCAPES.get(src[j + 1], src[j + 1]))
+            text = src[self.i:j + 3]
+            self._advance(j + 3 - self.i)
+            return text, value
+        if j + 1 < len(src) and src[j + 1] == "'":
+            value = ord(src[j])
+            text = src[self.i:j + 2]
+            self._advance(j + 2 - self.i)
+            return text, value
+        raise CompileError("malformed character literal", pos)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize preprocessed source into a list ending with EOF."""
+    return list(Lexer(source).tokens())

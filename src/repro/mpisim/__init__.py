@@ -1,0 +1,24 @@
+"""In-process MPI simulation for the Multi-GPU Stencil lab.
+
+The paper's Table II includes a "Multi-GPU Stencil with MPI" lab and
+WebGPU 2.0 dispatches MPI-tagged jobs to MPI-capable workers. This
+package runs each MPI rank in its own Python thread; point-to-point
+messages travel over per-destination queues and collectives are built
+from a reusable barrier.
+"""
+
+from repro.mpisim.comm import (
+    Communicator,
+    MpiError,
+    MpiTimeout,
+    RankEndpoint,
+    run_mpi,
+)
+
+__all__ = [
+    "Communicator",
+    "MpiError",
+    "MpiTimeout",
+    "RankEndpoint",
+    "run_mpi",
+]

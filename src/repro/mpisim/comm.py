@@ -1,0 +1,185 @@
+"""Threads-as-ranks message passing: send/recv, barrier, allreduce."""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+
+class MpiError(Exception):
+    """Protocol misuse (bad rank, mismatched collective, rank crash)."""
+
+
+class MpiTimeout(MpiError):
+    """A blocking operation waited too long (deadlock guard)."""
+
+
+class Communicator:
+    """Shared state for one MPI "world" of ``size`` ranks."""
+
+    def __init__(self, size: int, timeout: float = 30.0):
+        if size < 1:
+            raise MpiError("communicator size must be >= 1")
+        self.size = size
+        self.timeout = timeout
+        # mailbox[dest] holds (source, tag, payload) triples
+        self._mailboxes: list[queue.Queue] = [queue.Queue() for _ in range(size)]
+        self._barrier = threading.Barrier(size)
+        self._reduce_lock = threading.Lock()
+        self._reduce_slots: list[Any] = [None] * size
+        self._reduce_result: Any = None
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def endpoint(self, rank: int) -> "RankEndpoint":
+        if not (0 <= rank < self.size):
+            raise MpiError(f"rank {rank} out of range [0, {self.size})")
+        return RankEndpoint(self, rank)
+
+
+class RankEndpoint:
+    """One rank's view of the communicator (what MPI_* builtins use)."""
+
+    def __init__(self, comm: Communicator, rank: int):
+        self.comm = comm
+        self.rank = rank
+        # messages that arrived but did not match a pending recv
+        self._stash: list[tuple[int, int, Any]] = []
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        if not (0 <= dest < self.comm.size):
+            raise MpiError(f"MPI_Send to invalid rank {dest}")
+        if isinstance(payload, np.ndarray):
+            self.comm.bytes_sent += int(payload.nbytes)
+        self.comm.messages_sent += 1
+        self.comm._mailboxes[dest].put((self.rank, tag, payload))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive matching (source, tag); -1 matches any."""
+        for i, (src, t, payload) in enumerate(self._stash):
+            if (source in (-1, src)) and (tag in (-1, t)):
+                del self._stash[i]
+                return payload
+        box = self.comm._mailboxes[self.rank]
+        deadline = self.comm.timeout
+        while True:
+            try:
+                src, t, payload = box.get(timeout=deadline)
+            except queue.Empty:
+                raise MpiTimeout(
+                    f"rank {self.rank}: MPI_Recv(source={source}, tag={tag}) "
+                    f"timed out after {self.comm.timeout}s (deadlock?)"
+                ) from None
+            if (source in (-1, src)) and (tag in (-1, t)):
+                return payload
+            self._stash.append((src, t, payload))
+
+    def sendrecv(self, payload: Any, dest: int, source: int,
+                 tag: int = 0) -> Any:
+        """Exchange with neighbours without deadlocking."""
+        self.send(payload, dest, tag)
+        return self.recv(source, tag)
+
+    def barrier(self) -> None:
+        try:
+            self.comm._barrier.wait(timeout=self.comm.timeout)
+        except threading.BrokenBarrierError:
+            raise MpiTimeout(
+                f"rank {self.rank}: MPI_Barrier timed out (a rank died "
+                "or deadlocked)") from None
+
+    def allreduce(self, payload: Any, op: str = "sum") -> Any:
+        """All ranks contribute; all receive the combined result."""
+        comm = self.comm
+        comm._reduce_slots[self.rank] = payload
+        self.barrier()
+        if self.rank == 0:
+            with comm._reduce_lock:
+                comm._reduce_result = _combine(comm._reduce_slots, op)
+        self.barrier()
+        result = comm._reduce_result
+        self.barrier()  # keep slots stable until everyone has read
+        if self.rank == 0:
+            comm._reduce_slots = [None] * comm.size
+        return result
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        """Broadcast from ``root`` to every rank."""
+        if self.rank == root:
+            for dest in range(self.comm.size):
+                if dest != root:
+                    self.send(payload, dest, tag=-7)
+            return payload
+        return self.recv(source=root, tag=-7)
+
+    def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
+        """Gather every rank's payload at ``root`` (rank order)."""
+        if self.rank == root:
+            items: list[Any] = [None] * self.comm.size
+            items[root] = payload
+            for _ in range(self.comm.size - 1):
+                # tag -8 reserved for gather traffic
+                src_payload = self.recv(source=-1, tag=-8)
+                src, value = src_payload
+                items[src] = value
+            return items
+        self.send((self.rank, payload), dest=root, tag=-8)
+        return None
+
+
+def _combine(values: Sequence[Any], op: str) -> Any:
+    arrays = [np.asarray(v) for v in values]
+    stacked = np.stack(arrays)
+    if op == "sum":
+        combined = stacked.sum(axis=0)
+    elif op == "max":
+        combined = stacked.max(axis=0)
+    elif op == "min":
+        combined = stacked.min(axis=0)
+    elif op == "prod":
+        combined = stacked.prod(axis=0)
+    else:
+        raise MpiError(f"unknown reduction op {op!r}")
+    if arrays[0].shape == ():
+        return combined.item()
+    return combined
+
+
+def run_mpi(size: int, fn: Callable[[RankEndpoint], Any],
+            timeout: float = 30.0) -> list[Any]:
+    """Run ``fn(endpoint)`` on ``size`` ranks (threads); returns results.
+
+    Any rank raising aborts the job: the first exception is re-raised
+    in the caller once all threads have stopped.
+    """
+    comm = Communicator(size, timeout=timeout)
+    results: list[Any] = [None] * size
+    errors: list[BaseException | None] = [None] * size
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = fn(comm.endpoint(rank))
+        except BaseException as exc:  # noqa: BLE001 - relayed to caller
+            errors[rank] = exc
+            comm._barrier.abort()
+
+    threads = [threading.Thread(target=runner, args=(r,), daemon=True)
+               for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout + 5.0)
+    for t in threads:
+        if t.is_alive():
+            raise MpiTimeout("an MPI rank failed to terminate")
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    return results

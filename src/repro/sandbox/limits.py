@@ -1,0 +1,115 @@
+"""Execution time limits and submission rate limits.
+
+Paper Section III-C: "To maintain fairness, time limits are placed on
+the submission rate and on the duration of the compilation and
+execution of user code. The time limits can be adjusted on a per lab
+basis."
+
+Both limiters are driven by *supplied* timestamps/durations rather than
+the wall clock, so they compose with the discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class TimeLimitExceeded(Exception):
+    """Compilation or execution exceeded its time budget."""
+
+    def __init__(self, phase: str, spent: float, limit: float):
+        self.phase = phase
+        self.spent = spent
+        self.limit = limit
+        super().__init__(
+            f"{phase} time limit exceeded: {spent:.3f}s > {limit:.3f}s"
+        )
+
+
+class RateLimitExceeded(Exception):
+    """A user submitted faster than the lab's rate limit allows."""
+
+    def __init__(self, user: str, retry_after: float):
+        self.user = user
+        self.retry_after = retry_after
+        super().__init__(
+            f"rate limit exceeded for {user!r}; retry after "
+            f"{retry_after:.1f}s"
+        )
+
+
+@dataclass
+class TimeLimiter:
+    """Accumulates charged execution time against a budget.
+
+    The worker charges simulated seconds as the job progresses
+    (``charge``); exceeding the budget raises
+    :class:`TimeLimitExceeded`, modelling the watchdog killing the
+    process.
+    """
+
+    phase: str
+    limit_seconds: float
+    spent: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.limit_seconds <= 0:
+            raise ValueError("time limit must be positive")
+
+    def charge(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.spent += seconds
+        if self.spent > self.limit_seconds:
+            raise TimeLimitExceeded(self.phase, self.spent, self.limit_seconds)
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.limit_seconds - self.spent)
+
+
+@dataclass
+class SubmissionRateLimiter:
+    """Token-bucket rate limiter keyed by user.
+
+    Each user gets ``burst`` tokens refilled at ``rate_per_minute / 60``
+    tokens per second. A submission consumes one token; an empty bucket
+    rejects with the time until the next token.
+    """
+
+    rate_per_minute: float = 6.0
+    burst: int = 3
+    _buckets: dict[str, tuple[float, float]] = field(default_factory=dict)
+    # user -> (tokens, last_refill_time)
+
+    def __post_init__(self) -> None:
+        if self.rate_per_minute <= 0 or self.burst < 1:
+            raise ValueError("rate_per_minute must be > 0 and burst >= 1")
+
+    def _refill(self, user: str, now: float) -> float:
+        tokens, last = self._buckets.get(user, (float(self.burst), now))
+        if now < last:
+            raise ValueError("time went backwards")
+        tokens = min(self.burst, tokens + (now - last) * self.rate_per_minute / 60.0)
+        return tokens
+
+    def try_submit(self, user: str, now: float) -> bool:
+        """Consume a token if available; returns whether allowed."""
+        tokens = self._refill(user, now)
+        if tokens >= 1.0:
+            self._buckets[user] = (tokens - 1.0, now)
+            return True
+        self._buckets[user] = (tokens, now)
+        return False
+
+    def submit(self, user: str, now: float) -> None:
+        """Like :meth:`try_submit` but raises on rejection."""
+        if not self.try_submit(user, now):
+            tokens, _ = self._buckets[user]
+            deficit = 1.0 - tokens
+            retry_after = deficit * 60.0 / self.rate_per_minute
+            raise RateLimitExceeded(user, retry_after)
+
+    def tokens(self, user: str, now: float) -> float:
+        """Current token count for introspection/tests."""
+        return self._refill(user, now)

@@ -1,0 +1,105 @@
+"""setuid-style privilege model with per-compilation temp directories.
+
+Paper Section III-D: "We use setuid to execute the user code as
+unprivileged user who can only write to a unique temporary directory
+created for each compilation."
+
+:class:`FileSystemModel` is a tiny virtual filesystem tracking which
+paths exist and who may write where; :class:`PrivilegeContext` is the
+identity a sandboxed process runs under.
+"""
+
+from __future__ import annotations
+
+import itertools
+import posixpath
+from dataclasses import dataclass, field
+
+
+class PermissionDenied(Exception):
+    """A write outside the process's writable subtree was attempted."""
+
+
+@dataclass(frozen=True)
+class PrivilegeContext:
+    """The identity and confinement of one sandboxed execution."""
+
+    uid: int
+    username: str
+    writable_root: str
+
+    @property
+    def is_privileged(self) -> bool:
+        return self.uid == 0
+
+    def may_write(self, path: str) -> bool:
+        norm = posixpath.normpath(path)
+        root = posixpath.normpath(self.writable_root)
+        return norm == root or norm.startswith(root + "/")
+
+
+@dataclass
+class FileSystemModel:
+    """Virtual filesystem: path -> bytes, plus write-permission checks.
+
+    System paths (everything outside ``/tmp``) are writable only by
+    root; sandboxed writes are checked against the writing context's
+    ``writable_root``.
+    """
+
+    files: dict[str, bytes] = field(default_factory=dict)
+    _tmp_counter: itertools.count = field(default_factory=itertools.count)
+
+    def make_sandbox_dir(self) -> str:
+        """Allocate a fresh unique temp directory for one compilation."""
+        return f"/tmp/webgpu-{next(self._tmp_counter):06d}"
+
+    def write(self, ctx: PrivilegeContext, path: str, data: bytes) -> None:
+        norm = posixpath.normpath(path)
+        if not ctx.is_privileged and not ctx.may_write(norm):
+            raise PermissionDenied(
+                f"uid {ctx.uid} ({ctx.username}) may not write {norm!r} "
+                f"(confined to {ctx.writable_root!r})"
+            )
+        self.files[norm] = data
+
+    def read(self, path: str) -> bytes:
+        norm = posixpath.normpath(path)
+        try:
+            return self.files[norm]
+        except KeyError:
+            raise FileNotFoundError(norm) from None
+
+    def exists(self, path: str) -> bool:
+        return posixpath.normpath(path) in self.files
+
+    def listdir(self, path: str) -> list[str]:
+        prefix = posixpath.normpath(path) + "/"
+        return sorted(
+            p[len(prefix):].split("/", 1)[0]
+            for p in self.files
+            if p.startswith(prefix)
+        )
+
+    def remove_tree(self, path: str) -> int:
+        """Delete a subtree (cleanup after a job); returns files removed."""
+        prefix = posixpath.normpath(path)
+        doomed = [p for p in self.files
+                  if p == prefix or p.startswith(prefix + "/")]
+        for p in doomed:
+            del self.files[p]
+        return len(doomed)
+
+
+#: Counter for allocating distinct unprivileged uids.
+_uid_counter = itertools.count(10_000)
+
+
+def make_sandbox_context(fs: FileSystemModel) -> PrivilegeContext:
+    """Fresh unprivileged identity confined to a new temp directory."""
+    uid = next(_uid_counter)
+    return PrivilegeContext(
+        uid=uid,
+        username=f"sandbox{uid}",
+        writable_root=fs.make_sandbox_dir(),
+    )

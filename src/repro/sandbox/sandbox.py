@@ -1,0 +1,196 @@
+"""The composed sandbox executor used by worker nodes.
+
+Pipeline for one job (paper Sections III-C/III-D):
+
+1. blacklist scan of the raw source;
+2. compilation under a compile-time limit, writing artifacts only to a
+   unique per-compilation temp directory as an unprivileged user;
+3. execution under a seccomp-style syscall gate and a run-time limit;
+4. cleanup of the temp directory.
+
+The executor is agnostic to the language toolchain: callers supply
+``compile_fn`` and ``run_fn``. The worker node wires these to the
+minicuda compiler and gpusim device.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sandbox.blacklist import BlacklistScanner, BlacklistViolation
+from repro.sandbox.limits import TimeLimiter, TimeLimitExceeded
+from repro.sandbox.privileges import (
+    FileSystemModel,
+    PermissionDenied,
+    PrivilegeContext,
+    make_sandbox_context,
+)
+from repro.sandbox.seccomp import SeccompPolicy, SyscallGate, SyscallViolation
+
+
+class SandboxViolation(Exception):
+    """Umbrella error for any security mechanism firing."""
+
+
+class ExecutionOutcome(enum.Enum):
+    OK = "ok"
+    BLACKLISTED = "blacklisted"
+    COMPILE_ERROR = "compile_error"
+    COMPILE_TIMEOUT = "compile_timeout"
+    RUNTIME_ERROR = "runtime_error"
+    RUN_TIMEOUT = "run_timeout"
+    SYSCALL_KILLED = "syscall_killed"
+    WRITE_DENIED = "write_denied"
+
+    @property
+    def is_security_kill(self) -> bool:
+        return self in (
+            ExecutionOutcome.BLACKLISTED,
+            ExecutionOutcome.SYSCALL_KILLED,
+            ExecutionOutcome.WRITE_DENIED,
+        )
+
+
+@dataclass(frozen=True)
+class SandboxConfig:
+    """Per-lab sandbox parameters (instructor-supplied)."""
+
+    policy: SeccompPolicy
+    compile_limit_s: float = 30.0
+    run_limit_s: float = 60.0
+    scanner: BlacklistScanner = field(default_factory=BlacklistScanner)
+
+
+@dataclass
+class SandboxEnv:
+    """Everything a ``run_fn`` may touch while sandboxed."""
+
+    gate: SyscallGate
+    run_limiter: TimeLimiter
+    privileges: PrivilegeContext
+    fs: FileSystemModel
+
+    def write_file(self, relative_path: str, data: bytes) -> None:
+        """Write inside the sandbox temp dir (checked)."""
+        path = f"{self.privileges.writable_root}/{relative_path}"
+        self.fs.write(self.privileges, path, data)
+
+
+@dataclass
+class SandboxResult:
+    """What the worker reports back to the web-server for one job."""
+
+    outcome: ExecutionOutcome
+    stdout: str = ""
+    stderr: str = ""
+    compile_seconds: float = 0.0
+    run_seconds: float = 0.0
+    syscall_counts: dict[str, int] = field(default_factory=dict)
+    value: Any = None  # run_fn's return value on success
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is ExecutionOutcome.OK
+
+
+class CompileFailure(Exception):
+    """Raised by ``compile_fn`` on a (user-caused) compile error."""
+
+    def __init__(self, message: str, seconds: float = 0.0):
+        self.seconds = seconds
+        super().__init__(message)
+
+
+class SandboxExecutor:
+    """Runs one compile+execute job under the full security stack."""
+
+    def __init__(self, config: SandboxConfig, fs: FileSystemModel | None = None):
+        self.config = config
+        self.fs = fs if fs is not None else FileSystemModel()
+        self.jobs_run = 0
+        self.kills_by_outcome: dict[ExecutionOutcome, int] = {}
+
+    def execute(
+        self,
+        source: str,
+        compile_fn: Callable[[str, TimeLimiter], Any],
+        run_fn: Callable[[Any, SandboxEnv], Any],
+    ) -> SandboxResult:
+        """Run the full pipeline for one submission.
+
+        ``compile_fn(source, limiter)`` must charge compile time to the
+        limiter and return an artifact, raising :class:`CompileFailure`
+        on user errors. ``run_fn(artifact, env)`` must route syscalls
+        through ``env.gate`` and charge run time to ``env.run_limiter``;
+        its return value lands in ``SandboxResult.value``.
+        """
+        self.jobs_run += 1
+
+        # 1. blacklist
+        try:
+            self.config.scanner.check(source)
+        except BlacklistViolation as exc:
+            return self._finish(SandboxResult(
+                outcome=ExecutionOutcome.BLACKLISTED, stderr=str(exc)))
+
+        # 2. compile (unprivileged, confined, time-limited)
+        ctx = make_sandbox_context(self.fs)
+        compile_limiter = TimeLimiter("compile", self.config.compile_limit_s)
+        try:
+            artifact = compile_fn(source, compile_limiter)
+        except CompileFailure as exc:
+            return self._finish(SandboxResult(
+                outcome=ExecutionOutcome.COMPILE_ERROR, stderr=str(exc),
+                compile_seconds=compile_limiter.spent))
+        except TimeLimitExceeded as exc:
+            return self._finish(SandboxResult(
+                outcome=ExecutionOutcome.COMPILE_TIMEOUT, stderr=str(exc),
+                compile_seconds=compile_limiter.spent))
+
+        # 3. run (seccomp gate + run limit + write confinement)
+        gate = SyscallGate(self.config.policy)
+        run_limiter = TimeLimiter("run", self.config.run_limit_s)
+        env = SandboxEnv(gate=gate, run_limiter=run_limiter,
+                         privileges=ctx, fs=self.fs)
+        try:
+            value = run_fn(artifact, env)
+            result = SandboxResult(
+                outcome=ExecutionOutcome.OK,
+                compile_seconds=compile_limiter.spent,
+                run_seconds=run_limiter.spent,
+                syscall_counts=gate.counts(),
+                value=value,
+            )
+        except SyscallViolation as exc:
+            result = SandboxResult(
+                outcome=ExecutionOutcome.SYSCALL_KILLED, stderr=str(exc),
+                compile_seconds=compile_limiter.spent,
+                run_seconds=run_limiter.spent, syscall_counts=gate.counts())
+        except TimeLimitExceeded as exc:
+            result = SandboxResult(
+                outcome=ExecutionOutcome.RUN_TIMEOUT, stderr=str(exc),
+                compile_seconds=compile_limiter.spent,
+                run_seconds=run_limiter.spent, syscall_counts=gate.counts())
+        except PermissionDenied as exc:
+            result = SandboxResult(
+                outcome=ExecutionOutcome.WRITE_DENIED, stderr=str(exc),
+                compile_seconds=compile_limiter.spent,
+                run_seconds=run_limiter.spent, syscall_counts=gate.counts())
+        except Exception as exc:  # user program crashed
+            result = SandboxResult(
+                outcome=ExecutionOutcome.RUNTIME_ERROR, stderr=str(exc),
+                compile_seconds=compile_limiter.spent,
+                run_seconds=run_limiter.spent, syscall_counts=gate.counts())
+        finally:
+            # 4. cleanup the per-compilation temp dir
+            self.fs.remove_tree(ctx.writable_root)
+        return self._finish(result)
+
+    def _finish(self, result: SandboxResult) -> SandboxResult:
+        if not result.ok:
+            self.kills_by_outcome[result.outcome] = (
+                self.kills_by_outcome.get(result.outcome, 0) + 1
+            )
+        return result

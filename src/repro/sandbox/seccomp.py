@@ -1,0 +1,98 @@
+"""seccomp-bpf-style syscall whitelist enforcement.
+
+A :class:`SeccompPolicy` holds the set of allowed calls (built from the
+instructor's per-lab whitelist); a :class:`SyscallGate` is the runtime
+object the simulated process consults on every call. A disallowed call
+raises :class:`SyscallViolation`, which the worker treats as the kernel
+killing the process (as seccomp's ``SECCOMP_RET_KILL`` would).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.sandbox.syscalls import (
+    BASELINE_WHITELIST,
+    FORBIDDEN_CATEGORIES,
+    SYSCALL_CATALOG,
+    SyscallCategory,
+    calls_in_category,
+)
+
+
+class SyscallViolation(Exception):
+    """A sandboxed process invoked a syscall outside its whitelist."""
+
+    def __init__(self, name: str, policy_name: str):
+        self.syscall = name
+        self.policy_name = policy_name
+        super().__init__(
+            f"syscall {name!r} blocked by seccomp policy {policy_name!r}"
+        )
+
+
+@dataclass(frozen=True)
+class SeccompPolicy:
+    """An immutable whitelist of allowed syscall names.
+
+    Instructors build policies per lab; unknown syscall names and calls
+    in forbidden categories (process spawning, privilege manipulation)
+    are rejected at construction time, so a misconfigured lab fails
+    closed at deploy time rather than open at run time.
+    """
+
+    name: str
+    allowed: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        for call in self.allowed:
+            entry = SYSCALL_CATALOG.get(call)
+            if entry is None:
+                raise ValueError(f"unknown syscall {call!r} in policy {self.name!r}")
+            if entry.category in FORBIDDEN_CATEGORIES:
+                raise ValueError(
+                    f"syscall {call!r} ({entry.category.value}) may never be "
+                    f"whitelisted (policy {self.name!r})"
+                )
+
+    @classmethod
+    def baseline(cls, name: str = "baseline") -> "SeccompPolicy":
+        """The minimal policy every lab starts from."""
+        return cls(name=name, allowed=BASELINE_WHITELIST)
+
+    def allowing(self, *calls: str) -> "SeccompPolicy":
+        """A new policy with extra calls added."""
+        return SeccompPolicy(name=self.name, allowed=self.allowed | set(calls))
+
+    def allowing_category(self, category: SyscallCategory) -> "SeccompPolicy":
+        """A new policy with every call of ``category`` added."""
+        if category in FORBIDDEN_CATEGORIES:
+            raise ValueError(f"category {category.value} may never be whitelisted")
+        return SeccompPolicy(
+            name=self.name, allowed=self.allowed | calls_in_category(category)
+        )
+
+    def permits(self, call: str) -> bool:
+        return call in self.allowed
+
+
+class SyscallGate:
+    """Per-process enforcement point with an audit trail."""
+
+    def __init__(self, policy: SeccompPolicy):
+        self.policy = policy
+        self.trace: list[str] = []
+        self.violation: str | None = None
+
+    def invoke(self, call: str) -> None:
+        """Record a syscall; raise :class:`SyscallViolation` if blocked."""
+        self.trace.append(call)
+        if not self.policy.permits(call):
+            self.violation = call
+            raise SyscallViolation(call, self.policy.name)
+
+    def counts(self) -> dict[str, int]:
+        """Syscall name -> number of invocations."""
+        out: dict[str, int] = {}
+        for call in self.trace:
+            out[call] = out.get(call, 0) + 1
+        return out

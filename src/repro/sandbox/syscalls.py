@@ -1,0 +1,83 @@
+"""Catalog of POSIX system calls used by the seccomp-style whitelist.
+
+The paper's workers whitelist POSIX calls with seccomp-bpf; the
+whitelist is supplied by the instructor per lab. This module provides
+the call catalog the policies draw from, grouped into categories so a
+lab config can whitelist e.g. "memory + basic-io" without enumerating
+every call.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SyscallCategory(enum.Enum):
+    PROCESS = "process"          # lifecycle of the calling process
+    PROCESS_SPAWN = "spawn"      # creating new processes (never whitelisted)
+    MEMORY = "memory"
+    FILE_IO = "file_io"
+    NETWORK = "network"
+    SIGNALS = "signals"
+    TIME = "time"
+    INFO = "info"
+    PRIVILEGE = "privilege"      # credential manipulation (never whitelisted)
+
+
+@dataclass(frozen=True)
+class Syscall:
+    name: str
+    category: SyscallCategory
+    description: str = ""
+
+
+def _mk(names: str, cat: SyscallCategory) -> list[Syscall]:
+    return [Syscall(n, cat) for n in names.split()]
+
+
+SYSCALL_CATALOG: dict[str, Syscall] = {
+    s.name: s
+    for s in (
+        _mk("exit exit_group", SyscallCategory.PROCESS)
+        + _mk("fork vfork clone execve ptrace", SyscallCategory.PROCESS_SPAWN)
+        + _mk("brk mmap munmap mremap mprotect madvise", SyscallCategory.MEMORY)
+        + _mk("open openat close read write lseek stat fstat unlink "
+              "mkdir rmdir readlink dup dup2 pipe fcntl ioctl",
+              SyscallCategory.FILE_IO)
+        + _mk("socket connect bind listen accept sendto recvfrom "
+              "sendmsg recvmsg", SyscallCategory.NETWORK)
+        + _mk("kill sigaction sigprocmask sigreturn rt_sigaction "
+              "rt_sigprocmask rt_sigreturn", SyscallCategory.SIGNALS)
+        + _mk("nanosleep clock_gettime gettimeofday time", SyscallCategory.TIME)
+        + _mk("getpid getppid getuid geteuid getgid uname arch_prctl "
+              "set_tid_address futex", SyscallCategory.INFO)
+        + _mk("setuid setgid setreuid setregid capset", SyscallCategory.PRIVILEGE)
+    )
+}
+
+#: Categories that must never appear in an instructor whitelist; the
+#: policy constructor rejects them outright.
+FORBIDDEN_CATEGORIES = frozenset(
+    {SyscallCategory.PROCESS_SPAWN, SyscallCategory.PRIVILEGE}
+)
+
+#: The minimal set a CUDA lab binary needs to run: process exit, memory
+#: management, stdio, and the runtime's timing/introspection calls.
+BASELINE_WHITELIST: frozenset[str] = frozenset(
+    {
+        "exit", "exit_group",
+        "brk", "mmap", "munmap", "mremap", "madvise",
+        "read", "write", "close", "fstat", "lseek",
+        "clock_gettime", "gettimeofday", "nanosleep",
+        "getpid", "getuid", "geteuid", "uname", "arch_prctl",
+        "set_tid_address", "futex",
+    }
+)
+
+
+def calls_in_category(category: SyscallCategory) -> frozenset[str]:
+    """All catalog call names in ``category``."""
+    return frozenset(
+        name for name, sc in SYSCALL_CATALOG.items() if sc.category is category
+    )

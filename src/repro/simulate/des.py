@@ -1,0 +1,87 @@
+"""A small discrete-event simulation core."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback. Ordering: time, then insertion order."""
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """Event loop with a float time line (seconds by convention)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, action: Callable[[], Any],
+                 label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        event = Event(time=self._now + delay, seq=next(self._seq),
+                      action=action, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, action: Callable[[], Any],
+                    label: str = "") -> Event:
+        return self.schedule(time - self._now, action, label)
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action()
+            self.events_processed += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Process events up to (and including) ``end_time``."""
+        while self._queue:
+            if self._queue[0].time > end_time:
+                break
+            self.step()
+        self._now = max(self._now, end_time)
+
+    def run(self, max_events: int | None = None) -> None:
+        """Drain the event queue (optionally bounded)."""
+        processed = 0
+        while self.step():
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+
+
+class SimClock:
+    """Adapter giving platform components the DES notion of time."""
+
+    def __init__(self, simulator: Simulator):
+        self._sim = simulator
+
+    def now(self) -> float:
+        return self._sim.now()

@@ -1,0 +1,26 @@
+"""S3-like object storage substrate.
+
+WebGPU 2.0 stores lab datasets in an Amazon S3 bucket accessible by both
+the OpenEdx instructor tooling and the worker nodes (paper Figure 6,
+item 5). This package provides the equivalent: named buckets holding
+byte objects under string keys, with etags, metadata, prefix listing,
+and simple per-object version history.
+"""
+
+from repro.storage.object_store import (
+    Bucket,
+    NoSuchBucketError,
+    NoSuchKeyError,
+    ObjectMeta,
+    ObjectStore,
+    StorageError,
+)
+
+__all__ = [
+    "Bucket",
+    "NoSuchBucketError",
+    "NoSuchKeyError",
+    "ObjectMeta",
+    "ObjectStore",
+    "StorageError",
+]

@@ -1,0 +1,150 @@
+"""Buckets, keys, etags, and version history."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+
+class StorageError(Exception):
+    """Base class for object-store errors."""
+
+
+class NoSuchBucketError(StorageError):
+    """The requested bucket does not exist."""
+
+
+class NoSuchKeyError(StorageError):
+    """The requested key does not exist in the bucket."""
+
+
+@dataclass(frozen=True)
+class ObjectMeta:
+    """Metadata returned by head/put operations."""
+
+    key: str
+    size: int
+    etag: str
+    version: int
+    metadata: Mapping[str, str] = field(default_factory=dict)
+
+
+def _etag(data: bytes) -> str:
+    return hashlib.md5(data).hexdigest()
+
+
+@dataclass
+class _Stored:
+    data: bytes
+    meta: ObjectMeta
+
+
+class Bucket:
+    """A flat namespace of keys -> byte objects with version history."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._objects: dict[str, _Stored] = {}
+        self._history: dict[str, list[_Stored]] = {}
+
+    def put(self, key: str, data: bytes,
+            metadata: Mapping[str, str] | None = None) -> ObjectMeta:
+        """Store an object; supersedes any existing version under ``key``."""
+        if not key:
+            raise StorageError("object key must be non-empty")
+        if not isinstance(data, (bytes, bytearray)):
+            raise StorageError("object data must be bytes")
+        data = bytes(data)
+        version = len(self._history.get(key, [])) + 1
+        meta = ObjectMeta(key=key, size=len(data), etag=_etag(data),
+                          version=version, metadata=dict(metadata or {}))
+        stored = _Stored(data=data, meta=meta)
+        self._objects[key] = stored
+        self._history.setdefault(key, []).append(stored)
+        return meta
+
+    def put_text(self, key: str, text: str,
+                 metadata: Mapping[str, str] | None = None) -> ObjectMeta:
+        """Convenience wrapper storing UTF-8 text."""
+        return self.put(key, text.encode("utf-8"), metadata)
+
+    def get(self, key: str, version: int | None = None) -> bytes:
+        """Fetch object bytes (latest version unless ``version`` given)."""
+        if version is not None:
+            versions = self._history.get(key)
+            if not versions or not (1 <= version <= len(versions)):
+                raise NoSuchKeyError(f"{self.name}/{key} v{version}")
+            return versions[version - 1].data
+        try:
+            return self._objects[key].data
+        except KeyError:
+            raise NoSuchKeyError(f"{self.name}/{key}") from None
+
+    def get_text(self, key: str, version: int | None = None) -> str:
+        return self.get(key, version).decode("utf-8")
+
+    def head(self, key: str) -> ObjectMeta:
+        """Metadata for the latest version of ``key``."""
+        try:
+            return self._objects[key].meta
+        except KeyError:
+            raise NoSuchKeyError(f"{self.name}/{key}") from None
+
+    def exists(self, key: str) -> bool:
+        return key in self._objects
+
+    def delete(self, key: str) -> None:
+        """Remove the current object (history is retained)."""
+        if key not in self._objects:
+            raise NoSuchKeyError(f"{self.name}/{key}")
+        del self._objects[key]
+
+    def list(self, prefix: str = "") -> list[str]:
+        """Sorted keys with the given prefix."""
+        return sorted(k for k in self._objects if k.startswith(prefix))
+
+    def versions(self, key: str) -> list[ObjectMeta]:
+        """Full version history for ``key`` (oldest first)."""
+        return [s.meta for s in self._history.get(key, [])]
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._objects))
+
+    def total_bytes(self) -> int:
+        return sum(s.meta.size for s in self._objects.values())
+
+
+class ObjectStore:
+    """A collection of named buckets (the 'S3' of the simulation)."""
+
+    def __init__(self):
+        self._buckets: dict[str, Bucket] = {}
+
+    def create_bucket(self, name: str) -> Bucket:
+        if name in self._buckets:
+            raise StorageError(f"bucket {name!r} already exists")
+        if not name or "/" in name:
+            raise StorageError(f"invalid bucket name {name!r}")
+        bucket = Bucket(name)
+        self._buckets[name] = bucket
+        return bucket
+
+    def bucket(self, name: str) -> Bucket:
+        try:
+            return self._buckets[name]
+        except KeyError:
+            raise NoSuchBucketError(f"no such bucket {name!r}") from None
+
+    def ensure_bucket(self, name: str) -> Bucket:
+        """Get the bucket, creating it if absent."""
+        if name not in self._buckets:
+            return self.create_bucket(name)
+        return self._buckets[name]
+
+    @property
+    def bucket_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._buckets))

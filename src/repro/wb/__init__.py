@@ -1,0 +1,30 @@
+"""libwb equivalent: dataset generation, solution checking, offline runs.
+
+The paper (Section IV-C) notes that "the lab solution skeletons, test
+generators, and WebGPU library are publicly available for students to
+develop their code offline". This package is that support library for
+the simulated platform:
+
+* :mod:`repro.wb.datasets` — seeded generators for every lab data shape
+  (vectors, matrices, images, CSR sparse matrices, graphs, point sets);
+* :mod:`repro.wb.comparison` — the ``wbSolution`` check: tolerant
+  comparison with per-element mismatch reporting, exactly what the
+  Attempts view shows students;
+* :mod:`repro.wb.offline` — run a lab program locally against generated
+  data, outside the platform (the "optional offline development" path).
+"""
+
+from repro.wb.comparison import CompareResult, Mismatch, compare_solution
+from repro.wb.datasets import DatasetSpec, GeneratedData, generators
+from repro.wb.offline import OfflineResult, run_offline
+
+__all__ = [
+    "CompareResult",
+    "DatasetSpec",
+    "GeneratedData",
+    "Mismatch",
+    "OfflineResult",
+    "compare_solution",
+    "generators",
+    "run_offline",
+]

@@ -1,0 +1,88 @@
+"""wbSolution-style comparison with mismatch reporting.
+
+"When the code is run against a test dataset (an attempt), the student
+is presented with any mismatches between the program result and the
+test dataset." (paper Section IV-B)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Default relative/absolute tolerances (libwb uses ~1e-3 for floats).
+DEFAULT_RTOL = 1e-3
+DEFAULT_ATOL = 1e-3
+MAX_REPORTED_MISMATCHES = 10
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One differing element, as shown in the Attempts view."""
+
+    index: tuple[int, ...]
+    expected: float
+    actual: float
+
+    def __str__(self) -> str:
+        idx = ", ".join(str(i) for i in self.index)
+        return (f"The solution did not match the expected results at "
+                f"[{idx}]. Expecting {self.expected:.6g} but got "
+                f"{self.actual:.6g}.")
+
+
+@dataclass
+class CompareResult:
+    """Outcome of comparing a solution against the expected dataset."""
+
+    correct: bool
+    total: int
+    mismatched: int
+    mismatches: list[Mismatch] = field(default_factory=list)
+    message: str = ""
+
+    def report(self) -> str:
+        """Student-facing text."""
+        if self.correct:
+            return "Solution is correct."
+        lines = [self.message] if self.message else []
+        lines += [str(m) for m in self.mismatches[:MAX_REPORTED_MISMATCHES]]
+        if self.mismatched > MAX_REPORTED_MISMATCHES:
+            lines.append(f"... and {self.mismatched - MAX_REPORTED_MISMATCHES}"
+                         f" more mismatch(es) ({self.mismatched}/{self.total}"
+                         " elements differ).")
+        return "\n".join(lines)
+
+
+def compare_solution(expected: np.ndarray, actual: np.ndarray | None,
+                     rtol: float = DEFAULT_RTOL,
+                     atol: float = DEFAULT_ATOL) -> CompareResult:
+    """Compare a recorded solution to the instructor's expected output."""
+    if actual is None:
+        return CompareResult(
+            correct=False, total=int(np.asarray(expected).size), mismatched=0,
+            message="No solution was recorded — did the program call "
+                    "wbSolution()?")
+    expected = np.asarray(expected)
+    actual = np.asarray(actual)
+    if expected.size != actual.size:
+        return CompareResult(
+            correct=False, total=int(expected.size), mismatched=int(expected.size),
+            message=f"The solution has {actual.size} element(s) but "
+                    f"{expected.size} were expected.")
+    exp = expected.ravel().astype(np.float64)
+    act = actual.ravel().astype(np.float64)
+    with np.errstate(invalid="ignore"):
+        close = np.isclose(act, exp, rtol=rtol, atol=atol, equal_nan=True)
+    bad = np.flatnonzero(~close)
+    if bad.size == 0:
+        return CompareResult(correct=True, total=int(exp.size), mismatched=0)
+    mismatches = []
+    for flat in bad[:MAX_REPORTED_MISMATCHES]:
+        index = np.unravel_index(int(flat), expected.shape)
+        mismatches.append(Mismatch(index=tuple(int(i) for i in index),
+                                   expected=float(exp[flat]),
+                                   actual=float(act[flat])))
+    return CompareResult(correct=False, total=int(exp.size),
+                         mismatched=int(bad.size), mismatches=mismatches)

@@ -1,0 +1,259 @@
+"""Seeded dataset generators for every lab data shape.
+
+Each generator returns a :class:`GeneratedData`: named input arrays
+(keyed ``input0``, ``input1``, ... — the names ``wbImport`` resolves),
+the expected output computed by a NumPy reference implementation, and
+any extra parameters a kernel-only harness needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+
+@dataclass
+class GeneratedData:
+    """One dataset instance for one lab."""
+
+    inputs: dict[str, np.ndarray]
+    expected: np.ndarray
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """How a lab's datasets are produced: generator name + size knob."""
+
+    generator: str
+    size: int
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# -- dense linear algebra -----------------------------------------------------
+
+def gen_vector_add(seed: int, size: int) -> GeneratedData:
+    rng = _rng(seed)
+    a = rng.random(size, dtype=np.float32) * 10
+    b = rng.random(size, dtype=np.float32) * 10
+    return GeneratedData(inputs={"input0": a, "input1": b}, expected=a + b)
+
+
+def gen_matmul(seed: int, size: int) -> GeneratedData:
+    rng = _rng(seed)
+    m, k, n = size, size + rng.integers(1, 5), size + rng.integers(1, 3)
+    a = rng.random((m, k), dtype=np.float32)
+    b = rng.random((k, n), dtype=np.float32)
+    return GeneratedData(inputs={"input0": a, "input1": b},
+                         expected=(a @ b).astype(np.float32))
+
+
+def gen_sgemm(seed: int, size: int) -> GeneratedData:
+    rng = _rng(seed)
+    a = rng.random((size, size), dtype=np.float32)
+    b = rng.random((size, size), dtype=np.float32)
+    return GeneratedData(inputs={"input0": a, "input1": b},
+                         expected=(a @ b).astype(np.float32))
+
+
+# -- stencils & convolution -------------------------------------------------------
+
+_CONV_KERNEL = np.array(
+    [[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=np.float32) / 16.0
+
+
+def gen_convolution2d(seed: int, size: int) -> GeneratedData:
+    rng = _rng(seed)
+    image = rng.random((size, size), dtype=np.float32)
+    mask = _CONV_KERNEL
+    padded = np.pad(image, 1, mode="constant")
+    out = np.zeros_like(image)
+    for dy in range(3):
+        for dx in range(3):
+            out += mask[dy, dx] * padded[dy:dy + size, dx:dx + size]
+    return GeneratedData(
+        inputs={"input0": image, "input1": mask},
+        expected=out.astype(np.float32))
+
+
+def gen_stencil2d(seed: int, size: int) -> GeneratedData:
+    rng = _rng(seed)
+    grid = rng.random((size, size), dtype=np.float32)
+    out = grid.copy()
+    # 5-point stencil on the interior
+    out[1:-1, 1:-1] = (grid[1:-1, 1:-1] + grid[:-2, 1:-1] + grid[2:, 1:-1]
+                       + grid[1:-1, :-2] + grid[1:-1, 2:]) * 0.2
+    return GeneratedData(inputs={"input0": grid},
+                         expected=out.astype(np.float32))
+
+
+def gen_mpi_stencil(seed: int, size: int) -> GeneratedData:
+    rng = _rng(seed)
+    line = rng.random(size, dtype=np.float32)
+    out = line.copy()
+    out[1:-1] = (line[:-2] + line[1:-1] + line[2:]) / 3.0
+    return GeneratedData(inputs={"input0": line},
+                         expected=out.astype(np.float32),
+                         params={"ranks": 4})
+
+
+# -- reductions, scans, histograms --------------------------------------------------
+
+def gen_reduction(seed: int, size: int) -> GeneratedData:
+    rng = _rng(seed)
+    x = rng.random(size, dtype=np.float32)
+    return GeneratedData(inputs={"input0": x},
+                         expected=np.array([x.astype(np.float64).sum()],
+                                           dtype=np.float32))
+
+
+def gen_scan(seed: int, size: int) -> GeneratedData:
+    rng = _rng(seed)
+    x = rng.random(size, dtype=np.float32)
+    return GeneratedData(
+        inputs={"input0": x},
+        expected=np.cumsum(x.astype(np.float64)).astype(np.float32))
+
+
+def gen_image_equalization(seed: int, size: int) -> GeneratedData:
+    rng = _rng(seed)
+    # grayscale image with a biased histogram (so equalisation matters)
+    image = (rng.beta(2.0, 5.0, size=(size, size)) * 255).astype(np.int32)
+    levels = 256
+    hist = np.bincount(image.ravel(), minlength=levels)
+    cdf = np.cumsum(hist) / image.size
+    cdf_min = cdf[np.nonzero(hist)[0][0]]
+    lut = np.clip(255.0 * (cdf - cdf_min) / (1.0 - cdf_min), 0, 255)
+    expected = lut[image].astype(np.float32)
+    return GeneratedData(inputs={"input0": image.astype(np.float32)},
+                         expected=expected)
+
+
+# -- scatter/gather and binning ---------------------------------------------------------
+
+def gen_scatter_gather(seed: int, size: int) -> GeneratedData:
+    rng = _rng(seed)
+    x = rng.random(size, dtype=np.float32)
+    out = np.zeros(size, dtype=np.float64)
+    out += x
+    out[1:] += x[:-1]
+    out[:-1] += x[1:]
+    return GeneratedData(inputs={"input0": x},
+                         expected=out.astype(np.float32))
+
+
+def gen_binning(seed: int, size: int) -> GeneratedData:
+    rng = _rng(seed)
+    num_bins = max(4, size // 16)
+    points = rng.random(size, dtype=np.float32)
+    bins = np.minimum((points * num_bins).astype(np.int64), num_bins - 1)
+    counts = np.bincount(bins, minlength=num_bins).astype(np.float64)
+    sums = np.bincount(bins, weights=points.astype(np.float64),
+                       minlength=num_bins)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        averages = np.where(counts > 0, sums / counts, 0.0)
+    return GeneratedData(
+        inputs={"input0": points,
+                "input1": np.array([num_bins], dtype=np.float32)},
+        expected=averages.astype(np.float32))
+
+
+# -- sparse & graphs -------------------------------------------------------------------
+
+def gen_spmv(seed: int, size: int) -> GeneratedData:
+    rng = _rng(seed)
+    density = 0.15
+    dense = rng.random((size, size)) * (rng.random((size, size)) < density)
+    dense = dense.astype(np.float32)
+    x = rng.random(size, dtype=np.float32)
+    # CSR arrays
+    row_ptr = [0]
+    col_idx: list[int] = []
+    values: list[float] = []
+    for i in range(size):
+        cols = np.nonzero(dense[i])[0]
+        col_idx.extend(int(c) for c in cols)
+        values.extend(float(v) for v in dense[i, cols])
+        row_ptr.append(len(col_idx))
+    expected = (dense.astype(np.float64) @ x.astype(np.float64))
+    return GeneratedData(
+        inputs={
+            "input0": np.array(row_ptr, dtype=np.int32),
+            "input1": np.array(col_idx or [0], dtype=np.int32),
+            "input2": np.array(values or [0.0], dtype=np.float32),
+            "input3": x,
+        },
+        expected=expected.astype(np.float32))
+
+
+def gen_bfs(seed: int, size: int) -> GeneratedData:
+    rng = _rng(seed)
+    n = size
+    # random connected-ish graph: a ring plus random chords (undirected)
+    edges: set[tuple[int, int]] = set()
+    for i in range(n):
+        edges.add((i, (i + 1) % n))
+        edges.add(((i + 1) % n, i))
+    for _ in range(n * 2):
+        a, b = int(rng.integers(n)), int(rng.integers(n))
+        if a != b:
+            edges.add((a, b))
+            edges.add((b, a))
+    adj: dict[int, list[int]] = {i: [] for i in range(n)}
+    for a, b in sorted(edges):
+        adj[a].append(b)
+    row_ptr = [0]
+    col_idx: list[int] = []
+    for i in range(n):
+        col_idx.extend(adj[i])
+        row_ptr.append(len(col_idx))
+    # reference BFS from node 0
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[0] = 0
+    frontier = [0]
+    depth = 0
+    while frontier:
+        depth += 1
+        nxt = []
+        for u in frontier:
+            for v in adj[u]:
+                if levels[v] < 0:
+                    levels[v] = depth
+                    nxt.append(v)
+        frontier = nxt
+    return GeneratedData(
+        inputs={
+            "input0": np.array(row_ptr, dtype=np.int32),
+            "input1": np.array(col_idx, dtype=np.int32),
+        },
+        expected=levels.astype(np.float32))
+
+
+# -- trivial -----------------------------------------------------------------------------
+
+def gen_device_query(seed: int, size: int) -> GeneratedData:
+    return GeneratedData(inputs={}, expected=np.zeros(1, dtype=np.float32))
+
+
+#: Registry used by the lab catalog: name -> generator callable.
+generators: dict[str, Callable[[int, int], GeneratedData]] = {
+    "vector_add": gen_vector_add,
+    "matmul": gen_matmul,
+    "sgemm": gen_sgemm,
+    "convolution2d": gen_convolution2d,
+    "stencil2d": gen_stencil2d,
+    "mpi_stencil": gen_mpi_stencil,
+    "reduction": gen_reduction,
+    "scan": gen_scan,
+    "image_equalization": gen_image_equalization,
+    "scatter_gather": gen_scatter_gather,
+    "binning": gen_binning,
+    "spmv": gen_spmv,
+    "bfs": gen_bfs,
+    "device_query": gen_device_query,
+}

@@ -1,0 +1,39 @@
+"""The browser-facing layer.
+
+"In place of a command-line prompt, WebGPU requires a web browser" —
+students do everything through five lab views (Description, Code,
+Questions, Attempts, History) and instructors through the Roster view.
+This package provides a framework-free request/response router, session
+authentication, a markdown renderer for lab descriptions (labs are
+authored in markdown, Section IV-E), and HTML renderers for each view.
+"""
+
+from repro.web.http import HttpError, Request, Response, Router
+from repro.web.markdown import render_markdown
+from repro.web.auth import AuthError, SessionManager
+from repro.web.views import (
+    render_attempts_view,
+    render_code_view,
+    render_description_view,
+    render_history_view,
+    render_questions_view,
+    render_roster_view,
+)
+from repro.web.app import WebGpuApp
+
+__all__ = [
+    "AuthError",
+    "HttpError",
+    "Request",
+    "Response",
+    "Router",
+    "SessionManager",
+    "WebGpuApp",
+    "render_attempts_view",
+    "render_code_view",
+    "render_description_view",
+    "render_history_view",
+    "render_markdown",
+    "render_questions_view",
+    "render_roster_view",
+]

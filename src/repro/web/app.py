@@ -1,0 +1,226 @@
+"""The WebGPU web application: routes wired to the platform facade."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.platform import PlatformError, RateLimited, WebGPU
+from repro.core.users import User
+from repro.web.auth import AuthError, SessionManager
+from repro.web.http import HttpError, Request, Response, Router
+from repro.web.views import (
+    render_attempts_view,
+    render_code_view,
+    render_description_view,
+    render_history_view,
+    render_questions_view,
+    render_roster_view,
+)
+
+
+class WebGpuApp:
+    """HTTP-ish front door over a :class:`WebGPU` (or v2) platform.
+
+    One app instance serves one course offering, mirroring how each
+    Coursera offering ran its own site.
+    """
+
+    def __init__(self, platform: WebGPU, course_key: str):
+        self.platform = platform
+        self.course_key = course_key
+        self.sessions = SessionManager(platform.users)
+        self.router = Router()
+        self._install_routes()
+
+    # -- request entry point ------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        return self.router.dispatch(request)
+
+    def _user(self, request: Request) -> User:
+        try:
+            return self.sessions.authenticate(request.session_token,
+                                              self.platform.clock.now())
+        except AuthError as exc:
+            raise HttpError(401, str(exc)) from None
+
+    def _lab(self, request: Request):
+        try:
+            return self.platform.course(self.course_key).lab(
+                request.params["slug"])
+        except (KeyError, PlatformError) as exc:
+            raise HttpError(404, str(exc)) from None
+
+    # -- routes -------------------------------------------------------------------
+
+    def _install_routes(self) -> None:
+        router = self.router
+
+        @router.route("POST", "/login")
+        def login(request: Request) -> Response:
+            try:
+                session = self.sessions.login(
+                    request.form["email"], request.form["password"],
+                    self.platform.clock.now(),
+                    device_class=request.form.get("device", "desktop"))
+            except AuthError as exc:
+                return Response(status=401, body=str(exc))
+            return Response(body=session.token, content_type="text/plain")
+
+        @router.route("GET", "/lab/<slug>/description")
+        def description(request: Request) -> Response:
+            self._user(request)
+            return Response(body=render_description_view(self._lab(request)))
+
+        @router.route("GET", "/lab/<slug>/code")
+        def code(request: Request) -> Response:
+            user = self._user(request)
+            lab = self._lab(request)
+            revision = self.platform.revisions.latest(user.user_id, lab.slug)
+            source = revision.source if revision else lab.skeleton
+            return Response(body=render_code_view(lab, source))
+
+        @router.route("POST", "/lab/<slug>/code")
+        def save(request: Request) -> Response:
+            user = self._user(request)
+            lab = self._lab(request)
+            self.platform.save_code(self.course_key, user, lab.slug,
+                                    request.form.get("source", ""),
+                                    reason=request.form.get("reason",
+                                                            "autosave"))
+            return Response(body="saved", content_type="text/plain")
+
+        @router.route("POST", "/lab/<slug>/compile")
+        def compile_(request: Request) -> Response:
+            user = self._user(request)
+            lab = self._lab(request)
+            attempt = self._action(
+                lambda: self.platform.compile_code(self.course_key, user,
+                                                   lab.slug))
+            status = "ok" if attempt.compile_ok else "error"
+            return Response(body=f"{status}\n{attempt.report}",
+                            content_type="text/plain")
+
+        @router.route("POST", "/lab/<slug>/run")
+        def run(request: Request) -> Response:
+            user = self._user(request)
+            lab = self._lab(request)
+            dataset = int(request.form.get("dataset", 0))
+            attempt = self._action(
+                lambda: self.platform.run_attempt(self.course_key, user,
+                                                  lab.slug, dataset))
+            verdict = "correct" if attempt.correct else "incorrect"
+            return Response(body=f"{verdict}\n{attempt.report}",
+                            content_type="text/plain")
+
+        @router.route("POST", "/lab/<slug>/submit")
+        def submit(request: Request) -> Response:
+            user = self._user(request)
+            lab = self._lab(request)
+            attempt, grade = self._action(
+                lambda: self.platform.submit_for_grading(
+                    self.course_key, user, lab.slug))
+            return Response(
+                body=f"grade: {grade.total_points:.1f}\n{attempt.report}",
+                content_type="text/plain")
+
+        @router.route("POST", "/lab/<slug>/questions/<index>")
+        def answer(request: Request) -> Response:
+            user = self._user(request)
+            lab = self._lab(request)
+            try:
+                self.platform.answer_question(
+                    self.course_key, user, lab.slug,
+                    int(request.params["index"]),
+                    request.form.get("answer", ""))
+            except PlatformError as exc:
+                raise HttpError(400, str(exc)) from None
+            return Response(body="saved", content_type="text/plain")
+
+        @router.route("GET", "/lab/<slug>/questions")
+        def questions(request: Request) -> Response:
+            user = self._user(request)
+            lab = self._lab(request)
+            answers = self.platform.attempts.answers(user.user_id, lab.slug)
+            return Response(body=render_questions_view(lab, answers))
+
+        @router.route("GET", "/lab/<slug>/attempts")
+        def attempts(request: Request) -> Response:
+            user = self._user(request)
+            lab = self._lab(request)
+            items = self.platform.attempts.for_user_lab(user.user_id,
+                                                        lab.slug)
+            deadline = self.platform.course(
+                self.course_key).offering.deadline_for(lab.slug)
+            passed = (deadline is not None
+                      and self.platform.clock.now() > deadline)
+            return Response(body=render_attempts_view(lab, items,
+                                                      deadline_passed=passed))
+
+        @router.route("GET", "/lab/<slug>/history")
+        def history(request: Request) -> Response:
+            user = self._user(request)
+            lab = self._lab(request)
+            revisions = self.platform.revisions.history(user.user_id,
+                                                        lab.slug)
+            return Response(body=render_history_view(lab, revisions))
+
+        @router.route("GET", "/lab/<slug>/feedback")
+        def feedback(request: Request) -> Response:
+            user = self._user(request)
+            lab = self._lab(request)
+            items = self.platform.get_feedback(self.course_key, user,
+                                               lab.slug)
+            return Response(body="\n".join(str(f) for f in items),
+                            content_type="text/plain")
+
+        @router.route("POST", "/lab/<slug>/hint")
+        def hint(request: Request) -> Response:
+            user = self._user(request)
+            lab = self._lab(request)
+            text = self.platform.request_hint(self.course_key, user,
+                                              lab.slug)
+            if text is None:
+                return Response(status=204, body="(no more hints)",
+                                content_type="text/plain")
+            return Response(body=text, content_type="text/plain")
+
+        @router.route("GET", "/shared/attempt/<attempt_id>")
+        def shared_attempt(request: Request) -> Response:
+            """Public link to an attempt — no session required, but the
+            attempt must have been shared after the deadline (paper
+            Section IV-B)."""
+            import html as _html
+            try:
+                attempt = self.platform.attempts.get(
+                    int(request.params["attempt_id"]))
+            except Exception:
+                raise HttpError(404, "no such attempt") from None
+            if not attempt.shared_publicly:
+                raise HttpError(403, "this attempt has not been shared")
+            revision = self.platform.revisions.get(attempt.revision_id)
+            body = (f"<h1>Shared attempt #{attempt.attempt_id}</h1>"
+                    f"<p>lab: {attempt.lab}, dataset "
+                    f"{attempt.dataset_index}, "
+                    f"{'correct' if attempt.correct else 'incorrect'}</p>"
+                    f"<pre>{_html.escape(revision.source)}</pre>"
+                    f"<pre>{_html.escape(attempt.report)}</pre>")
+            return Response(body=body)
+
+        @router.route("GET", "/instructor/<slug>/roster")
+        def roster(request: Request) -> Response:
+            user = self._user(request)
+            lab = self._lab(request)
+            try:
+                rows = self.platform.instructor_tools.roster(user, lab.slug)
+            except PermissionError as exc:
+                raise HttpError(403, str(exc)) from None
+            return Response(body=render_roster_view(lab, rows))
+
+    def _action(self, fn: Any) -> Any:
+        try:
+            return fn()
+        except RateLimited as exc:
+            raise HttpError(429, str(exc)) from None
+        except PlatformError as exc:
+            raise HttpError(400, str(exc)) from None

@@ -1,0 +1,71 @@
+"""Session authentication for the browser interface."""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+
+from repro.core.users import User, UserStore
+
+
+class AuthError(Exception):
+    """Login failure or invalid/expired session."""
+
+
+@dataclass(frozen=True)
+class Session:
+    token: str
+    user_id: int
+    created_at: float
+    device_class: str = "desktop"
+
+
+class SessionManager:
+    """Token sessions with idle expiry and device-class accounting.
+
+    Device classes let the platform report facts like the paper's
+    "around 2% of student logins to WebGPU are from tablets and
+    smartphones".
+    """
+
+    def __init__(self, users: UserStore, ttl_s: float = 8 * 3600.0):
+        self.users = users
+        self.ttl_s = ttl_s
+        self._sessions: dict[str, Session] = {}
+        self._counter = itertools.count(1)
+        self.login_count = 0
+        self.logins_by_device: dict[str, int] = {}
+
+    def login(self, email: str, password: str, now: float,
+              device_class: str = "desktop") -> Session:
+        user = self.users.authenticate(email, password)
+        if user is None:
+            raise AuthError("invalid email or password")
+        token = hashlib.sha256(
+            f"{email}:{now}:{next(self._counter)}".encode()).hexdigest()[:32]
+        session = Session(token=token, user_id=user.user_id, created_at=now,
+                          device_class=device_class)
+        self._sessions[token] = session
+        self.login_count += 1
+        self.logins_by_device[device_class] = (
+            self.logins_by_device.get(device_class, 0) + 1)
+        return session
+
+    def authenticate(self, token: str, now: float) -> User:
+        session = self._sessions.get(token)
+        if session is None:
+            raise AuthError("not logged in")
+        if now - session.created_at > self.ttl_s:
+            del self._sessions[token]
+            raise AuthError("session expired; log in again")
+        return self.users.get(session.user_id)
+
+    def logout(self, token: str) -> None:
+        self._sessions.pop(token, None)
+
+    def device_share(self, device_class: str) -> float:
+        """Fraction of logins from a device class."""
+        if self.login_count == 0:
+            return 0.0
+        return self.logins_by_device.get(device_class, 0) / self.login_count

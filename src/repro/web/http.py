@@ -1,0 +1,90 @@
+"""Framework-free request/response objects and a pattern router."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class HttpError(Exception):
+    """An error with an HTTP status code."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(message)
+
+
+@dataclass
+class Request:
+    """One browser request."""
+
+    method: str
+    path: str
+    form: dict[str, Any] = field(default_factory=dict)
+    session_token: str = ""
+    #: filled by the router from path placeholders
+    params: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class Response:
+    """What goes back to the browser."""
+
+    status: int = 200
+    body: str = ""
+    content_type: str = "text/html"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+Handler = Callable[[Request], Response]
+
+_PLACEHOLDER = re.compile(r"<([a-zA-Z_][a-zA-Z0-9_]*)>")
+
+
+def _compile_pattern(pattern: str) -> re.Pattern[str]:
+    regex = _PLACEHOLDER.sub(lambda m: f"(?P<{m.group(1)}>[^/]+)",
+                             re.escape(pattern).replace(r"\<", "<")
+                             .replace(r"\>", ">"))
+    return re.compile(f"^{regex}$")
+
+
+class Router:
+    """Maps ``METHOD path-pattern`` to handlers.
+
+    Patterns use ``<name>`` placeholders: ``/lab/<slug>/code``.
+    """
+
+    def __init__(self):
+        self._routes: list[tuple[str, re.Pattern[str], Handler]] = []
+
+    def route(self, method: str, pattern: str) -> Callable[[Handler], Handler]:
+        compiled = _compile_pattern(pattern)
+
+        def decorator(handler: Handler) -> Handler:
+            self._routes.append((method.upper(), compiled, handler))
+            return handler
+
+        return decorator
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        self._routes.append((method.upper(), _compile_pattern(pattern),
+                             handler))
+
+    def dispatch(self, request: Request) -> Response:
+        for method, pattern, handler in self._routes:
+            if method != request.method.upper():
+                continue
+            match = pattern.match(request.path)
+            if match:
+                request.params = dict(match.groupdict())
+                try:
+                    return handler(request)
+                except HttpError as exc:
+                    return Response(status=exc.status, body=str(exc))
+        return Response(status=404, body=f"no route for {request.method} "
+                                         f"{request.path}")

@@ -1,0 +1,116 @@
+"""A small markdown renderer for lab descriptions (paper Section IV-E).
+
+Lab descriptions are authored in markdown [Gruber]; this renderer
+covers what lab manuals use: ATX headers, fenced code blocks, inline
+code, bold/italic, links, unordered/ordered lists, and paragraphs.
+Output is HTML with all source text escaped.
+"""
+
+from __future__ import annotations
+
+import html
+import re
+
+_INLINE_CODE = re.compile(r"`([^`]+)`")
+_BOLD = re.compile(r"\*\*([^*]+)\*\*")
+_ITALIC = re.compile(r"(?<!\*)\*([^*]+)\*(?!\*)")
+_LINK = re.compile(r"\[([^\]]+)\]\(([^)\s]+)\)")
+_HEADER = re.compile(r"^(#{1,6})\s+(.*)$")
+_ULIST = re.compile(r"^[-*]\s+(.*)$")
+_OLIST = re.compile(r"^\d+[.)]\s+(.*)$")
+
+
+def _inline(text: str) -> str:
+    """Escape then apply inline markup.
+
+    Code spans are lifted out into placeholders first so that emphasis
+    markers *inside* backticks stay literal (standard markdown
+    behaviour: `*x*` renders as code containing asterisks).
+    """
+    out = html.escape(text, quote=False)
+    spans: list[str] = []
+
+    def stash(match: re.Match[str]) -> str:
+        spans.append(match.group(1))
+        return f"\x00{len(spans) - 1}\x00"
+
+    out = _INLINE_CODE.sub(stash, out)
+    out = _BOLD.sub(lambda m: f"<strong>{m.group(1)}</strong>", out)
+    out = _ITALIC.sub(lambda m: f"<em>{m.group(1)}</em>", out)
+    out = _LINK.sub(lambda m: f'<a href="{m.group(2)}">{m.group(1)}</a>', out)
+    for index, span in enumerate(spans):
+        out = out.replace(f"\x00{index}\x00", f"<code>{span}</code>")
+    return out
+
+
+def render_markdown(source: str) -> str:
+    """Render markdown to HTML (block-level state machine)."""
+    lines = source.splitlines()
+    out: list[str] = []
+    paragraph: list[str] = []
+    list_kind: str | None = None
+    in_code = False
+    code_lines: list[str] = []
+
+    def flush_paragraph() -> None:
+        if paragraph:
+            out.append(f"<p>{_inline(' '.join(paragraph))}</p>")
+            paragraph.clear()
+
+    def flush_list() -> None:
+        nonlocal list_kind
+        if list_kind is not None:
+            out.append(f"</{list_kind}>")
+            list_kind = None
+
+    for line in lines:
+        if line.strip().startswith("```"):
+            if in_code:
+                out.append("<pre><code>"
+                           + html.escape("\n".join(code_lines))
+                           + "</code></pre>")
+                code_lines.clear()
+                in_code = False
+            else:
+                flush_paragraph()
+                flush_list()
+                in_code = True
+            continue
+        if in_code:
+            code_lines.append(line)
+            continue
+
+        header = _HEADER.match(line)
+        if header:
+            flush_paragraph()
+            flush_list()
+            level = len(header.group(1))
+            out.append(f"<h{level}>{_inline(header.group(2))}</h{level}>")
+            continue
+
+        ulist = _ULIST.match(line.strip())
+        olist = _OLIST.match(line.strip())
+        if ulist or olist:
+            flush_paragraph()
+            kind = "ul" if ulist else "ol"
+            if list_kind != kind:
+                flush_list()
+                out.append(f"<{kind}>")
+                list_kind = kind
+            item = (ulist or olist).group(1)
+            out.append(f"<li>{_inline(item)}</li>")
+            continue
+
+        if not line.strip():
+            flush_paragraph()
+            flush_list()
+            continue
+
+        paragraph.append(line.strip())
+
+    if in_code:  # unterminated fence: render what we have
+        out.append("<pre><code>" + html.escape("\n".join(code_lines))
+                   + "</code></pre>")
+    flush_paragraph()
+    flush_list()
+    return "\n".join(out)

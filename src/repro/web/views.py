@@ -1,0 +1,156 @@
+"""HTML renderers for the five lab views plus the instructor roster.
+
+These correspond to the paper's Figures 3 (Code view), 4 (History
+view), and 5 (Roster view), and the Description / Questions / Attempts
+views described in Section IV-B.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Sequence
+
+from repro.core.history import Revision
+from repro.core.instructor import RosterRow
+from repro.core.submission import Attempt
+from repro.labs.base import LabDefinition
+from repro.web.markdown import render_markdown
+
+
+def _page(title: str, body: str) -> str:
+    return (f"<!doctype html><html><head><title>{html.escape(title)}"
+            f"</title></head><body>{body}</body></html>")
+
+
+def _nav(lab: LabDefinition, active: str) -> str:
+    tabs = ["description", "code", "questions", "attempts", "history"]
+    items = []
+    for tab in tabs:
+        label = tab.capitalize()
+        if tab == active:
+            items.append(f"<strong>{label}</strong>")
+        else:
+            items.append(f'<a href="/lab/{lab.slug}/{tab}">{label}</a>')
+    return '<nav class="lab-tabs">' + " | ".join(items) + "</nav>"
+
+
+def render_description_view(lab: LabDefinition) -> str:
+    """The lab manual, generated from the markdown description, plus
+    the grading rubric ("The grading rubric is also shown")."""
+    rubric = lab.rubric
+    rubric_html = (
+        "<table class='rubric'>"
+        "<tr><th>Component</th><th>Points</th></tr>"
+        f"<tr><td>Datasets</td><td>{rubric.dataset_points}</td></tr>"
+        f"<tr><td>Compilation</td><td>{rubric.compile_points}</td></tr>"
+        f"<tr><td>Questions</td><td>{rubric.question_points}</td></tr>"
+        f"<tr><td><strong>Total</strong></td>"
+        f"<td><strong>{rubric.total}</strong></td></tr></table>")
+    body = (_nav(lab, "description") + render_markdown(lab.description)
+            + "<h2>Grading</h2>" + rubric_html)
+    return _page(f"{lab.title} — Description", body)
+
+
+def render_code_view(lab: LabDefinition, source: str,
+                     dataset_count: int | None = None) -> str:
+    """The editor view (Figure 3): code area plus compile/run controls
+    with the per-dataset drop-down."""
+    count = dataset_count if dataset_count is not None \
+        else len(lab.dataset_sizes)
+    options = "".join(f'<option value="{i}">Dataset {i}</option>'
+                      for i in range(count))
+    controls = (
+        '<div class="controls">'
+        '<button name="compile">Compile</button> '
+        f'<select name="dataset">{options}</select> '
+        '<button name="run">Compile &amp; Run</button> '
+        '<button name="submit">Submit for Grading</button>'
+        "</div>")
+    editor = (f'<textarea name="source" class="editor" data-autosave="on" '
+              f'rows="30">{html.escape(source)}</textarea>')
+    body = _nav(lab, "code") + controls + editor
+    return _page(f"{lab.title} — Code", body)
+
+
+def render_questions_view(lab: LabDefinition,
+                          answers: dict[int, str]) -> str:
+    """Short-answer questions with the student's saved answers."""
+    parts = [_nav(lab, "questions")]
+    if not lab.questions:
+        parts.append("<p>This lab has no questions.</p>")
+    for i, question in enumerate(lab.questions):
+        saved = html.escape(answers.get(i, ""))
+        parts.append(
+            f"<div class='question'><p>Q{i + 1}. {html.escape(question)}"
+            f"</p><textarea name='answer{i}' rows='4'>{saved}"
+            "</textarea></div>")
+    return _page(f"{lab.title} — Questions", "".join(parts))
+
+
+def render_attempts_view(lab: LabDefinition,
+                         attempts: Sequence[Attempt],
+                         deadline_passed: bool = False) -> str:
+    """Every run of the code against a dataset, with its result."""
+    rows = []
+    for attempt in attempts:
+        verdict = "correct" if attempt.correct else (
+            "compiled" if attempt.compile_ok else "failed")
+        share = ("<a href='/shared/attempt/"
+                 f"{attempt.attempt_id}'>share</a>" if deadline_passed
+                 else "<em>shareable after deadline</em>")
+        report = html.escape(attempt.report[:500])
+        rows.append(
+            f"<tr><td>{attempt.attempt_id}</td>"
+            f"<td>{attempt.kind.value}</td>"
+            f"<td>{attempt.dataset_index}</td>"
+            f"<td>{attempt.submitted_at:.0f}</td>"
+            f"<td class='verdict-{verdict}'>{verdict}</td>"
+            f"<td><pre>{report}</pre></td><td>{share}</td></tr>")
+    table = ("<table class='attempts'><tr><th>#</th><th>kind</th>"
+             "<th>dataset</th><th>time</th><th>result</th><th>details</th>"
+             "<th></th></tr>" + "".join(rows) + "</table>")
+    if not attempts:
+        table = "<p>No attempts yet.</p>"
+    return _page(f"{lab.title} — Attempts",
+                 _nav(lab, "attempts") + table)
+
+
+def render_history_view(lab: LabDefinition,
+                        revisions: Sequence[Revision]) -> str:
+    """The revision history (Figure 4): snippet left, timestamp right."""
+    rows = []
+    for rev in revisions:
+        snippet = html.escape("\n".join(rev.source.splitlines()[:8]))
+        rows.append(
+            f"<tr><td><pre class='snippet'>{snippet}</pre></td>"
+            f"<td>rev {rev.revision_id}<br>saved at {rev.saved_at:.0f}"
+            f"<br>{rev.reason}</td></tr>")
+    table = ("<table class='history'>" + "".join(rows) + "</table>"
+             if rows else "<p>No revisions yet.</p>")
+    return _page(f"{lab.title} — History", _nav(lab, "history") + table)
+
+
+def render_roster_view(lab: LabDefinition,
+                       roster: Sequence[RosterRow]) -> str:
+    """The instructor roster (Figure 5)."""
+    rows = []
+    for row in roster:
+        def fmt(v: float | None) -> str:
+            return f"{v:.1f}" if v is not None else "—"
+
+        last = (f"{row.last_submission_at:.0f}"
+                if row.last_submission_at is not None else "—")
+        rows.append(
+            f"<tr><td>{html.escape(row.name)}</td>"
+            f"<td>{html.escape(row.email)}</td>"
+            f"<td><a href='/instructor/{lab.slug}/student/{row.user_id}'>"
+            f"{row.attempts} attempt(s)</a></td>"
+            f"<td>{fmt(row.program_grade)}</td>"
+            f"<td>{fmt(row.question_grade)}</td>"
+            f"<td>{fmt(row.total_grade)}</td>"
+            f"<td>{last}</td></tr>")
+    table = ("<table class='roster'><tr><th>Name</th><th>Email</th>"
+             "<th>Attempts</th><th>Program</th><th>Questions</th>"
+             "<th>Total</th><th>Submitted</th></tr>"
+             + "".join(rows) + "</table>")
+    return _page(f"{lab.title} — Roster", table)

@@ -1,0 +1,237 @@
+"""Broker (v2): queue tag matching, replication, containers, driver."""
+
+import pytest
+
+from repro.broker import (
+    ConfigServer,
+    ContainerPool,
+    Dashboard,
+    JobQueue,
+    MessageBroker,
+    WorkerDriver,
+)
+from repro.broker.containers import (
+    CONTAINER_START_S,
+    CUDA_IMAGE,
+    OPENCL_IMAGE,
+    OPENACC_IMAGE,
+)
+from repro.cluster import GpuWorker, ManualClock, WorkerConfig
+from repro.cluster.job import Job
+from repro.db import Database
+from repro.labs import get_lab
+
+VECADD = get_lab("vector-add")
+OPENCL = get_lab("opencl-vecadd")
+MPI = get_lab("mpi-stencil")
+
+
+def job_for(lab):
+    return Job(lab=lab, source=lab.solution)
+
+
+class TestJobQueue:
+    def test_fifo_for_matching_consumer(self):
+        q = JobQueue()
+        a, b = job_for(VECADD), job_for(VECADD)
+        q.publish(a, now=0.0)
+        q.publish(b, now=1.0)
+        got, wait = q.poll(frozenset({"cuda"}), 1, now=5.0)
+        assert got is a and wait == 5.0
+
+    def test_tagged_job_skipped_by_incapable_worker(self):
+        q = JobQueue()
+        q.publish(job_for(MPI), now=0.0)
+        q.publish(job_for(VECADD), now=1.0)
+        got, _ = q.poll(frozenset({"cuda"}), 1, now=2.0)
+        assert got.lab.slug == "vector-add"
+        assert len(q) == 1  # the MPI job is still waiting
+
+    def test_capable_worker_takes_tagged_job_first(self):
+        q = JobQueue()
+        q.publish(job_for(MPI), now=0.0)
+        q.publish(job_for(VECADD), now=1.0)
+        got, _ = q.poll(frozenset({"cuda", "mpi"}), 4, now=2.0)
+        assert got.lab.slug == "mpi-stencil"
+
+    def test_multi_gpu_gate(self):
+        q = JobQueue()
+        q.publish(job_for(MPI), now=0.0)
+        assert q.poll(frozenset({"cuda", "mpi"}), 1, now=1.0) is None
+        assert q.poll(frozenset({"cuda", "mpi"}), 4, now=1.0) is not None
+
+    def test_empty_poll_counted(self):
+        q = JobQueue()
+        assert q.poll(frozenset({"cuda"}), 1, now=0.0) is None
+        assert q.stats.rejected_polls == 1
+
+    def test_oldest_wait(self):
+        q = JobQueue()
+        assert q.oldest_wait(now=10.0) == 0.0
+        q.publish(job_for(VECADD), now=3.0)
+        assert q.oldest_wait(now=10.0) == 7.0
+
+
+class TestBrokerReplication:
+    def test_publish_via_zone(self):
+        broker = MessageBroker(zones=("a", "b"))
+        assert broker.publish(job_for(VECADD), 0.0, zone="b") == "b"
+        assert broker.depth() == 1
+
+    def test_failover_loses_no_jobs(self):
+        broker = MessageBroker(zones=("a", "b"))
+        broker.publish(job_for(VECADD), 0.0, zone="a")
+        broker.fail_zone("a")
+        accepted = broker.publish(job_for(VECADD), 1.0, zone="a")
+        assert accepted == "b"
+        assert broker.failovers == 1
+        assert broker.depth() == 2  # both jobs present
+
+    def test_all_zones_down(self):
+        broker = MessageBroker(zones=("a",))
+        broker.fail_zone("a")
+        with pytest.raises(RuntimeError):
+            broker.publish(job_for(VECADD), 0.0)
+
+    def test_restore_zone(self):
+        broker = MessageBroker(zones=("a", "b"))
+        broker.fail_zone("a")
+        broker.restore_zone("a")
+        assert broker.publish(job_for(VECADD), 0.0, zone="a") == "a"
+
+
+class TestContainerPool:
+    def test_prestart_fills_warm_pool(self):
+        pool = ContainerPool([CUDA_IMAGE, OPENCL_IMAGE], warm_per_image=2)
+        cost = pool.prestart()
+        assert cost == pytest.approx(4 * CONTAINER_START_S)
+        assert pool.stats()["warm_available"] == 4
+
+    def test_warm_hit_is_free(self):
+        pool = ContainerPool([CUDA_IMAGE])
+        pool.prestart()
+        container, cost = pool.acquire("cuda")
+        assert cost == 0.0
+        assert pool.warm_hits == 1
+
+    def test_cold_start_costs(self):
+        pool = ContainerPool([CUDA_IMAGE], warm_per_image=0)
+        _, cost = pool.acquire("cuda")
+        assert cost == pytest.approx(CONTAINER_START_S)
+        assert pool.cold_starts == 1
+
+    def test_release_deletes_and_replenishes(self):
+        """Paper: "we can delete a container after a job completes and
+        start a new container to replenish the pool"."""
+        pool = ContainerPool([CUDA_IMAGE], warm_per_image=1)
+        pool.prestart()
+        container, _ = pool.acquire("cuda")
+        pool.release(container)
+        stats = pool.stats()
+        assert stats["deleted"] == 1
+        assert stats["replenishments"] == 1
+        assert stats["warm_available"] == 1
+        assert container.dirty
+
+    def test_language_to_image_selection(self):
+        pool = ContainerPool([CUDA_IMAGE, OPENACC_IMAGE])
+        assert pool.image_for("openacc").name.startswith("webgpu/pgi")
+        assert pool.image_for("cuda-mpi") is CUDA_IMAGE
+
+    def test_unknown_language_raises(self):
+        pool = ContainerPool([CUDA_IMAGE])
+        with pytest.raises(LookupError):
+            pool.acquire("fortran")
+
+    def test_gpu_slots_round_robin(self):
+        pool = ContainerPool([CUDA_IMAGE], num_gpus=2, warm_per_image=4)
+        pool.prestart()
+        slots = {c.gpu_slot for c in pool._warm[CUDA_IMAGE.name]}
+        assert slots == {0, 1}
+
+
+class TestConfigServer:
+    def test_versioning(self):
+        server = ConfigServer()
+        assert server.version == 1
+        server.update(poll_interval_s=5.0)
+        assert server.version == 2
+        assert server.current.poll_interval_s == 5.0
+
+    def test_fetch_if_newer(self):
+        server = ConfigServer()
+        assert server.fetch_if_newer(1) is None
+        server.update(health_interval_s=60.0)
+        assert server.fetch_if_newer(1).version == 2
+
+
+class TestWorkerDriver:
+    def make_driver(self, clock, tags=frozenset({"cuda"}), num_gpus=1,
+                    images=(CUDA_IMAGE,), broker=None, db=None, cfg=None):
+        broker = broker or MessageBroker()
+        db = db or Database("metrics")
+        cfg = cfg or ConfigServer()
+        worker = GpuWorker(WorkerConfig(tags=tags, num_gpus=num_gpus),
+                           clock=clock)
+        return WorkerDriver(worker, broker, ContainerPool(list(images)),
+                            cfg, db, clock=clock), broker, db, cfg
+
+    def test_pull_loop_processes_job(self):
+        clock = ManualClock()
+        driver, broker, db, _ = self.make_driver(clock)
+        broker.publish(job_for(VECADD), clock.now())
+        result = driver.step()
+        assert result is not None and result.all_correct
+        assert result.extra["container"].startswith("cuda")
+        assert db.count("worker_metrics") >= 1
+
+    def test_empty_queue_returns_none(self):
+        clock = ManualClock()
+        driver, _, _, _ = self.make_driver(clock)
+        assert driver.step() is None
+        assert driver.stats.empty_polls == 1
+
+    def test_capabilities_include_container_toolchains(self):
+        clock = ManualClock()
+        driver, _, _, _ = self.make_driver(
+            clock, images=(CUDA_IMAGE, OPENCL_IMAGE))
+        assert "opencl" in driver.capabilities
+
+    def test_config_change_restarts_driver(self):
+        clock = ManualClock()
+        driver, broker, _, cfg = self.make_driver(clock)
+        cfg.update(warm_containers_per_image=3)
+        driver.step()
+        assert driver.stats.restarts == 1
+        assert driver.config.version == 2
+        assert driver.containers.warm_per_image == 3
+
+    def test_dead_worker_does_not_pull(self):
+        clock = ManualClock()
+        driver, broker, _, _ = self.make_driver(clock)
+        broker.publish(job_for(VECADD), clock.now())
+        driver.worker.crash()
+        assert driver.step() is None
+        assert broker.depth() == 1  # job untouched for healthy workers
+
+    def test_drain(self):
+        clock = ManualClock()
+        driver, broker, _, _ = self.make_driver(clock)
+        for _ in range(3):
+            broker.publish(job_for(VECADD), clock.now())
+        results = driver.drain()
+        assert len(results) == 3
+
+    def test_dashboard_renders_fleet(self):
+        clock = ManualClock()
+        driver, broker, db, _ = self.make_driver(clock)
+        broker.publish(job_for(VECADD), clock.now())
+        driver.step()
+        driver.health_check()
+        dashboard = Dashboard(db, broker)
+        text = dashboard.render()
+        assert "dashboard" in text
+        assert driver.worker.name in text
+        snap = dashboard.snapshot()
+        assert snap["queue_depth"] == 0
+        assert driver.worker.name in snap["last_heartbeat"]

@@ -1,0 +1,147 @@
+"""Peer review (assignment, starvation) and instructor tools."""
+
+import pytest
+
+from repro.cluster.job import DatasetOutcome, JobResult, JobStatus
+from repro.core import (
+    AttemptStore,
+    GradeBook,
+    InstructorTools,
+    PeerReviewEngine,
+    RevisionStore,
+    Role,
+    SubmissionKind,
+    UserStore,
+)
+from repro.db import Database
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+class TestPeerReviewMechanism:
+    def test_each_submitter_reviews_three_random_peers(self, db):
+        engine = PeerReviewEngine(db, reviews_per_student=3, seed=1)
+        submitters = list(range(1, 21))
+        assignments = engine.assign("vector-add", submitters)
+        assert len(assignments) == 20 * 3
+        for reviewer in submitters:
+            mine = engine.assignments_for("vector-add", reviewer)
+            assert len(mine) == 3
+            assert all(a.author_id != reviewer for a in mine)
+            assert len({a.author_id for a in mine}) == 3
+
+    def test_small_cohort_caps_assignments(self, db):
+        engine = PeerReviewEngine(db, reviews_per_student=3)
+        assignments = engine.assign("lab", [1, 2])
+        assert len(assignments) == 2  # only one peer each
+
+    def test_completion_credit(self, db):
+        engine = PeerReviewEngine(db, reviews_per_student=3, seed=2)
+        engine.assign("lab", [1, 2, 3, 4])
+        mine = engine.assignments_for("lab", 1)
+        engine.complete(mine[0].assignment_id, "nice tiling")
+        assert engine.completion_credit("lab", 1) == pytest.approx(1 / 3)
+        assert engine.completion_credit("lab", 99) == 0.0
+
+    def test_grade_weight_default_matches_paper(self, db):
+        assert PeerReviewEngine(db).grade_weight == 0.10
+
+
+class TestPeerReviewStarvation:
+    def test_dropout_starves_active_students(self, db):
+        """Paper: 'The high drop rate ... caused low probability of an
+        active student being assigned an active peer reviewer.'"""
+        engine = PeerReviewEngine(db, reviews_per_student=3, seed=3)
+        submitters = list(range(1, 101))
+        engine.assign("lab", submitters)
+        # only 20% stayed active to do their reviews
+        active = set(range(1, 21))
+        engine.simulate_completion("lab", active)
+        report = engine.starvation("lab", active)
+        # with 80% dropout, completions are rare, and actives go unreviewed
+        assert report.reviews_completed < report.reviews_assigned * 0.3
+        assert report.starvation_rate > 0.2
+
+    def test_no_dropout_no_starvation(self, db):
+        engine = PeerReviewEngine(db, reviews_per_student=3, seed=4)
+        submitters = list(range(1, 31))
+        engine.assign("lab", submitters)
+        active = set(submitters)
+        engine.simulate_completion("lab", active)
+        report = engine.starvation("lab", active)
+        assert report.starvation_rate < 0.05
+
+
+def _graded_result():
+    return JobResult(
+        job_id=1, status=JobStatus.COMPLETED, worker_name="w", compile_ok=True,
+        datasets=[DatasetOutcome(0, "ok", True, "Solution is correct.")],
+        started_at=0.0, finished_at=1.0)
+
+
+@pytest.fixture
+def tools(db):
+    users = UserStore(db)
+    attempts = AttemptStore(db)
+    revisions = RevisionStore(db)
+    gradebook = GradeBook(db)
+    return (InstructorTools(db, users, attempts, revisions, gradebook),
+            users, attempts, revisions, gradebook)
+
+
+class TestInstructorTools:
+    def test_roster_lists_students_with_attempts(self, tools):
+        it, users, attempts, revisions, gradebook = tools
+        prof = users.register("p@x.com", "Prof", "pw", role=Role.INSTRUCTOR)
+        stu = users.register("s@x.com", "Stu", "pw")
+        revisions.save(stu.user_id, "vector-add", "code", now=0.0)
+        attempts.record(stu.user_id, "vector-add", SubmissionKind.GRADE, 1,
+                        0, 10.0, _graded_result())
+        gradebook.override(stu.user_id, "vector-add", 90.0, "", now=11.0)
+        roster = it.roster(prof, "vector-add")
+        assert len(roster) == 1
+        row = roster[0]
+        assert row.email == "s@x.com"
+        assert row.attempts == 1
+        assert row.total_grade == 90.0
+        assert row.last_submission_at == 10.0
+
+    def test_roster_requires_staff(self, tools):
+        it, users, *_ = tools
+        stu = users.register("s@x.com", "Stu", "pw")
+        with pytest.raises(PermissionError):
+            it.roster(stu, "vector-add")
+
+    def test_student_detail_drilldown(self, tools):
+        it, users, attempts, revisions, gradebook = tools
+        prof = users.register("p@x.com", "Prof", "pw", role=Role.ADMIN)
+        stu = users.register("s@x.com", "Stu", "pw")
+        revisions.save(stu.user_id, "lab", "v1", now=0.0)
+        revisions.save(stu.user_id, "lab", "v2", now=1.0)
+        attempts.record(stu.user_id, "lab", SubmissionKind.RUN, 1, 0, 2.0,
+                        _graded_result())
+        attempts.save_answer(stu.user_id, "lab", 0, "because", now=3.0)
+        detail = it.student_detail(prof, stu.user_id, "lab")
+        assert len(detail["revisions"]) == 2
+        assert len(detail["attempts"]) == 1
+        assert detail["answers"] == {0: "because"}
+
+    def test_comments(self, tools):
+        it, users, *_ = tools
+        prof = users.register("p@x.com", "Prof", "pw", role=Role.INSTRUCTOR)
+        it.comment(prof, user_id=5, lab="lab", text="off-by-one in the "
+                   "boundary check", now=1.0)
+        comments = it.comments_for(5, "lab")
+        assert len(comments) == 1
+        assert comments[0]["target"] == "code"
+        with pytest.raises(ValueError):
+            it.comment(prof, 5, "lab", "x", 2.0, target="grade")
+
+    def test_override_through_tools(self, tools):
+        it, users, _, _, gradebook = tools
+        prof = users.register("p@x.com", "Prof", "pw", role=Role.INSTRUCTOR)
+        it.override_grade(prof, 7, "lab", 42.0, "regrade request", now=1.0)
+        assert gradebook.get(7, "lab").total_points == 42.0

@@ -1,0 +1,198 @@
+"""The platform facades: the six student actions end-to-end, v1 and v2."""
+
+import pytest
+
+from repro.cluster import ManualClock, WorkerConfig
+from repro.core import PlatformError, RateLimited, WebGPU, WebGPU2
+from repro.core.course import CourseOffering
+from repro.labs import get_lab
+
+VECADD = get_lab("vector-add")
+
+
+def make_platform(cls=WebGPU, **kwargs):
+    clock = ManualClock()
+    platform = cls(clock=clock, num_workers=2, **kwargs)
+    course = platform.create_course(
+        CourseOffering(code="HPP", year=2015,
+                       deadlines={"vector-add": 10_000.0}),
+        ["vector-add", "tiled-matmul"])
+    student = platform.users.register("stu@x.com", "Stu", "pw")
+    course.enroll(student.user_id)
+    return platform, clock, course, student
+
+
+@pytest.mark.parametrize("cls", [WebGPU, WebGPU2],
+                         ids=["v1-push", "v2-broker"])
+class TestStudentActions:
+    def test_full_workflow(self, cls):
+        platform, clock, course, student = make_platform(cls)
+        # 1. edit
+        platform.save_code("HPP-2015", student, "vector-add",
+                           VECADD.skeleton)
+        # 2. compile
+        clock.advance(30)
+        attempt = platform.compile_code("HPP-2015", student, "vector-add")
+        assert attempt.compile_ok
+        # fix the code, 3. run against dataset 2
+        platform.save_code("HPP-2015", student, "vector-add",
+                           VECADD.solution)
+        clock.advance(30)
+        attempt = platform.run_attempt("HPP-2015", student, "vector-add",
+                                       dataset_index=2)
+        assert attempt.correct
+        # 4. answer the question
+        platform.answer_question("HPP-2015", student, "vector-add", 0,
+                                 "grid can overshoot len")
+        # 5. submit for grading
+        clock.advance(30)
+        attempt, grade = platform.submit_for_grading("HPP-2015", student,
+                                                     "vector-add")
+        assert grade.total_points == 100.0
+        # 6. history views
+        assert len(platform.code_history("HPP-2015", student,
+                                         "vector-add")) == 2
+        assert len(platform.attempt_history("HPP-2015", student,
+                                            "vector-add")) == 3
+
+    def test_not_enrolled_rejected(self, cls):
+        platform, clock, course, student = make_platform(cls)
+        outsider = platform.users.register("out@x.com", "Out", "pw")
+        with pytest.raises(PlatformError, match="not enrolled"):
+            platform.save_code("HPP-2015", outsider, "vector-add", "x")
+
+    def test_no_code_saved_yet(self, cls):
+        platform, clock, course, student = make_platform(cls)
+        with pytest.raises(PlatformError, match="no code saved"):
+            platform.run_attempt("HPP-2015", student, "vector-add")
+
+    def test_rate_limit_fires(self, cls):
+        platform, clock, course, student = make_platform(cls)
+        platform.save_code("HPP-2015", student, "vector-add",
+                           VECADD.solution)
+        with pytest.raises(RateLimited):
+            for _ in range(10):
+                platform.compile_code("HPP-2015", student, "vector-add")
+
+    def test_unknown_course_and_question(self, cls):
+        platform, clock, course, student = make_platform(cls)
+        with pytest.raises(PlatformError):
+            platform.course("CS-1999")
+        with pytest.raises(PlatformError, match="question"):
+            platform.answer_question("HPP-2015", student, "vector-add", 7,
+                                     "answer")
+
+    def test_grade_exporter_hook(self, cls):
+        exported = []
+        platform, clock, course, student = make_platform(
+            cls, grade_exporter=exported.append)
+        platform.save_code("HPP-2015", student, "vector-add",
+                           VECADD.solution)
+        clock.advance(30)
+        platform.submit_for_grading("HPP-2015", student, "vector-add")
+        assert len(exported) == 1
+        assert exported[0].lab == "vector-add"
+
+
+class TestV1Infrastructure:
+    def test_worker_eviction_via_tick(self):
+        platform, clock, _, _ = make_platform(WebGPU)
+        platform.tick_health()
+        victim = platform.worker_pool.workers[0]
+        victim.drop_health_checks = True
+        clock.advance(120)
+        evicted = platform.tick_health()
+        assert victim.name in evicted
+        assert platform.worker_pool.size == 1
+
+    def test_scale_up_scale_down(self):
+        platform, _, _, _ = make_platform(WebGPU)
+        w = platform.add_worker()
+        assert platform.worker_pool.size == 3
+        assert platform.remove_worker(w.name)
+        assert platform.worker_pool.size == 2
+
+    def test_connection_pool_sees_traffic(self):
+        platform, clock, _, student = make_platform(WebGPU)
+        platform.save_code("HPP-2015", student, "vector-add",
+                           VECADD.solution)
+        clock.advance(30)
+        platform.run_attempt("HPP-2015", student, "vector-add")
+        assert platform.db_pool.total_acquired >= 1
+        assert platform.db_pool.in_use == 0
+
+
+class TestV2Infrastructure:
+    def test_tagged_lab_needs_capable_worker(self):
+        clock = ManualClock()
+        platform = WebGPU2(clock=clock, num_workers=1)  # cuda-only fleet
+        course = platform.create_course(
+            CourseOffering(code="PUMPS", year=2015), ["mpi-stencil"])
+        student = platform.users.register("s@x.com", "S", "pw")
+        course.enroll(student.user_id)
+        lab = get_lab("mpi-stencil")
+        platform.save_code("PUMPS-2015", student, "mpi-stencil",
+                           lab.solution)
+        clock.advance(30)
+        attempt = platform.run_attempt("PUMPS-2015", student, "mpi-stencil")
+        # no MPI-capable worker: the job cannot be served
+        assert attempt.status == "failed"
+        # add an MPI-capable multi-GPU worker and retry
+        platform.add_worker(WorkerConfig(tags=frozenset({"cuda", "mpi"}),
+                                         num_gpus=4))
+        clock.advance(30)
+        attempt = platform.run_attempt("PUMPS-2015", student, "mpi-stencil")
+        assert attempt.correct
+
+    def test_metrics_replicated_across_zones(self):
+        platform, clock, _, student = make_platform(WebGPU2)
+        platform.save_code("HPP-2015", student, "vector-add",
+                           VECADD.solution)
+        clock.advance(30)
+        platform.run_attempt("HPP-2015", student, "vector-add")
+        synced = platform.metrics.sync_all()
+        assert set(synced) == set(platform.zones)
+        for zone in platform.zones:
+            rows = platform.metrics.read(zone, "worker_metrics", event="job")
+            assert rows
+
+    def test_dashboard_reflects_jobs(self):
+        platform, clock, _, student = make_platform(WebGPU2)
+        platform.save_code("HPP-2015", student, "vector-add",
+                           VECADD.solution)
+        clock.advance(30)
+        platform.run_attempt("HPP-2015", student, "vector-add")
+        snap = platform.dashboard.snapshot()
+        assert sum(w["jobs"] for w in snap["workers"].values()) == 1
+
+    def test_dataset_bucket_roundtrip(self):
+        import numpy as np
+        platform, _, _, _ = make_platform(WebGPU2)
+        data = VECADD.dataset(0)
+        platform.upload_dataset("vector-add", 0, data.inputs, data.expected)
+        back = platform.fetch_dataset_arrays("vector-add", 0)
+        assert np.allclose(back["expected"], data.expected)
+        assert set(back) == {"input0", "input1", "expected"}
+
+
+class TestDegradedFleet:
+    def test_v1_no_capable_worker_is_failed_attempt_not_crash(self):
+        """An MPI lab on a CUDA-only v1 fleet must produce a failed
+        attempt, not an unhandled DispatchError (v2 parity)."""
+        clock = ManualClock()
+        platform = WebGPU(clock=clock, num_workers=1)
+        course = platform.create_course(
+            CourseOffering(code="PUMPS", year=2015), ["mpi-stencil"])
+        student = platform.users.register("s@x.com", "S", "pw")
+        course.enroll(student.user_id)
+        lab = get_lab("mpi-stencil")
+        platform.save_code("PUMPS-2015", student, "mpi-stencil",
+                           lab.solution)
+        clock.advance(30)
+        attempt = platform.run_attempt("PUMPS-2015", student, "mpi-stencil")
+        assert attempt.status == "failed"
+        assert not attempt.correct
+        # the attempt is recorded and visible in the history
+        history = platform.attempt_history("PUMPS-2015", student,
+                                           "mpi-stencil")
+        assert len(history) == 1

@@ -1,0 +1,232 @@
+"""Core stores: users, courses, revisions, attempts, grades."""
+
+import pytest
+
+from repro.cluster.job import DatasetOutcome, JobResult, JobStatus
+from repro.core import (
+    AttemptStore,
+    GradeBook,
+    Grader,
+    RevisionStore,
+    Role,
+    SubmissionKind,
+    UserStore,
+)
+from repro.core.course import Course, CourseOffering
+from repro.db import Database
+from repro.labs import get_lab
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+class TestUserStore:
+    def test_register_and_lookup(self, db):
+        store = UserStore(db)
+        user = store.register("a@x.com", "Ana", "pw", now=5.0)
+        assert store.get(user.user_id).email == "a@x.com"
+        assert store.by_email("a@x.com").name == "Ana"
+        assert store.by_email("zz@x.com") is None
+
+    def test_duplicate_email(self, db):
+        store = UserStore(db)
+        store.register("a@x.com", "Ana", "pw")
+        with pytest.raises(ValueError, match="already registered"):
+            store.register("a@x.com", "Dup", "pw")
+
+    def test_invalid_email(self, db):
+        with pytest.raises(ValueError):
+            UserStore(db).register("nope", "X", "pw")
+
+    def test_authenticate(self, db):
+        store = UserStore(db)
+        store.register("a@x.com", "Ana", "secret")
+        assert store.authenticate("a@x.com", "secret") is not None
+        assert store.authenticate("a@x.com", "wrong") is None
+        assert store.authenticate("ghost@x.com", "secret") is None
+
+    def test_roles(self, db):
+        store = UserStore(db)
+        prof = store.register("p@x.com", "Prof", "pw", role=Role.INSTRUCTOR)
+        student = store.register("s@x.com", "Stu", "pw")
+        assert prof.is_staff and not student.is_staff
+
+
+class TestCourse:
+    def test_enrollment_and_stats(self, db):
+        store = UserStore(db)
+        course = Course(db, CourseOffering(code="HPP", year=2015),
+                        [get_lab("vector-add")])
+        users = [store.register(f"u{i}@x.com", f"U{i}", "pw")
+                 for i in range(4)]
+        for u in users:
+            course.enroll(u.user_id)
+        course.mark_completed(users[0].user_id, certificate=True)
+        course.mark_completed(users[1].user_id)
+        course.mark_dropped(users[2].user_id, now=100.0)
+        stats = course.completion_stats()
+        assert stats["registered"] == 4
+        assert stats["completed"] == 2
+        assert stats["certificates"] == 1
+        assert stats["completion_rate"] == 0.5
+
+    def test_duplicate_enrollment_rejected(self, db):
+        course = Course(db, CourseOffering(code="HPP", year=2015), [])
+        course.enroll(1)
+        with pytest.raises(Exception):
+            course.enroll(1)
+
+    def test_deadline_lookup(self, db):
+        offering = CourseOffering(code="HPP", year=2015,
+                                  deadlines={"vector-add": 500.0})
+        course = Course(db, offering, [get_lab("vector-add")])
+        assert offering.deadline_for("vector-add") == 500.0
+        assert offering.deadline_for("other") is None
+        assert course.lab("vector-add").slug == "vector-add"
+        with pytest.raises(KeyError):
+            course.lab("sgemm")
+
+
+class TestRevisionStore:
+    def test_autosave_dedup(self, db):
+        store = RevisionStore(db)
+        r1 = store.save(1, "vector-add", "int x;", now=0.0)
+        r2 = store.save(1, "vector-add", "int x;", now=5.0)
+        assert r1.revision_id == r2.revision_id
+        r3 = store.save(1, "vector-add", "int y;", now=10.0)
+        assert r3.revision_id != r1.revision_id
+
+    def test_history_newest_first(self, db):
+        store = RevisionStore(db)
+        store.save(1, "lab", "v1", now=0.0)
+        store.save(1, "lab", "v2", now=1.0)
+        store.save(1, "lab", "v3", now=2.0)
+        history = store.history(1, "lab")
+        assert [r.source for r in history] == ["v3", "v2", "v1"]
+        assert store.latest(1, "lab").source == "v3"
+
+    def test_histories_isolated_per_user_and_lab(self, db):
+        store = RevisionStore(db)
+        store.save(1, "a", "mine", now=0.0)
+        store.save(2, "a", "theirs", now=0.0)
+        store.save(1, "b", "other lab", now=0.0)
+        assert len(store.history(1, "a")) == 1
+
+    def test_diff(self, db):
+        store = RevisionStore(db)
+        r1 = store.save(1, "lab", "line1\nline2\n", now=0.0)
+        r2 = store.save(1, "lab", "line1\nchanged\n", now=1.0)
+        diff = store.diff(r1.revision_id, r2.revision_id)
+        assert "-line2" in diff and "+changed" in diff
+
+
+def _result(correct=True, compile_ok=True):
+    return JobResult(
+        job_id=1, status=JobStatus.COMPLETED, worker_name="w0",
+        compile_ok=compile_ok,
+        datasets=[DatasetOutcome(dataset_index=0, outcome="ok",
+                                 correct=correct,
+                                 report="Solution is correct.")],
+        started_at=0.0, finished_at=2.0)
+
+
+class TestAttemptStore:
+    def test_record_and_list(self, db):
+        store = AttemptStore(db)
+        store.record(1, "vector-add", SubmissionKind.RUN, 1, 0, 10.0,
+                     _result())
+        store.record(1, "vector-add", SubmissionKind.GRADE, 2, 0, 20.0,
+                     _result())
+        attempts = store.for_user_lab(1, "vector-add")
+        assert len(attempts) == 2
+        assert attempts[0].kind is SubmissionKind.GRADE  # newest first
+
+    def test_share_blocked_before_deadline(self, db):
+        store = AttemptStore(db)
+        attempt = store.record(1, "lab", SubmissionKind.RUN, 1, 0, 10.0,
+                               _result())
+        with pytest.raises(PermissionError):
+            store.share_publicly(attempt.attempt_id, deadline=100.0, now=50.0)
+        url = store.share_publicly(attempt.attempt_id, deadline=100.0,
+                                   now=150.0)
+        assert str(attempt.attempt_id) in url
+
+    def test_answers_upsert(self, db):
+        store = AttemptStore(db)
+        store.save_answer(1, "lab", 0, "first", now=0.0)
+        store.save_answer(1, "lab", 0, "revised", now=5.0)
+        store.save_answer(1, "lab", 1, "other", now=6.0)
+        assert store.answers(1, "lab") == {0: "revised", 1: "other"}
+
+
+class TestGraderAndGradeBook:
+    def test_full_marks(self):
+        lab = get_lab("vector-add")
+        result = JobResult(
+            job_id=1, status=JobStatus.COMPLETED, compile_ok=True,
+            datasets=[DatasetOutcome(i, "ok", True)
+                      for i in range(len(lab.dataset_sizes))])
+        breakdown = Grader().grade(lab, result, {0: "an answer"})
+        assert breakdown.total == 100.0
+
+    def test_partial_datasets(self):
+        lab = get_lab("vector-add")
+        result = JobResult(
+            job_id=1, status=JobStatus.COMPLETED, compile_ok=True,
+            datasets=[DatasetOutcome(0, "ok", True),
+                      DatasetOutcome(1, "ok", False),
+                      DatasetOutcome(2, "ok", True),
+                      DatasetOutcome(3, "ok", False)])
+        breakdown = Grader().grade(lab, result, {})
+        assert breakdown.dataset_points == pytest.approx(40.0)
+        assert breakdown.compile_points == 10.0
+        assert breakdown.question_points == 0.0
+
+    def test_compile_failure_scores_zero(self):
+        lab = get_lab("vector-add")
+        result = JobResult(job_id=1, status=JobStatus.COMPLETED,
+                           compile_ok=False)
+        breakdown = Grader().grade(lab, result, {})
+        assert breakdown.total == 0.0
+
+    def test_gradebook_keeps_best(self, db):
+        book = GradeBook(db)
+        lab = get_lab("vector-add")
+        good = Grader().grade(lab, JobResult(
+            job_id=1, status=JobStatus.COMPLETED, compile_ok=True,
+            datasets=[DatasetOutcome(i, "ok", True) for i in range(4)]), {})
+        bad = Grader().grade(lab, JobResult(
+            job_id=2, status=JobStatus.COMPLETED, compile_ok=True,
+            datasets=[DatasetOutcome(0, "ok", True)]), {})
+        book.record(1, good, now=0.0)
+        entry = book.record(1, bad, now=1.0)
+        assert entry.total_points == good.total  # best kept
+
+    def test_override_wins_and_sticks(self, db):
+        book = GradeBook(db)
+        lab = get_lab("vector-add")
+        auto = Grader().grade(lab, JobResult(
+            job_id=1, status=JobStatus.COMPLETED, compile_ok=True,
+            datasets=[DatasetOutcome(i, "ok", True) for i in range(4)]), {})
+        book.record(1, auto, now=0.0)
+        book.override(1, lab.slug, 55.0, "plagiarism penalty", now=1.0)
+        # automatic re-grade cannot replace the override
+        entry = book.record(1, auto, now=2.0)
+        assert entry.total_points == 55.0 and entry.overridden
+
+    def test_exporter_called(self, db):
+        exported = []
+        book = GradeBook(db, exporter=exported.append)
+        lab = get_lab("vector-add")
+        auto = Grader().grade(lab, JobResult(
+            job_id=1, status=JobStatus.COMPLETED, compile_ok=True), {})
+        book.record(1, auto, now=0.0)
+        assert len(exported) == 1 and book.exports == 1
+
+    def test_user_total(self, db):
+        book = GradeBook(db)
+        book.override(1, "lab-a", 80.0, "", now=0.0)
+        book.override(1, "lab-b", 60.0, "", now=0.0)
+        assert book.user_total(1) == 140.0

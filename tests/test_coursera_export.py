@@ -1,0 +1,89 @@
+"""External gradebook export: failures, retries, idempotency."""
+
+import pytest
+
+from repro.cluster import ManualClock
+from repro.core import WebGPU
+from repro.core.coursera import CourseraGradebook, ExportRejected, ReliableExporter
+from repro.core.course import CourseOffering
+from repro.core.gradebook import GradeEntry
+from repro.labs import get_lab
+
+
+def entry(user_id=1, lab="vector-add", points=90.0):
+    return GradeEntry(user_id=user_id, lab=lab, program_points=points,
+                      question_points=0.0, total_points=points,
+                      graded_at=0.0)
+
+
+class TestCourseraGradebook:
+    def test_push_and_read_back(self):
+        service = CourseraGradebook()
+        service.push(entry(points=85.0))
+        assert service.grade_of(1, "vector-add") == 85.0
+        assert service.grade_of(2, "vector-add") is None
+
+    def test_latest_grade_wins(self):
+        service = CourseraGradebook()
+        service.push(entry(points=50.0))
+        service.push(entry(points=95.0))
+        assert service.grade_of(1, "vector-add") == 95.0
+
+    def test_transient_failures(self):
+        service = CourseraGradebook(fail_every=2)
+        service.push(entry())
+        with pytest.raises(ExportRejected):
+            service.push(entry())
+        assert service.failures == 1
+
+
+class TestReliableExporter:
+    def test_queues_failures_and_flushes(self):
+        service = CourseraGradebook(fail_every=2)
+        exporter = ReliableExporter(service)
+        exporter(entry(user_id=1))   # ok (request 1)
+        exporter(entry(user_id=2))   # fails (request 2) -> queued
+        assert exporter.pending == 1
+        delivered = exporter.flush()
+        assert delivered == 1
+        assert exporter.pending == 0
+        assert service.grade_of(2, "vector-add") == 90.0
+
+    def test_only_newest_entry_per_key_queued(self):
+        service = CourseraGradebook(fail_every=1)  # everything fails
+        exporter = ReliableExporter(service)
+        exporter(entry(points=40.0))
+        exporter(entry(points=80.0))
+        assert exporter.pending == 1  # superseded entry dropped
+        service.fail_every = 0
+        exporter.flush()
+        assert service.grade_of(1, "vector-add") == 80.0
+
+    def test_flush_gives_up_after_max_attempts(self):
+        service = CourseraGradebook(fail_every=1)
+        exporter = ReliableExporter(service)
+        exporter(entry())
+        assert exporter.flush(max_attempts=2) == 0
+        assert exporter.pending == 1
+
+    def test_wired_into_the_platform(self):
+        service = CourseraGradebook(fail_every=2)
+        exporter = ReliableExporter(service)
+        clock = ManualClock()
+        platform = WebGPU(clock=clock, grade_exporter=exporter,
+                          rate_per_minute=600.0)
+        course = platform.create_course(
+            CourseOffering(code="HPP", year=2015), ["vector-add"])
+        lab = get_lab("vector-add")
+        for i in range(3):
+            student = platform.users.register(f"u{i}@x.com", f"U{i}", "pw")
+            course.enroll(student.user_id)
+            platform.save_code("HPP-2015", student, "vector-add",
+                               lab.solution)
+            clock.advance(30)
+            platform.submit_for_grading("HPP-2015", student, "vector-add")
+        # some exports failed transiently; flush recovers them all
+        exporter.flush()
+        for i, user in enumerate(platform.db.find("users")):
+            # 90.0: the lab question was never answered (10 points)
+            assert service.grade_of(user["id"], "vector-add") == 90.0

@@ -1,0 +1,160 @@
+"""Database engine, WAL replication, and connection pooling."""
+
+import pytest
+
+from repro.db import (
+    Column,
+    ColumnType,
+    ConnectionPool,
+    Database,
+    NoSuchTableError,
+    PoolExhaustedError,
+    Replica,
+    ReplicatedDatabase,
+    Schema,
+    SchemaError,
+)
+
+USERS = Schema(columns=[Column("email", ColumnType.TEXT)],
+               unique=[("email",)])
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("users", USERS)
+    return database
+
+
+class TestEngine:
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.create_table("users", USERS)
+
+    def test_missing_table_raises(self, db):
+        with pytest.raises(NoSuchTableError):
+            db.insert("ghosts", email="a@b.c")
+
+    def test_lsn_advances_per_mutation(self, db):
+        assert db.lsn == 0
+        row = db.insert("users", email="a@b.c")
+        assert db.lsn == 1
+        db.update("users", row, email="b@b.c")
+        assert db.lsn == 2
+        db.delete("users", row)
+        assert db.lsn == 3
+
+    def test_log_since(self, db):
+        a = db.insert("users", email="a@b.c")
+        db.insert("users", email="b@b.c")
+        records = db.log_since(1)
+        assert len(records) == 1 and records[0].values["email"] == "b@b.c"
+        assert db.log_since(db.lsn) == []
+        assert a == 1
+
+    def test_observers_fire_synchronously(self, db):
+        seen = []
+        db.subscribe(lambda rec: seen.append(rec.op))
+        row = db.insert("users", email="a@b.c")
+        db.delete("users", row)
+        assert seen == ["insert", "delete"]
+
+
+class TestReplication:
+    def test_replica_catches_up(self, db):
+        replica = Replica(db, "zone-b")
+        db.insert("users", email="a@b.c")
+        db.insert("users", email="b@b.c")
+        applied = replica.sync()
+        assert applied == 2
+        assert len(replica.find("users", email="a@b.c")) == 1
+
+    def test_replica_preserves_primary_row_ids(self, db):
+        a = db.insert("users", email="a@b.c")
+        db.delete("users", a)
+        b = db.insert("users", email="b@b.c")
+        replica = Replica(db, "zone-b")
+        replica.sync()
+        assert replica.get("users", b)["email"] == "b@b.c"
+
+    def test_lagging_replica_serves_stale_prefix(self, db):
+        replica = Replica(db, "zone-b", lag=2)
+        for i in range(5):
+            db.insert("users", email=f"u{i}@b.c")
+        replica.sync()
+        # applies up to lsn 5-2=3
+        assert replica.applied_lsn == 3
+        assert replica.staleness() == 2
+        assert len(replica.find("users")) == 3
+
+    def test_catch_up_ignores_lag(self, db):
+        replica = Replica(db, "zone-b", lag=100)
+        db.insert("users", email="a@b.c")
+        replica.catch_up()
+        assert replica.staleness() == 0
+
+    def test_replica_applies_updates_and_deletes(self, db):
+        row = db.insert("users", email="a@b.c")
+        replica = Replica(db, "zone-b")
+        replica.sync()
+        db.update("users", row, email="new@b.c")
+        db.delete("users", row)
+        replica.sync()
+        assert replica.find("users") == []
+
+    def test_replicated_database_zone_reads(self):
+        rdb = ReplicatedDatabase()
+        rdb.create_table("users", USERS)
+        rdb.add_replica("us-east-1a")
+        rdb.add_replica("us-east-1b", lag=1)
+        rdb.write("users", email="a@b.c")
+        rdb.write("users", email="b@b.c")
+        rdb.sync_all()
+        assert len(rdb.read("us-east-1a", "users")) == 2
+        assert len(rdb.read("us-east-1b", "users")) == 1  # lag 1
+
+    def test_duplicate_zone_rejected(self):
+        rdb = ReplicatedDatabase()
+        rdb.add_replica("z")
+        with pytest.raises(ValueError):
+            rdb.add_replica("z")
+
+
+class TestConnectionPool:
+    def test_acquire_release_cycle(self, db):
+        pool = ConnectionPool(db, capacity=2)
+        with pool.acquire() as conn:
+            conn.insert("users", email="a@b.c")
+        assert pool.in_use == 0
+        assert pool.total_acquired == 1
+
+    def test_exhaustion(self, db):
+        pool = ConnectionPool(db, capacity=1)
+        conn = pool.acquire()
+        with pytest.raises(PoolExhaustedError):
+            pool.acquire()
+        conn.release()
+        pool.acquire()  # works again
+        assert pool.exhaustion_events == 1
+
+    def test_released_connection_unusable(self, db):
+        pool = ConnectionPool(db, capacity=1)
+        conn = pool.acquire()
+        conn.release()
+        with pytest.raises(Exception):
+            conn.find("users")
+
+    def test_peak_tracking(self, db):
+        pool = ConnectionPool(db, capacity=3)
+        conns = [pool.acquire() for _ in range(3)]
+        for c in conns:
+            c.release()
+        assert pool.peak_in_use == 3
+        assert pool.stats()["capacity"] == 3
+
+    def test_double_release_is_idempotent(self, db):
+        pool = ConnectionPool(db, capacity=1)
+        conn = pool.acquire()
+        conn.release()
+        conn.release()
+        assert pool.in_use == 0

@@ -1,0 +1,80 @@
+"""Query layer: filters, ordering, pagination."""
+
+import pytest
+
+from repro.db import Query, asc, desc
+
+ROWS = [
+    {"name": "ana", "points": 90, "course": "HPP"},
+    {"name": "bob", "points": 40, "course": "408"},
+    {"name": "cyd", "points": 70, "course": "HPP"},
+    {"name": "dee", "points": 70, "course": "598"},
+]
+
+
+def q():
+    return Query(list(ROWS))
+
+
+class TestWhere:
+    def test_equality(self):
+        assert q().where(course="HPP").count() == 2
+
+    def test_comparison_suffixes(self):
+        assert q().where(points__ge=70).count() == 3
+        assert q().where(points__lt=70).count() == 1
+        assert q().where(points__ne=70).count() == 2
+
+    def test_in_operator(self):
+        assert q().where(course__in=("HPP", "598")).count() == 3
+
+    def test_contains_operator(self):
+        assert q().where(name__contains="e").values("name") == ["dee"]
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueError, match="unknown query operator"):
+            q().where(points__zz=1)
+
+    def test_missing_key_never_matches(self):
+        assert q().where(ghost=1).count() == 0
+
+    def test_conditions_are_anded(self):
+        rows = q().where(course="HPP", points__gt=80).all()
+        assert [r["name"] for r in rows] == ["ana"]
+
+    def test_filter_predicate(self):
+        rows = q().filter(lambda r: r["name"].startswith("b")).all()
+        assert [r["name"] for r in rows] == ["bob"]
+
+
+class TestOrderLimit:
+    def test_order_by_desc(self):
+        names = q().order_by(desc("points")).values("name")
+        assert names[0] == "ana"
+
+    def test_multi_key_stable_sort(self):
+        names = q().order_by(desc("points"), asc("name")).values("name")
+        assert names == ["ana", "cyd", "dee", "bob"]
+
+    def test_string_means_ascending(self):
+        assert q().order_by("points").values("points")[0] == 40
+
+    def test_offset_and_limit(self):
+        names = q().order_by("name").offset(1).limit(2).values("name")
+        assert names == ["bob", "cyd"]
+
+    def test_limit_zero(self):
+        assert q().limit(0).all() == []
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            q().offset(-1)
+
+    def test_first(self):
+        assert q().order_by(desc("points")).first()["name"] == "ana"
+        assert q().where(points__gt=1000).first() is None
+
+    def test_all_returns_copies(self):
+        rows = q().all()
+        rows[0]["name"] = "mutated"
+        assert ROWS[0]["name"] == "ana"

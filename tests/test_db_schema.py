@@ -1,0 +1,93 @@
+"""Schema declaration and row validation."""
+
+import pytest
+
+from repro.db import Column, ColumnType, Schema, SchemaError
+
+
+def make_schema(**kwargs):
+    return Schema(columns=[
+        Column("email", ColumnType.TEXT),
+        Column("age", ColumnType.INT, nullable=True),
+        Column("score", ColumnType.FLOAT, default=0.0),
+        Column("meta", ColumnType.JSON, default={}),
+    ], **kwargs)
+
+
+class TestColumn:
+    def test_bad_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("not a name", ColumnType.INT)
+
+    def test_default_type_checked(self):
+        with pytest.raises(SchemaError):
+            Column("x", ColumnType.INT, default="nope")
+
+    def test_none_default_allowed(self):
+        col = Column("x", ColumnType.INT, nullable=True, default=None)
+        col.check(None)
+
+    def test_check_rejects_wrong_type(self):
+        with pytest.raises(SchemaError):
+            Column("x", ColumnType.INT).check("five")
+
+    def test_bool_not_accepted_as_int(self):
+        with pytest.raises(SchemaError):
+            Column("x", ColumnType.INT).check(True)
+
+    def test_int_accepted_as_float(self):
+        Column("x", ColumnType.FLOAT).check(3)
+
+    def test_null_rejected_when_not_nullable(self):
+        with pytest.raises(SchemaError):
+            Column("x", ColumnType.TEXT).check(None)
+
+    def test_json_accepts_nested(self):
+        Column("x", ColumnType.JSON).check({"a": [1, {"b": None}]})
+
+    def test_json_rejects_non_string_keys(self):
+        with pytest.raises(SchemaError):
+            Column("x", ColumnType.JSON).check({1: "a"})
+
+    def test_blob_accepts_bytes(self):
+        Column("x", ColumnType.BLOB).check(b"\x00\x01")
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(columns=[Column("a", ColumnType.INT),
+                            Column("a", ColumnType.TEXT)])
+
+    def test_primary_key_must_not_be_declared(self):
+        with pytest.raises(SchemaError):
+            Schema(columns=[Column("id", ColumnType.INT)])
+
+    def test_index_over_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(unique=[("missing",)])
+
+    def test_validate_insert_applies_defaults(self):
+        row = make_schema().validate_insert({"email": "a@b.c"})
+        assert row == {"email": "a@b.c", "age": None, "score": 0.0,
+                       "meta": {}}
+
+    def test_validate_insert_rejects_missing_required(self):
+        with pytest.raises(SchemaError, match="email"):
+            make_schema().validate_insert({})
+
+    def test_validate_insert_rejects_unknown_columns(self):
+        with pytest.raises(SchemaError, match="bogus"):
+            make_schema().validate_insert({"email": "a@b.c", "bogus": 1})
+
+    def test_validate_insert_rejects_supplied_pk(self):
+        with pytest.raises(SchemaError, match="auto-assigned"):
+            make_schema().validate_insert({"email": "a@b.c", "id": 3})
+
+    def test_validate_update_rejects_pk_change(self):
+        with pytest.raises(SchemaError, match="immutable"):
+            make_schema().validate_update({"id": 9})
+
+    def test_validate_update_checks_types(self):
+        with pytest.raises(SchemaError):
+            make_schema().validate_update({"age": "old"})

@@ -1,0 +1,135 @@
+"""Table engine: CRUD, indexes, constraint enforcement."""
+
+import pytest
+
+from repro.db import (
+    Column,
+    ColumnType,
+    DuplicateKeyError,
+    NoSuchRowError,
+    Schema,
+    Table,
+)
+
+
+@pytest.fixture
+def users():
+    schema = Schema(columns=[
+        Column("email", ColumnType.TEXT),
+        Column("course", ColumnType.TEXT, default="HPP"),
+        Column("points", ColumnType.INT, default=0),
+    ], unique=[("email",)], indexes=[("course",)])
+    return Table("users", schema)
+
+
+class TestInsert:
+    def test_assigns_sequential_ids(self, users):
+        assert users.insert(email="a@x.com") == 1
+        assert users.insert(email="b@x.com") == 2
+
+    def test_unique_violation(self, users):
+        users.insert(email="a@x.com")
+        with pytest.raises(DuplicateKeyError):
+            users.insert(email="a@x.com")
+
+    def test_failed_insert_does_not_burn_state(self, users):
+        users.insert(email="a@x.com")
+        with pytest.raises(DuplicateKeyError):
+            users.insert(email="a@x.com")
+        # table still consistent, next insert fine
+        assert users.insert(email="b@x.com") == 2
+        assert len(users) == 2
+
+
+class TestGetUpdateDelete:
+    def test_get_returns_copy(self, users):
+        row_id = users.insert(email="a@x.com")
+        row = users.get(row_id)
+        row["email"] = "evil@x.com"
+        assert users.get(row_id)["email"] == "a@x.com"
+
+    def test_get_missing_raises(self, users):
+        with pytest.raises(NoSuchRowError):
+            users.get(99)
+
+    def test_update_partial(self, users):
+        row_id = users.insert(email="a@x.com")
+        users.update(row_id, points=10)
+        assert users.get(row_id)["points"] == 10
+        assert users.get(row_id)["email"] == "a@x.com"
+
+    def test_update_missing_raises(self, users):
+        with pytest.raises(NoSuchRowError):
+            users.update(5, points=1)
+
+    def test_update_unique_conflict(self, users):
+        users.insert(email="a@x.com")
+        b = users.insert(email="b@x.com")
+        with pytest.raises(DuplicateKeyError):
+            users.update(b, email="a@x.com")
+        # failed update left the row intact
+        assert users.get(b)["email"] == "b@x.com"
+
+    def test_update_to_same_unique_value_is_fine(self, users):
+        a = users.insert(email="a@x.com")
+        users.update(a, email="a@x.com")
+
+    def test_delete(self, users):
+        row_id = users.insert(email="a@x.com")
+        users.delete(row_id)
+        assert not users.exists(row_id)
+        # the unique slot is freed
+        users.insert(email="a@x.com")
+
+    def test_delete_missing_raises(self, users):
+        with pytest.raises(NoSuchRowError):
+            users.delete(1)
+
+
+class TestFind:
+    def test_find_uses_unique_index(self, users):
+        for i in range(50):
+            users.insert(email=f"u{i}@x.com", points=i)
+        rows = users.find(email="u7@x.com")
+        assert len(rows) == 1 and rows[0]["points"] == 7
+
+    def test_find_secondary_index(self, users):
+        users.insert(email="a@x.com", course="HPP")
+        users.insert(email="b@x.com", course="408")
+        users.insert(email="c@x.com", course="HPP")
+        assert len(users.find(course="HPP")) == 2
+
+    def test_find_index_respects_extra_conditions(self, users):
+        users.insert(email="a@x.com", course="HPP", points=1)
+        users.insert(email="b@x.com", course="HPP", points=5)
+        rows = users.find(course="HPP", points__ge=3)
+        assert [r["email"] for r in rows] == ["b@x.com"]
+
+    def test_find_one(self, users):
+        users.insert(email="a@x.com")
+        assert users.find_one(email="a@x.com")["email"] == "a@x.com"
+        assert users.find_one(email="zz@x.com") is None
+
+    def test_index_maintained_after_update(self, users):
+        a = users.insert(email="a@x.com", course="HPP")
+        users.update(a, course="408")
+        assert users.find(course="HPP") == []
+        assert len(users.find(course="408")) == 1
+
+    def test_index_maintained_after_delete(self, users):
+        a = users.insert(email="a@x.com", course="HPP")
+        users.delete(a)
+        assert users.find(course="HPP") == []
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self, users):
+        users.insert(email="a@x.com")
+        users.insert(email="b@x.com")
+        snap = users.snapshot()
+        users.delete(1)
+        users.restore(snap, next_id=3)
+        assert len(users) == 2
+        assert users.get(1)["email"] == "a@x.com"
+        # index was rebuilt
+        assert users.find(email="b@x.com")[0]["id"] == 2

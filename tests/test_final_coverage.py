@@ -1,0 +1,120 @@
+"""Last-mile coverage: paths no other test exercises directly."""
+
+import numpy as np
+import pytest
+
+from repro.db import Query
+from repro.db.query import match_rows
+from repro.gpusim import Device, GpuRuntime, OutOfBoundsError
+from repro.labs import get_lab, execute_lab_source
+from repro.minicuda import CompileError
+from repro.sandbox import BlacklistScanner, ScanMode
+from repro.cluster import GpuWorker, ManualClock, WorkerConfig
+from repro.cluster.job import Job
+
+
+class TestRuntimeHelpers:
+    def test_memset_elementwise(self):
+        rt = GpuRuntime(Device())
+        buf = rt.malloc(8, "int")
+        rt.memset(buf, 7)
+        assert (rt.memcpy_dtoh(buf) == 7).all()
+
+    def test_const_malloc_is_read_only_for_kernels(self):
+        rt = GpuRuntime(Device())
+        mask = rt.const_malloc(np.ones(4, dtype=np.float32))
+
+        def bad(ctx, mask):
+            ctx.store(mask.ptr(), 0, 0.0)
+
+        with pytest.raises(OutOfBoundsError, match="read-only"):
+            rt.launch(bad, (1,), (1,), mask)
+
+    def test_const_malloc_readable(self):
+        rt = GpuRuntime(Device())
+        mask = rt.const_malloc(np.array([5.0], dtype=np.float32))
+        out = rt.malloc(1, "float")
+
+        def kernel(ctx, mask, out):
+            ctx.store(out.ptr(), 0, ctx.load(mask.ptr(), 0))
+
+        rt.launch(kernel, (1,), (1,), mask, out)
+        assert rt.memcpy_dtoh(out)[0] == 5.0
+
+
+class TestQueryHelpers:
+    ROWS = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}, {"a": 3, "b": "x"}]
+
+    def test_values_projection(self):
+        assert Query(self.ROWS).where(b="x").values("a") == [1, 3]
+
+    def test_match_rows_shorthand(self):
+        assert match_rows(self.ROWS, a__ge=2) == self.ROWS[1:]
+
+
+class TestKernelOnlyErrors:
+    def test_wrong_kernel_name_is_compile_error(self):
+        lab = get_lab("opencl-vecadd")
+        renamed = lab.solution.replace("vecAdd", "addVectors")
+        with pytest.raises(CompileError, match="vecAdd"):
+            execute_lab_source(lab, renamed, lab.dataset(0))
+
+
+class TestCustomWorkerSecurity:
+    def test_preprocessed_scanner_config(self):
+        """An operator can deploy workers with the post-preprocessor
+        scan mode: innocent comments no longer reject."""
+        from repro.minicuda import preprocess
+        lab = get_lab("vector-add")
+        commented = lab.solution.replace(
+            'wbLog(TRACE, "The input length is ", inputLength);',
+            "// do not fork() here")
+        clock = ManualClock()
+        strict = GpuWorker(WorkerConfig(), clock=clock)
+        lenient = GpuWorker(WorkerConfig(scanner=BlacklistScanner(
+            mode=ScanMode.PREPROCESSED, preprocessor=preprocess)),
+            clock=clock)
+        r_strict = strict.process(Job(lab=lab, source=commented))
+        r_lenient = lenient.process(Job(lab=lab, source=commented))
+        assert not r_strict.compile_ok          # the paper's nuisance
+        assert r_lenient.compile_ok
+        assert r_lenient.all_correct
+
+    def test_custom_policy_per_worker(self):
+        """Instructors can whitelist extra calls per lab/worker."""
+        from repro.sandbox import SeccompPolicy
+        lab = get_lab("vector-add")
+        opened = lab.solution.replace(
+            'wbLog(TRACE, "The input length is ", inputLength);',
+            'fopen("data.txt", "r");')
+        clock = ManualClock()
+        permissive = GpuWorker(WorkerConfig(
+            policy=SeccompPolicy.baseline().allowing("open")), clock=clock)
+        result = permissive.process(Job(lab=lab, source=opened))
+        # fopen returns NULL but the syscall itself is now permitted
+        assert result.compile_ok
+        assert result.datasets[0].outcome == "ok"
+
+
+class TestOfflineFaultPropagation:
+    def test_runtime_fault_is_raw_offline(self):
+        from repro.minicuda.values import MemoryFault
+        from repro.wb import run_offline
+        lab = get_lab("vector-add")
+        oob = lab.solution.replace(
+            "if (i < len) {\n    out[i] = in1[i] + in2[i];\n  }",
+            "out[i + 1000000] = 1.0f;")
+        with pytest.raises(Exception):
+            run_offline(oob, lab.dataset(0))
+
+
+class TestHealthMonitorDirect:
+    def test_record_and_overdue(self):
+        from repro.cluster import HealthMonitor
+        clock = ManualClock()
+        monitor = HealthMonitor(clock, timeout_s=10.0)
+        monitor.record("w0", clock.now())
+        clock.advance(5)
+        monitor.record("w1", clock.now())
+        clock.advance(6)
+        assert monitor.overdue() == ["w0"]

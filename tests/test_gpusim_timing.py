@@ -1,0 +1,125 @@
+"""The analytic timing model and host transfer accounting."""
+
+import pytest
+
+from repro.gpusim import Device, DeviceSpec, GpuRuntime, KernelStats, TimingModel
+from repro.gpusim.host import PCIE_BANDWIDTH, TRANSFER_LATENCY_S
+from repro.gpusim.timing import (
+    ATOMIC_CONTENTION_CYCLES,
+    BARRIER_CYCLES,
+    LAUNCH_OVERHEAD_S,
+    SEGMENT_BYTES,
+)
+
+SPEC = DeviceSpec(name="test", compute_capability=(3, 0), num_sms=4,
+                  cores_per_sm=64, clock_ghz=1.0, mem_bandwidth_gbs=100.0)
+
+
+def stats(**kwargs) -> KernelStats:
+    base = KernelStats(blocks=1, threads=256, warps=8)
+    for key, value in kwargs.items():
+        setattr(base, key, value)
+    return base
+
+
+class TestTimingModel:
+    def test_launch_overhead_floor(self):
+        model = TimingModel(SPEC)
+        assert model.estimate(stats()) >= LAUNCH_OVERHEAD_S
+
+    def test_compute_bound_scales_with_instructions(self):
+        model = TimingModel(SPEC)
+        slow = model.estimate(stats(instructions=10_000_000))
+        fast = model.estimate(stats(instructions=1_000_000))
+        assert slow > fast
+        # 10x the instructions ~ 10x the compute time (minus overhead)
+        assert (slow - LAUNCH_OVERHEAD_S) == pytest.approx(
+            10 * (fast - LAUNCH_OVERHEAD_S), rel=0.01)
+
+    def test_memory_bound_scales_with_transactions(self):
+        model = TimingModel(SPEC)
+        light = model.estimate(stats(global_load_transactions=1_000))
+        heavy = model.estimate(stats(global_load_transactions=100_000))
+        assert heavy > light
+        expected = 100_000 * SEGMENT_BYTES / (100.0 * 1e9)
+        assert (heavy - LAUNCH_OVERHEAD_S) == pytest.approx(expected,
+                                                            rel=0.05)
+
+    def test_max_of_compute_and_memory_not_sum(self):
+        model = TimingModel(SPEC)
+        both = model.estimate(stats(instructions=1_000_000,
+                                    global_load_transactions=100_000))
+        mem_only = model.estimate(stats(global_load_transactions=100_000))
+        # compute hides under the memory time (overlap, not addition)
+        assert both == pytest.approx(mem_only, rel=0.01)
+
+    def test_low_thread_count_hurts(self):
+        model = TimingModel(SPEC)
+        wide = model.estimate(stats(instructions=1_000_000, threads=4096))
+        narrow = model.estimate(stats(instructions=1_000_000, threads=32))
+        assert narrow > wide
+
+    def test_atomic_contention_cost(self):
+        model = TimingModel(SPEC)
+        spread = model.estimate(stats(atomic_ops=1024,
+                                      max_atomic_contention=1))
+        hot = model.estimate(stats(atomic_ops=1024,
+                                   max_atomic_contention=1024))
+        assert hot > spread
+        extra = (1024 - 1) * ATOMIC_CONTENTION_CYCLES / 1e9 / SPEC.num_sms
+        assert hot - spread == pytest.approx(extra, rel=0.05)
+
+    def test_barrier_cost(self):
+        model = TimingModel(SPEC)
+        none = model.estimate(stats())
+        many = model.estimate(stats(barriers=10_000))
+        assert many - none == pytest.approx(
+            10_000 * BARRIER_CYCLES / (SPEC.num_sms * 1e9), rel=0.01)
+
+    def test_merge_accumulates_and_tracks_contention(self):
+        a = stats(atomic_ops=4)
+        a.atomic_addresses = {100: 4}
+        b = stats(atomic_ops=6)
+        b.atomic_addresses = {100: 2, 200: 4}
+        a.merge(b)
+        assert a.atomic_ops == 10
+        assert a.atomic_addresses == {100: 6, 200: 4}
+        assert a.max_atomic_contention == 6
+        assert a.threads == 512
+
+    def test_load_efficiency_bounds(self):
+        s = stats(global_load_transactions=10, bytes_read=10 * SEGMENT_BYTES)
+        assert s.load_efficiency == 1.0
+        s2 = stats(global_load_transactions=10, bytes_read=128)
+        assert s2.load_efficiency == pytest.approx(0.1)
+        assert stats().load_efficiency == 1.0  # no loads = no waste
+
+
+class TestHostTransfers:
+    def test_memcpy_advances_device_time(self):
+        import numpy as np
+        rt = GpuRuntime(Device(SPEC))
+        data = np.zeros(1_000_000, dtype=np.float32)
+        before = rt.device_time
+        buf = rt.malloc_like(data)
+        elapsed = rt.device_time - before
+        expected = TRANSFER_LATENCY_S + data.nbytes / PCIE_BANDWIDTH
+        assert elapsed == pytest.approx(expected, rel=0.01)
+        rt.free(buf)
+
+    def test_transfer_time_dwarfs_small_kernels(self):
+        """The course's classic lesson: for small N, the PCIe copies
+        cost more than the kernel."""
+        import numpy as np
+        rt = GpuRuntime(Device(SPEC))
+        data = np.zeros(4096, dtype=np.float32)
+        t0 = rt.record_event()
+        buf = rt.malloc_like(data)
+        t1 = rt.record_event()
+
+        def kernel(ctx, buf):
+            ctx.load(buf.ptr(), ctx.global_x)
+
+        kernel_stats = rt.launch(kernel, (32,), (128,), buf)
+        copy_time = t1.elapsed_since(t0)
+        assert copy_time > kernel_stats.elapsed_seconds

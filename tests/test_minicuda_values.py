@@ -1,0 +1,173 @@
+"""Runtime value semantics: pointers, views, coercion, environments."""
+
+import numpy as np
+import pytest
+
+from repro.minicuda.ast_nodes import CType
+from repro.minicuda.values import (
+    NULL,
+    Env,
+    HostBuffer,
+    HostPtr,
+    LocalArray,
+    MDView,
+    MemoryFault,
+    coerce,
+    sizeof_ctype,
+)
+
+
+class TestHostPtr:
+    def make(self, n=10, dtype=np.float32):
+        return HostPtr(HostBuffer(np.arange(n, dtype=dtype), "test"))
+
+    def test_read_write(self):
+        ptr = self.make()
+        ptr.write(3, 99.0)
+        assert ptr.read(3) == 99.0
+
+    def test_bounds(self):
+        ptr = self.make(4)
+        with pytest.raises(MemoryFault):
+            ptr.read(4)
+        with pytest.raises(MemoryFault):
+            ptr.write(-1, 0.0)
+
+    def test_pointer_arithmetic_shares_storage(self):
+        ptr = self.make()
+        shifted = ptr + 4
+        shifted.write(0, -1.0)
+        assert ptr.read(4) == -1.0
+        assert (shifted - 4).offset == 0
+
+    def test_retyped_reinterprets_bytes(self):
+        raw = HostPtr(HostBuffer(np.zeros(8, dtype=np.uint8), "raw"))
+        floats = raw.retyped("float")
+        floats.write(0, 1.0)
+        assert floats.read(0) == 1.0
+        assert floats.buffer.data.dtype == np.float32
+        # same memory: the underlying bytes changed
+        assert raw.buffer.data[:4].any()
+
+    def test_retyped_same_dtype_is_identity(self):
+        ptr = self.make()
+        assert ptr.retyped("float") is ptr
+
+    def test_as_array_respects_offset(self):
+        ptr = self.make(10) + 6
+        assert list(ptr.as_array(3)) == [6.0, 7.0, 8.0]
+
+
+class TestNull:
+    def test_singleton_and_falsy(self):
+        assert NULL is type(NULL)()
+        assert not NULL
+
+    def test_dereference_faults(self):
+        with pytest.raises(MemoryFault, match="NULL"):
+            NULL.read(0)
+        with pytest.raises(MemoryFault):
+            NULL.write(0, 1)
+
+
+class TestMDView:
+    def test_two_level_indexing(self):
+        arr = LocalArray("a", 12, "int")
+        view = MDView(arr, (3, 4))
+        sub = view.sub(2)
+        assert sub.is_scalar_level
+        assert sub.flat_index(1) == 2 * 4 + 1
+
+    def test_three_levels(self):
+        arr = LocalArray("a", 24, "float")
+        view = MDView(arr, (2, 3, 4))
+        assert view.sub(1).sub(2).flat_index(3) == 1 * 12 + 2 * 4 + 3
+
+    def test_dim_bounds_enforced(self):
+        view = MDView(LocalArray("a", 12, "int"), (3, 4))
+        with pytest.raises(MemoryFault):
+            view.sub(3)
+        with pytest.raises(MemoryFault):
+            view.sub(0).flat_index(4)
+
+
+class TestCoercion:
+    def test_int_declared_truncates(self):
+        assert coerce(2.9, CType("int")) == 2
+        assert coerce(-2.9, CType("int")) == -2
+
+    def test_float_declared_rounds_to_f32(self):
+        value = coerce(0.1, CType("float"))
+        assert value == float(np.float32(0.1))
+        assert value != 0.1
+
+    def test_double_keeps_precision(self):
+        assert coerce(0.1, CType("double")) == 0.1
+
+    def test_bool(self):
+        assert coerce(3, CType("bool")) is True
+        assert coerce(0, CType("bool")) is False
+
+    def test_pointers_pass_through(self):
+        ptr = HostPtr(HostBuffer(np.zeros(1, dtype=np.float32), "x"))
+        assert coerce(ptr, CType("float", pointers=1)) is ptr
+
+    def test_none_type_pass_through(self):
+        assert coerce(1.5, None) == 1.5
+
+
+class TestSizeof:
+    @pytest.mark.parametrize("base,size", [
+        ("float", 4), ("double", 8), ("int", 4), ("char", 1),
+        ("bool", 1), ("long", 8), ("dim3", 12),
+    ])
+    def test_scalars(self, base, size):
+        assert sizeof_ctype(CType(base)) == size
+
+    def test_pointers_are_eight_bytes(self):
+        assert sizeof_ctype(CType("float", pointers=1)) == 8
+        assert sizeof_ctype(CType("void", pointers=2)) == 8
+
+    def test_arrays_multiply(self):
+        assert sizeof_ctype(CType("float", array_dims=(4, 8))) == 128
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            sizeof_ctype(CType("wbArg_t"))
+
+
+class TestEnv:
+    def test_scoped_lookup_and_shadowing(self):
+        outer = Env()
+        outer.declare("x", 1, CType("int"))
+        inner = Env(outer)
+        assert inner.get("x") == 1
+        inner.declare("x", 2, CType("int"))
+        assert inner.get("x") == 2
+        assert outer.get("x") == 1
+
+    def test_assignment_writes_declaring_scope(self):
+        outer = Env()
+        outer.declare("x", 1, CType("int"))
+        inner = Env(outer)
+        inner.assign("x", 5)
+        assert outer.get("x") == 5
+
+    def test_assignment_coerces_to_declared_type(self):
+        env = Env()
+        env.declare("n", 0, CType("int"))
+        env.assign("n", 3.7)
+        assert env.get("n") == 3
+
+    def test_undefined_access_raises(self):
+        env = Env()
+        with pytest.raises(NameError):
+            env.get("ghost")
+        with pytest.raises(NameError):
+            env.assign("ghost", 1)
+
+    def test_type_of(self):
+        env = Env()
+        env.declare("f", 0.0, CType("float"))
+        assert env.type_of("f").base == "float"
+        assert env.type_of("ghost") is None

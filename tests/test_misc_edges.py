@@ -1,0 +1,100 @@
+"""Remaining edge-case coverage across small modules."""
+
+import numpy as np
+import pytest
+
+from repro.simulate import Simulator
+from repro.simulate.des import Event
+from repro.storage import ObjectStore
+from repro.web import render_markdown
+
+
+class TestDesEdges:
+    def test_run_bounded_by_max_events(self):
+        sim = Simulator()
+        fired = []
+
+        def reschedule():
+            fired.append(sim.now())
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        sim.run(max_events=5)
+        assert len(fired) == 5
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start=100.0)
+        fired = []
+        sim.schedule_at(150.0, lambda: fired.append(sim.now()))
+        sim.run()
+        assert fired == [150.0]
+
+    def test_cancelled_events_not_counted(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_event_ordering_dataclass(self):
+        a = Event(time=1.0, seq=0, action=lambda: None)
+        b = Event(time=1.0, seq=1, action=lambda: None)
+        c = Event(time=0.5, seq=2, action=lambda: None)
+        assert sorted([b, a, c]) == [c, a, b]
+
+
+class TestMarkdownEdges:
+    def test_h6_is_deepest(self):
+        assert "<h6>deep</h6>" in render_markdown("###### deep")
+
+    def test_mixed_list_kinds_close_properly(self):
+        html = render_markdown("- bullet\n1. numbered")
+        assert html.index("</ul>") < html.index("<ol>")
+
+    def test_code_fence_suppresses_markup(self):
+        html = render_markdown("```\n# not a header\n- not a list\n```")
+        assert "<h1>" not in html and "<li>" not in html
+
+    def test_inline_code_wins_over_emphasis(self):
+        html = render_markdown("`*not em*`")
+        assert "<code>*not em*</code>" in html
+
+
+class TestStorageEdges:
+    def test_metadata_preserved_per_version(self):
+        bucket = ObjectStore().create_bucket("b")
+        bucket.put("k", b"1", metadata={"rev": "a"})
+        bucket.put("k", b"2", metadata={"rev": "b"})
+        assert bucket.head("k").metadata == {"rev": "b"}
+        assert bucket.versions("k")[0].metadata == {"rev": "a"}
+
+    def test_iteration_sorted(self):
+        bucket = ObjectStore().create_bucket("b")
+        for key in ("z", "a", "m"):
+            bucket.put(key, b"x")
+        assert list(bucket) == ["a", "m", "z"]
+
+
+class TestDeviceQueryThroughPlatform:
+    def test_demo_lab_grades_on_stdout_markers(self):
+        from repro.cluster import ManualClock
+        from repro.core import WebGPU
+        from repro.core.course import CourseOffering
+        from repro.labs import get_lab
+
+        clock = ManualClock()
+        platform = WebGPU(clock=clock)
+        course = platform.create_course(
+            CourseOffering(code="HPP", year=2015), ["device-query"])
+        student = platform.users.register("s@x.com", "S", "pw")
+        course.enroll(student.user_id)
+        lab = get_lab("device-query")
+        platform.save_code("HPP-2015", student, "device-query",
+                           lab.skeleton)
+        clock.advance(30)
+        attempt, grade = platform.submit_for_grading(
+            "HPP-2015", student, "device-query")
+        # the demo lab passes unmodified (its whole point)
+        assert attempt.correct
+        assert grade.total_points == 100.0

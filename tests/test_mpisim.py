@@ -1,0 +1,154 @@
+"""In-process MPI: point-to-point, collectives, failure handling."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim import Communicator, MpiError, MpiTimeout, run_mpi
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def rank_main(ep):
+            if ep.rank == 0:
+                ep.send(np.array([1.0, 2.0]), dest=1, tag=5)
+                return None
+            return ep.recv(source=0, tag=5).tolist()
+
+        results = run_mpi(2, rank_main)
+        assert results[1] == [1.0, 2.0]
+
+    def test_tag_matching_with_stash(self):
+        """An early message with the wrong tag must not satisfy a recv
+        waiting for another tag."""
+        def rank_main(ep):
+            if ep.rank == 0:
+                ep.send("wrong-tag", dest=1, tag=9)
+                ep.send("right-tag", dest=1, tag=1)
+                return None
+            first = ep.recv(source=0, tag=1)
+            second = ep.recv(source=0, tag=9)
+            return (first, second)
+
+        results = run_mpi(2, rank_main)
+        assert results[1] == ("right-tag", "wrong-tag")
+
+    def test_wildcard_source(self):
+        def rank_main(ep):
+            if ep.rank == 0:
+                got = {ep.recv(source=-1, tag=0) for _ in range(2)}
+                return got
+            ep.send(ep.rank, dest=0, tag=0)
+            return None
+
+        results = run_mpi(3, rank_main)
+        assert results[0] == {1, 2}
+
+    def test_send_to_invalid_rank(self):
+        def rank_main(ep):
+            ep.send(1, dest=99, tag=0)
+
+        with pytest.raises(MpiError):
+            run_mpi(1, rank_main)
+
+    def test_recv_timeout_flags_deadlock(self):
+        def rank_main(ep):
+            ep.recv(source=0, tag=0)  # nobody sends
+
+        with pytest.raises(MpiTimeout):
+            run_mpi(1, rank_main, timeout=0.2)
+
+    def test_sendrecv_ring_does_not_deadlock(self):
+        def rank_main(ep):
+            right = (ep.rank + 1) % ep.size
+            left = (ep.rank - 1) % ep.size
+            return ep.sendrecv(ep.rank, dest=right, source=left, tag=2)
+
+        results = run_mpi(4, rank_main)
+        assert results == [3, 0, 1, 2]
+
+
+class TestCollectives:
+    def test_barrier_synchronises(self):
+        order = []
+
+        def rank_main(ep):
+            order.append(("before", ep.rank))
+            ep.barrier()
+            order.append(("after", ep.rank))
+
+        run_mpi(3, rank_main)
+        befores = [i for i, (phase, _) in enumerate(order)
+                   if phase == "before"]
+        afters = [i for i, (phase, _) in enumerate(order) if phase == "after"]
+        assert max(befores) < min(afters)
+
+    def test_allreduce_sum(self):
+        def rank_main(ep):
+            return ep.allreduce(np.full(3, float(ep.rank + 1)), op="sum")
+
+        results = run_mpi(4, rank_main)
+        for r in results:
+            assert np.allclose(r, 10.0)
+
+    def test_allreduce_scalar_max(self):
+        def rank_main(ep):
+            return ep.allreduce(ep.rank * 2, op="max")
+
+        assert run_mpi(3, rank_main) == [4, 4, 4]
+
+    def test_allreduce_unknown_op(self):
+        def rank_main(ep):
+            return ep.allreduce(1, op="xor")
+
+        with pytest.raises(MpiError):
+            run_mpi(2, rank_main)
+
+    def test_bcast(self):
+        def rank_main(ep):
+            payload = "labdata" if ep.rank == 0 else None
+            return ep.bcast(payload, root=0)
+
+        assert run_mpi(3, rank_main) == ["labdata"] * 3
+
+    def test_gather_preserves_rank_order(self):
+        def rank_main(ep):
+            return ep.gather(ep.rank * 10, root=0)
+
+        results = run_mpi(4, rank_main)
+        assert results[0] == [0, 10, 20, 30]
+        assert results[1] is None
+
+
+class TestFailurePropagation:
+    def test_rank_exception_reaches_caller(self):
+        def rank_main(ep):
+            if ep.rank == 1:
+                raise RuntimeError("rank 1 exploded")
+            ep.barrier()
+
+        with pytest.raises((RuntimeError, MpiTimeout)):
+            run_mpi(2, rank_main, timeout=1.0)
+
+    def test_stats_tracked(self):
+        comm = Communicator(2)
+
+        def rank_main(rank):
+            ep = comm.endpoint(rank)
+            if rank == 0:
+                ep.send(np.zeros(10, dtype=np.float32), dest=1)
+            else:
+                ep.recv(source=0)
+
+        import threading
+        threads = [threading.Thread(target=rank_main, args=(r,))
+                   for r in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert comm.messages_sent == 1
+        assert comm.bytes_sent == 40
+
+    def test_invalid_size(self):
+        with pytest.raises(MpiError):
+            Communicator(0)

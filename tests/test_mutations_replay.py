@@ -1,0 +1,93 @@
+"""The bug-mutation corpus and the full-stack replay simulation."""
+
+import pytest
+
+from repro.cluster import ManualClock
+from repro.core import WebGPU
+from repro.core.course import CourseOffering
+from repro.labs import get_lab
+from repro.labs.mutations import MUTATIONS, buggy_source, mutations_for
+from repro.minicuda import CompileError, compile_source
+from repro.simulate import replay_cohort
+
+
+class TestMutationCorpus:
+    def test_every_mutation_anchor_still_matches(self):
+        """Guards against solution edits silently breaking the corpus."""
+        for mutation in MUTATIONS:
+            source = buggy_source(mutation)  # asserts anchor presence
+            assert source != get_lab(mutation.lab_slug).solution
+
+    def test_mutations_change_behaviour_or_compilation(self):
+        """Each mutation either fails to compile or is not graded 100%
+        on the full dataset suite (except documented races/UB)."""
+        from repro.labs import execute_lab_source
+        for mutation in MUTATIONS:
+            if not mutation.expected_feedback_keyword:
+                continue  # races may accidentally pass serially
+            lab = get_lab(mutation.lab_slug)
+            source = buggy_source(mutation)
+            try:
+                compile_source(source)
+            except CompileError:
+                continue  # failing to compile counts as changed behaviour
+            import dataclasses
+            if "time limit" in mutation.expected_feedback_keyword:
+                lab = dataclasses.replace(lab, run_limit_s=0.2)
+            failed_somewhere = False
+            for index in range(len(lab.dataset_sizes)):
+                try:
+                    result = execute_lab_source(lab, source,
+                                                lab.dataset(index),
+                                                max_steps=200_000)
+                    if not result.passed:
+                        failed_somewhere = True
+                        break
+                except Exception:
+                    failed_somewhere = True
+                    break
+            assert failed_somewhere, mutation.name
+
+    def test_mutations_for_filter(self):
+        assert all(m.lab_slug == "vector-add"
+                   for m in mutations_for("vector-add"))
+        assert len(mutations_for("vector-add")) >= 5
+
+
+class TestReplay:
+    @pytest.fixture
+    def platform(self):
+        clock = ManualClock()
+        gpu = WebGPU(clock=clock, num_workers=2, rate_per_minute=60.0)
+        gpu.create_course(CourseOffering(code="HPP", year=2015),
+                          ["vector-add"])
+        return gpu
+
+    def test_cohort_completes_and_is_graded(self, platform):
+        stats = replay_cohort(platform, "HPP-2015", "vector-add",
+                              num_students=6, seed=2)
+        assert stats.students == 6
+        assert stats.submissions == 6
+        assert stats.mean_grade >= 90.0
+        assert len(platform.gradebook.for_lab("vector-add")) == 6
+
+    def test_replay_is_deterministic(self):
+        def run(seed):
+            clock = ManualClock()
+            gpu = WebGPU(clock=clock, num_workers=2, rate_per_minute=60.0)
+            gpu.create_course(CourseOffering(code="HPP", year=2015),
+                              ["vector-add"])
+            return replay_cohort(gpu, "HPP-2015", "vector-add",
+                                 num_students=5, seed=seed)
+
+        a, b = run(7), run(7)
+        assert (a.runs, a.feedback_messages, a.hints_taken) == \
+            (b.runs, b.feedback_messages, b.hints_taken)
+
+    def test_buggy_iterations_generate_history(self, platform):
+        replay_cohort(platform, "HPP-2015", "vector-add",
+                      num_students=8, seed=11)
+        # at least one student saved skeleton + bug + fix = 3 revisions
+        counts = [len(platform.revisions.history(u["id"], "vector-add"))
+                  for u in platform.db.find("users")]
+        assert max(counts) >= 3

@@ -1,0 +1,96 @@
+"""Occupancy calculator and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.gpusim import Device, DeviceSpec, LaunchConfigError
+
+
+class TestOccupancy:
+    def test_full_occupancy_at_256(self):
+        report = Device().occupancy(256)
+        # 2048 threads/SM / 256 = 8 blocks, 64/64 warps
+        assert report.active_blocks_per_sm == 8
+        assert report.occupancy == 1.0
+
+    def test_small_blocks_limited_by_block_slots(self):
+        report = Device().occupancy(32)
+        assert report.active_blocks_per_sm == 16  # the block-slot cap
+        assert report.limiter == "blocks"
+        assert report.occupancy == pytest.approx(16 * 1 / 64)
+
+    def test_shared_memory_limits_residency(self):
+        report = Device().occupancy(256, shared_bytes_per_block=24 * 1024)
+        assert report.active_blocks_per_sm == 2  # 48KB SM / 24KB
+        assert report.limiter == "shared_memory"
+        assert report.occupancy == pytest.approx(0.25)
+
+    def test_big_blocks_limited_by_threads(self):
+        report = Device().occupancy(1024)
+        assert report.active_blocks_per_sm == 2
+        assert report.occupancy == 1.0  # 2 x 32 warps = 64
+
+    def test_invalid_inputs(self):
+        with pytest.raises(LaunchConfigError):
+            Device().occupancy(4096)
+        with pytest.raises(LaunchConfigError):
+            Device().occupancy(128, shared_bytes_per_block=10**6)
+
+    def test_occupancy_tradeoff_story(self):
+        """The course's tiling trade-off: a bigger tile means more
+        shared memory per block and can cost occupancy."""
+        device = Device()
+        small_tile = device.occupancy(64, shared_bytes_per_block=2 * 4 * 64)
+        big_tile = device.occupancy(1024,
+                                    shared_bytes_per_block=2 * 4 * 1024)
+        assert small_tile.active_blocks_per_sm > big_tile.active_blocks_per_sm
+
+
+class TestCli:
+    def test_list_labs(self, capsys):
+        assert main(["list-labs"]) == 0
+        out = capsys.readouterr().out
+        assert "Vector Addition" in out and "PUMPS" in out
+        assert "openacc-vecadd" in out  # extension section
+
+    def test_show_lab(self, capsys):
+        assert main(["show-lab", "tiled-matmul"]) == 0
+        out = capsys.readouterr().out
+        assert "Tiled Matrix Multiplication" in out
+        assert "rubric" in out
+
+    def test_show_lab_with_skeleton(self, capsys):
+        assert main(["show-lab", "vector-add", "--skeleton"]) == 0
+        assert "Insert code" in capsys.readouterr().out
+
+    def test_run_lab_reference_solution(self, capsys):
+        assert main(["run-lab", "vector-add", "--dataset", "0",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "ld_tx=" in out
+
+    def test_run_lab_failing_source(self, tmp_path, capsys):
+        from repro.labs import get_lab
+        lab = get_lab("vector-add")
+        wrong = lab.solution.replace("in1[i] + in2[i]", "in1[i]")
+        path = tmp_path / "wrong.cu"
+        path.write_text(wrong)
+        assert main(["run-lab", "vector-add", "--source", str(path),
+                     "--dataset", "0"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_run_lab_compile_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.cu"
+        path.write_text("int main( { return 0; }")
+        assert main(["run-lab", "vector-add", "--source", str(path)]) == 2
+        assert "COMPILE ERROR" in capsys.readouterr().out
+
+    def test_funnel(self, capsys):
+        assert main(["funnel"]) == 0
+        out = capsys.readouterr().out
+        assert "HPP 2013" in out and "7.4" in out
+
+    def test_occupancy(self, capsys):
+        assert main(["occupancy", "256", "--shared", "24576"]) == 0
+        out = capsys.readouterr().out
+        assert "25%" in out and "shared_memory" in out

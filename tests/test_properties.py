@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.db import Column, ColumnType, Query, Schema, Table, asc, desc
+from repro.minicuda.interpreter import _c_div, _c_mod, c_format
+from repro.minicuda.preprocessor import preprocess
+from repro.sandbox import BlacklistScanner, SubmissionRateLimiter
+from repro.sandbox.blacklist import strip_comments_and_strings
+from repro.wb.comparison import compare_solution
+from repro.web.markdown import render_markdown
+
+ints = st.integers(min_value=-10**9, max_value=10**9)
+
+
+class TestCSemanticsProperties:
+    @given(ints, ints)
+    def test_div_mod_identity(self, a, b):
+        """C guarantees (a/b)*b + a%b == a."""
+        assume(b != 0)
+        assert _c_div(a, b) * b + _c_mod(a, b) == a
+
+    @given(ints, ints)
+    def test_div_truncates_toward_zero(self, a, b):
+        assume(b != 0)
+        q = _c_div(a, b)
+        assert abs(q) == abs(a) // abs(b)
+
+    @given(ints, ints)
+    def test_mod_sign_matches_dividend(self, a, b):
+        assume(b != 0 and a % b != 0)
+        r = _c_mod(a, b)
+        if r != 0:
+            assert (r > 0) == (a > 0)
+
+
+class TestTableProperties:
+    @given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=6),
+                    min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_unique_index_admits_exactly_distinct_values(self, emails):
+        table = Table("t", Schema(
+            columns=[Column("email", ColumnType.TEXT)],
+            unique=[("email",)]))
+        inserted = 0
+        for email in emails:
+            try:
+                table.insert(email=email)
+                inserted += 1
+            except Exception:
+                pass
+        assert inserted == len(set(emails))
+        assert len(table) == inserted
+
+    @given(st.lists(st.integers(0, 100), min_size=0, max_size=40),
+           st.integers(0, 10), st.integers(0, 10))
+    @settings(max_examples=50)
+    def test_query_pagination_partitions(self, points, offset, limit):
+        rows = [{"p": p} for p in points]
+        page = Query(rows).order_by(asc("p")).offset(offset).limit(limit).all()
+        expected = sorted(points)[offset:offset + limit]
+        assert [r["p"] for r in page] == expected
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                    min_size=0, max_size=30))
+    @settings(max_examples=50)
+    def test_multi_key_sort_is_total_and_stable(self, pairs):
+        rows = [{"a": a, "b": b, "i": i} for i, (a, b) in enumerate(pairs)]
+        out = Query(rows).order_by(desc("a"), asc("b")).all()
+        keys = [(-r["a"], r["b"]) for r in out]
+        assert keys == sorted(keys)
+
+
+class TestSandboxProperties:
+    @given(st.text(alphabet=st.characters(
+        blacklist_categories=("Cs",)), max_size=300))
+    @settings(max_examples=100)
+    def test_stripper_preserves_line_count(self, text):
+        try:
+            out = strip_comments_and_strings(text)
+        except Exception:
+            return  # unterminated block comments raise; that's allowed
+        assert out.count("\n") == text.count("\n")
+
+    @given(st.text(alphabet="abc ;(){}\n", max_size=200))
+    @settings(max_examples=100)
+    def test_scanner_never_flags_clean_alphabet(self, code):
+        assert BlacklistScanner().scan(code) == []
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=3600.0),
+                    min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_rate_limiter_never_exceeds_long_run_rate(self, gaps):
+        limiter = SubmissionRateLimiter(rate_per_minute=6, burst=3)
+        now = 0.0
+        allowed = 0
+        for gap in gaps:
+            now += gap
+            if limiter.try_submit("u", now):
+                allowed += 1
+        # bound: burst + rate * horizon
+        assert allowed <= 3 + math.ceil(now * 6 / 60.0) + 1
+
+
+class TestPreprocessorProperties:
+    @given(st.text(alphabet="abcxyz =+;\n", max_size=200))
+    @settings(max_examples=50)
+    def test_no_directives_means_identity_modulo_whitespace(self, source):
+        out = preprocess(source)
+        assert out.split() == source.split()
+
+    @given(st.integers(0, 1000))
+    def test_object_macro_substitutes_value(self, value):
+        out = preprocess(f"#define N {value}\nint a = N;")
+        assert f"int a = {value};" in out
+
+
+class TestComparisonProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_reflexive(self, values):
+        arr = np.array(values, dtype=np.float32)
+        assert compare_solution(arr, arr.copy()).correct
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50),
+           st.integers(0, 49))
+    @settings(max_examples=50)
+    def test_single_corruption_detected_and_located(self, values, pos):
+        arr = np.array(values, dtype=np.float64)
+        pos = pos % len(arr)
+        corrupted = arr.copy()
+        corrupted[pos] = corrupted[pos] + max(1.0, abs(corrupted[pos]))
+        result = compare_solution(arr, corrupted)
+        assert not result.correct
+        assert result.mismatches[0].index == (pos,)
+
+    # |v| <= 1e4 keeps the +100 corruption outside rtol * |v| + atol
+    @given(st.lists(st.floats(allow_nan=False, min_value=-1e4,
+                              max_value=1e4), min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_mismatch_count_bounded_by_total(self, values):
+        arr = np.array(values, dtype=np.float64)
+        result = compare_solution(arr, arr + 100.0)
+        assert 0 < result.mismatched <= result.total
+
+
+class TestMarkdownProperties:
+    @given(st.text(max_size=300))
+    @settings(max_examples=100)
+    def test_never_emits_raw_script_tags(self, text):
+        html = render_markdown(text)
+        assert "<script" not in html.lower()
+
+    @given(st.lists(st.text(alphabet="abc`*", min_size=1, max_size=20),
+                    min_size=1, max_size=5))
+    @settings(max_examples=50)
+    def test_list_items_balanced(self, items):
+        source = "\n".join(f"- {item}" for item in items)
+        html = render_markdown(source)
+        assert html.count("<li>") == html.count("</li>") == len(items)
+
+
+class TestPrintfProperties:
+    @given(st.integers(-10**6, 10**6), st.floats(-1e6, 1e6,
+                                                 allow_nan=False))
+    @settings(max_examples=50)
+    def test_c_format_never_raises(self, i, f):
+        out = c_format("i=%d f=%f u=%u", (i, f, abs(i)))
+        assert str(i) in out
+
+
+class TestGpuSimProperties:
+    @given(st.integers(1, 64), st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_every_thread_runs_exactly_once(self, block, grid):
+        from repro.gpusim import Device, GpuRuntime
+        rt = GpuRuntime(Device())
+        total = block * grid
+        out = rt.malloc(total, "int")
+
+        def kernel(ctx, out):
+            ctx.atomic_add(out.ptr(), ctx.global_x, 1)
+
+        stats = rt.launch(kernel, (grid,), (block,), out)
+        assert stats.threads == total
+        assert (rt.memcpy_dtoh(out) == 1).all()
+
+    @given(st.integers(1, 4), st.integers(1, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_barrier_count_scales_with_blocks(self, blocks, barriers):
+        from repro.gpusim import Device, GpuRuntime, SYNC
+        rt = GpuRuntime(Device())
+
+        def kernel(ctx, n=barriers):
+            for _ in range(n):
+                yield SYNC
+
+        stats = rt.launch(kernel, (blocks,), (32,))
+        assert stats.barriers == blocks * barriers

@@ -1,0 +1,123 @@
+"""The composed sandbox pipeline."""
+
+import pytest
+
+from repro.sandbox import (
+    ExecutionOutcome,
+    SandboxConfig,
+    SandboxExecutor,
+    SeccompPolicy,
+)
+from repro.sandbox.sandbox import CompileFailure
+
+
+def make_executor(**kwargs) -> SandboxExecutor:
+    config = SandboxConfig(policy=SeccompPolicy.baseline(), **kwargs)
+    return SandboxExecutor(config)
+
+
+def ok_compile(source, limiter):
+    limiter.charge(0.1)
+    return {"compiled": source}
+
+
+def ok_run(artifact, env):
+    env.gate.invoke("write")
+    env.run_limiter.charge(0.2)
+    return 42
+
+
+class TestPipeline:
+    def test_happy_path(self):
+        result = make_executor().execute("int x;", ok_compile, ok_run)
+        assert result.outcome is ExecutionOutcome.OK
+        assert result.value == 42
+        assert result.compile_seconds == pytest.approx(0.1)
+        assert result.run_seconds == pytest.approx(0.2)
+        assert result.syscall_counts == {"write": 1}
+
+    def test_blacklist_short_circuits(self):
+        calls = []
+        result = make_executor().execute(
+            "asm();", lambda s, l: calls.append("compile"),
+            lambda a, e: calls.append("run"))
+        assert result.outcome is ExecutionOutcome.BLACKLISTED
+        assert result.outcome.is_security_kill
+        assert calls == []  # nothing past the scan
+
+    def test_compile_error(self):
+        def bad_compile(source, limiter):
+            raise CompileFailure("error: expected ';'")
+
+        result = make_executor().execute("int x", bad_compile, ok_run)
+        assert result.outcome is ExecutionOutcome.COMPILE_ERROR
+        assert "expected ';'" in result.stderr
+
+    def test_compile_timeout(self):
+        def slow_compile(source, limiter):
+            limiter.charge(100.0)
+
+        result = make_executor(compile_limit_s=1.0).execute(
+            "int x;", slow_compile, ok_run)
+        assert result.outcome is ExecutionOutcome.COMPILE_TIMEOUT
+
+    def test_run_timeout(self):
+        def slow_run(artifact, env):
+            env.run_limiter.charge(100.0)
+
+        result = make_executor(run_limit_s=1.0).execute(
+            "int x;", ok_compile, slow_run)
+        assert result.outcome is ExecutionOutcome.RUN_TIMEOUT
+
+    def test_syscall_kill(self):
+        def attack(artifact, env):
+            env.gate.invoke("socket")
+
+        result = make_executor().execute("int x;", ok_compile, attack)
+        assert result.outcome is ExecutionOutcome.SYSCALL_KILLED
+        assert result.outcome.is_security_kill
+        assert result.syscall_counts == {"socket": 1}
+
+    def test_write_outside_sandbox_killed(self):
+        def escape(artifact, env):
+            env.fs.write(env.privileges, "/etc/cron.d/evil", b"...")
+
+        result = make_executor().execute("int x;", ok_compile, escape)
+        assert result.outcome is ExecutionOutcome.WRITE_DENIED
+
+    def test_sandbox_write_helper_allowed(self):
+        def writes(artifact, env):
+            env.write_file("out.txt", b"data")
+            return "done"
+
+        result = make_executor().execute("int x;", ok_compile, writes)
+        assert result.ok
+
+    def test_crash_is_runtime_error(self):
+        def crash(artifact, env):
+            raise ZeroDivisionError("divide by zero")
+
+        result = make_executor().execute("int x;", ok_compile, crash)
+        assert result.outcome is ExecutionOutcome.RUNTIME_ERROR
+        assert "divide by zero" in result.stderr
+
+    def test_tempdir_cleaned_after_job(self):
+        executor = make_executor()
+
+        roots = []
+
+        def noting_run(artifact, env):
+            env.write_file("a.out", b"x")
+            roots.append(env.privileges.writable_root)
+            return 0
+
+        executor.execute("int x;", ok_compile, noting_run)
+        assert not executor.fs.exists(f"{roots[0]}/a.out")
+
+    def test_kill_accounting(self):
+        executor = make_executor()
+        executor.execute("asm();", ok_compile, ok_run)
+        executor.execute("asm();", ok_compile, ok_run)
+        executor.execute("int x;", ok_compile, ok_run)
+        assert executor.jobs_run == 3
+        assert executor.kills_by_outcome[ExecutionOutcome.BLACKLISTED] == 2

@@ -1,0 +1,72 @@
+"""Course-offering scenarios beyond the Coursera three."""
+
+import pytest
+
+from repro.simulate import (
+    ECE408_2015,
+    HPP_2013,
+    HPP_2014,
+    HPP_2015,
+    PUMPS_2015,
+    StudentPopulation,
+    simulate_funnel,
+)
+from repro.simulate.scenarios import COURSERA_OFFERINGS, OfferingScenario
+
+
+class TestScenarioCalibration:
+    def test_retention_solves_completion_identity(self):
+        """engaged x retention^weeks must equal the published rate."""
+        for scenario in COURSERA_OFFERINGS:
+            implied = (scenario.engaged_fraction
+                       * scenario.weekly_retention ** scenario.weeks)
+            assert implied == pytest.approx(
+                scenario.target_completion_rate, rel=1e-9)
+
+    def test_unreachable_completion_rejected(self):
+        bad = OfferingScenario(
+            name="bad", registered=100, weeks=5,
+            target_completion_rate=0.5, certificates_issued=None,
+            engaged_fraction=0.1, seed=1)
+        with pytest.raises(ValueError, match="unreachable"):
+            bad.weekly_retention
+
+    def test_certificate_rates_match_published_ratios(self):
+        # 286/1061 and 442/1141
+        assert HPP_2014.certificate_rate == pytest.approx(0.269, abs=0.01)
+        assert HPP_2015.certificate_rate == pytest.approx(0.390, abs=0.01)
+        assert HPP_2013.certificate_rate == 0.0
+
+
+class TestTraditionalOfferings:
+    def test_ece408_is_a_small_high_completion_course(self):
+        """Section V: for ECE 408 'WebGPU scales down in the number of
+        worker nodes and serves as a development environment for a
+        traditional course offering'."""
+        result = simulate_funnel(ECE408_2015)
+        assert result.registered == 220
+        # a for-credit campus course completes at ~85%, not 3%
+        assert result.completion_rate > 0.75
+        mooc = simulate_funnel(HPP_2015)
+        assert result.completion_rate > 20 * mooc.completion_rate
+
+    def test_pumps_is_one_intensive_week(self):
+        result = simulate_funnel(PUMPS_2015)
+        assert PUMPS_2015.weeks == 1
+        assert result.completion_rate > 0.8
+
+    def test_campus_course_needs_tiny_fleet(self):
+        """The scale-down claim, quantified: ECE 408's hourly peak is a
+        small fraction of the MOOC's."""
+        campus = StudentPopulation(
+            ECE408_2015.population_params()).generate()
+        mooc = StudentPopulation(
+            HPP_2015.figure1_population_params()).generate()
+        assert campus.hourly_active.peak < mooc.hourly_active.peak / 3
+
+    def test_pumps_activity_is_compressed(self):
+        result = StudentPopulation(PUMPS_2015.population_params()).generate()
+        series = result.hourly_active
+        assert series.hours == 168  # one week
+        # nearly the whole cohort engages
+        assert result.engaged_students > 0.85 * PUMPS_2015.registered

@@ -1,0 +1,212 @@
+"""Simulation: DES core, population model, funnel, fleet queueing."""
+
+import numpy as np
+import pytest
+
+from repro.simulate import (
+    HPP_2013,
+    HPP_2014,
+    HPP_2015,
+    HourlySeries,
+    PopulationParams,
+    SimClock,
+    Simulator,
+    StudentPopulation,
+    jobs_from_activity,
+    simulate_fleet,
+    simulate_funnel,
+)
+from repro.simulate.metrics import spike_day_of_week, weekly_profile
+from repro.simulate.scenarios import COURSERA_OFFERINGS
+from repro.simulate.workload import sample_service_times
+
+
+class TestDes:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(9.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now() == 9.0
+
+    def test_same_time_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in "xyz":
+            sim.schedule(1.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["x", "y", "z"]
+
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run_until(5.0)
+        assert fired == [1]
+        assert sim.now() == 5.0
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now())
+            if len(fired) < 3:
+                sim.schedule(2.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 3.0, 5.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_sim_clock_adapter(self):
+        sim = Simulator(start=100.0)
+        clock = SimClock(sim)
+        assert clock.now() == 100.0
+
+
+class TestHourlySeries:
+    def test_peak_and_trough(self):
+        series = HourlySeries(hours=48)
+        series.add(3, 10)
+        series.add(30, 2)
+        assert series.peak == 10 and series.peak_hour == 3
+        assert series.trough_over(10) == 0
+
+    def test_weekly_profile_requires_full_week(self):
+        with pytest.raises(ValueError):
+            weekly_profile(HourlySeries(hours=100))
+
+    def test_daily_max(self):
+        series = HourlySeries(hours=48)
+        series.add(5, 7)
+        series.add(25, 3)
+        assert list(series.daily_max()) == [7, 3]
+
+
+class TestPopulationModel:
+    @pytest.fixture(scope="class")
+    def hpp2015(self):
+        return StudentPopulation(
+            HPP_2015.figure1_population_params()).generate()
+
+    def test_weekly_spike_on_day_before_deadline(self, hpp2015):
+        # deadline_day=4 (Thursday when day 0 is Sunday); rush is day 3
+        assert spike_day_of_week(hpp2015.hourly_active) == 3
+
+    def test_peak_matches_figure1(self, hpp2015):
+        assert 90 <= hpp2015.hourly_active.peak <= 140  # paper: 112
+
+    def test_late_course_trough_matches_figure1(self, hpp2015):
+        late_daily_max = hpp2015.hourly_active.daily_max()[7:]
+        assert 2 <= late_daily_max.min() <= 20  # paper: 8
+
+    def test_participation_declines_weekly(self, hpp2015):
+        active = hpp2015.active_per_week
+        assert all(a >= b for a, b in zip(active, active[1:]))
+        assert active[-1] < active[0] * 0.5
+
+    def test_deterministic_by_seed(self):
+        params = PopulationParams(registered=1000, weeks=3, seed=5)
+        a = StudentPopulation(params).generate()
+        b = StudentPopulation(params).generate()
+        assert np.array_equal(a.hourly_active.counts, b.hourly_active.counts)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PopulationParams(registered=10, engaged_fraction=0.0)
+        with pytest.raises(ValueError):
+            PopulationParams(registered=10, weekly_retention=1.5)
+
+
+class TestFunnel:
+    def test_table1_magnitudes(self):
+        """The funnel reproduces Table I within sampling noise."""
+        published = {
+            "HPP 2013": (36896, 2729, None),
+            "HPP 2014": (33818, 1061, 286),
+            "HPP 2015": (35940, 1141, 442),
+        }
+        for scenario in COURSERA_OFFERINGS:
+            result = simulate_funnel(scenario)
+            registered, completions, certs = published[scenario.name]
+            assert result.registered == registered
+            assert abs(result.completions - completions) / completions < 0.15
+            if certs is None:
+                assert result.certificates == 0
+            else:
+                assert abs(result.certificates - certs) / certs < 0.20
+
+    def test_2013_rate_higher_than_later_years(self):
+        r13 = simulate_funnel(HPP_2013)
+        r14 = simulate_funnel(HPP_2014)
+        r15 = simulate_funnel(HPP_2015)
+        assert r13.completion_rate > 2 * r14.completion_rate
+        assert abs(r14.completion_rate - r15.completion_rate) < 0.01
+
+    def test_row_format(self):
+        row = simulate_funnel(HPP_2014).row()
+        assert set(row) == {"offering", "registered", "completions",
+                            "completion_rate_pct", "certificates"}
+
+
+class TestFleetQueueing:
+    def make_arrivals(self, rate_per_hour=100, hours=4, seed=3):
+        series = HourlySeries(hours=hours)
+        series.counts[:] = rate_per_hour
+        arrivals = jobs_from_activity(series, seed=seed,
+                                      jobs_per_student_hour=1.0)
+        return arrivals, sample_service_times(len(arrivals), seed=seed)
+
+    def test_more_workers_less_waiting(self):
+        arrivals, service = self.make_arrivals()
+        small = simulate_fleet(arrivals, service, num_workers=1)
+        large = simulate_fleet(arrivals, service, num_workers=8)
+        assert large.p95_wait <= small.p95_wait
+        assert large.utilization < small.utilization
+
+    def test_gpu_hours_accounting(self):
+        arrivals, service = self.make_arrivals(hours=2)
+        result = simulate_fleet(arrivals, service, num_workers=4)
+        assert result.gpu_hours == pytest.approx(
+            4 * (result.worker_seconds / 4) / 3600.0)
+        assert 0 < result.utilization <= 1.0
+
+    def test_autoscaler_tracks_demand(self):
+        arrivals, service = self.make_arrivals(rate_per_hour=200, hours=6)
+
+        def scaler(now, demand, current):
+            return max(1, int(demand / 0.7) + 1)
+
+        result = simulate_fleet(arrivals, service, scaler=scaler,
+                                scale_interval_s=600.0)
+        assert result.worker_counts  # it actually rescaled
+        static = simulate_fleet(arrivals, service, num_workers=32)
+        assert result.gpu_hours < static.gpu_hours
+
+    def test_exactly_one_policy_required(self):
+        arrivals, service = self.make_arrivals(hours=1)
+        with pytest.raises(ValueError):
+            simulate_fleet(arrivals, service)
+        with pytest.raises(ValueError):
+            simulate_fleet(arrivals, service, num_workers=2,
+                           scaler=lambda *a: 2)
+
+    def test_empty_arrivals(self):
+        result = simulate_fleet(np.array([]), np.array([]), num_workers=2)
+        assert result.waits == [] and result.gpu_hours == 0.0

@@ -1,0 +1,100 @@
+"""S3-like object store: buckets, keys, versions, etags."""
+
+import pytest
+
+from repro.storage import (
+    NoSuchBucketError,
+    NoSuchKeyError,
+    ObjectStore,
+    StorageError,
+)
+
+
+@pytest.fixture
+def bucket():
+    return ObjectStore().create_bucket("webgpu-datasets")
+
+
+class TestBucket:
+    def test_put_get_roundtrip(self, bucket):
+        bucket.put("labs/vecadd/input0", b"\x01\x02")
+        assert bucket.get("labs/vecadd/input0") == b"\x01\x02"
+
+    def test_text_helpers(self, bucket):
+        bucket.put_text("desc.md", "# Vector Addition")
+        assert bucket.get_text("desc.md") == "# Vector Addition"
+
+    def test_missing_key(self, bucket):
+        with pytest.raises(NoSuchKeyError):
+            bucket.get("ghost")
+
+    def test_empty_key_rejected(self, bucket):
+        with pytest.raises(StorageError):
+            bucket.put("", b"x")
+
+    def test_non_bytes_rejected(self, bucket):
+        with pytest.raises(StorageError):
+            bucket.put("k", "not bytes")
+
+    def test_etag_tracks_content(self, bucket):
+        m1 = bucket.put("k", b"one")
+        m2 = bucket.put("k", b"two")
+        m3 = bucket.put("k2", b"one")
+        assert m1.etag != m2.etag
+        assert m1.etag == m3.etag
+
+    def test_versions_retained(self, bucket):
+        bucket.put("k", b"v1")
+        bucket.put("k", b"v2")
+        assert bucket.get("k", version=1) == b"v1"
+        assert bucket.get("k") == b"v2"
+        assert [m.version for m in bucket.versions("k")] == [1, 2]
+
+    def test_bad_version(self, bucket):
+        bucket.put("k", b"v1")
+        with pytest.raises(NoSuchKeyError):
+            bucket.get("k", version=5)
+
+    def test_delete_keeps_history(self, bucket):
+        bucket.put("k", b"v1")
+        bucket.delete("k")
+        assert not bucket.exists("k")
+        assert bucket.get("k", version=1) == b"v1"
+        with pytest.raises(NoSuchKeyError):
+            bucket.delete("k")
+
+    def test_prefix_listing_sorted(self, bucket):
+        for key in ("b/2", "a/1", "b/1"):
+            bucket.put(key, b"x")
+        assert bucket.list("b/") == ["b/1", "b/2"]
+        assert bucket.list() == ["a/1", "b/1", "b/2"]
+
+    def test_head_and_totals(self, bucket):
+        bucket.put("k", b"12345", metadata={"lab": "vecadd"})
+        meta = bucket.head("k")
+        assert meta.size == 5 and meta.metadata["lab"] == "vecadd"
+        assert bucket.total_bytes() == 5
+        assert len(bucket) == 1
+
+
+class TestObjectStore:
+    def test_duplicate_bucket_rejected(self):
+        store = ObjectStore()
+        store.create_bucket("b")
+        with pytest.raises(StorageError):
+            store.create_bucket("b")
+
+    def test_invalid_bucket_name(self):
+        with pytest.raises(StorageError):
+            ObjectStore().create_bucket("has/slash")
+
+    def test_missing_bucket(self):
+        with pytest.raises(NoSuchBucketError):
+            ObjectStore().bucket("ghost")
+
+    def test_ensure_bucket_idempotent(self):
+        store = ObjectStore()
+        b1 = store.ensure_bucket("b")
+        b2 = store.ensure_bucket("b")
+        assert b1 is b2
+        assert store.bucket_names == ("b",)

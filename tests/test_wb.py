@@ -1,0 +1,135 @@
+"""libwb equivalent: dataset generators, comparison, offline harness."""
+
+import numpy as np
+import pytest
+
+from repro.labs import get_lab
+from repro.wb import compare_solution, generators, run_offline
+from repro.wb.datasets import GeneratedData
+
+
+class TestGenerators:
+    def test_all_registered_generators_produce_data(self):
+        for name, gen in generators.items():
+            data = gen(seed=1, size=16)
+            assert isinstance(data, GeneratedData)
+            assert isinstance(data.expected, np.ndarray)
+
+    def test_deterministic_by_seed(self):
+        a = generators["vector_add"](seed=7, size=32)
+        b = generators["vector_add"](seed=7, size=32)
+        c = generators["vector_add"](seed=8, size=32)
+        assert np.array_equal(a.expected, b.expected)
+        assert not np.array_equal(a.expected, c.expected)
+
+    def test_vector_add_expected_is_sum(self):
+        d = generators["vector_add"](seed=1, size=10)
+        assert np.allclose(d.expected, d.inputs["input0"] + d.inputs["input1"])
+
+    def test_matmul_shapes_compatible(self):
+        d = generators["matmul"](seed=3, size=6)
+        a, b = d.inputs["input0"], d.inputs["input1"]
+        assert a.shape[1] == b.shape[0]
+        assert np.allclose(d.expected, a @ b, atol=1e-4)
+
+    def test_scan_expected_is_cumsum(self):
+        d = generators["scan"](seed=1, size=20)
+        assert np.allclose(d.expected, np.cumsum(d.inputs["input0"]),
+                           rtol=1e-5)
+
+    def test_spmv_csr_is_consistent(self):
+        d = generators["spmv"](seed=1, size=12)
+        row_ptr = d.inputs["input0"]
+        col_idx = d.inputs["input1"]
+        values = d.inputs["input2"]
+        x = d.inputs["input3"]
+        n = len(x)
+        dense = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            for j in range(row_ptr[i], row_ptr[i + 1]):
+                dense[i, col_idx[j]] = values[j]
+        assert np.allclose(dense @ x, d.expected, atol=1e-3)
+        assert row_ptr[0] == 0 and row_ptr[-1] == len(col_idx)
+
+    def test_bfs_graph_is_symmetric_and_levels_valid(self):
+        d = generators["bfs"](seed=2, size=12)
+        row_ptr, col_idx = d.inputs["input0"], d.inputs["input1"]
+        levels = d.expected
+        assert levels[0] == 0
+        assert (levels >= 0).all()  # ring guarantees connectivity
+        # every edge's endpoints differ by at most one level
+        for u in range(12):
+            for j in range(row_ptr[u], row_ptr[u + 1]):
+                v = col_idx[j]
+                assert abs(levels[u] - levels[v]) <= 1
+
+    def test_binning_averages_bounded(self):
+        d = generators["binning"](seed=1, size=64)
+        assert ((d.expected >= 0) & (d.expected <= 1)).all()
+
+    def test_image_equalization_range(self):
+        d = generators["image_equalization"](seed=1, size=16)
+        assert d.expected.min() >= 0 and d.expected.max() <= 255
+
+
+class TestComparison:
+    def test_exact_match(self):
+        result = compare_solution(np.ones(5), np.ones(5))
+        assert result.correct and result.mismatched == 0
+        assert result.report() == "Solution is correct."
+
+    def test_tolerance_accepts_float_noise(self):
+        expected = np.ones(5)
+        actual = expected + 1e-5
+        assert compare_solution(expected, actual).correct
+
+    def test_mismatch_reporting(self):
+        expected = np.zeros((2, 3))
+        actual = expected.copy()
+        actual[1, 2] = 5.0
+        result = compare_solution(expected, actual)
+        assert not result.correct
+        assert result.mismatched == 1
+        assert result.mismatches[0].index == (1, 2)
+        assert "Expecting 0" in result.report()
+
+    def test_mismatch_report_truncated(self):
+        result = compare_solution(np.zeros(100), np.ones(100))
+        assert result.mismatched == 100
+        assert "more mismatch" in result.report()
+
+    def test_size_mismatch(self):
+        result = compare_solution(np.zeros(4), np.zeros(5))
+        assert not result.correct
+        assert "5 element(s)" in result.message
+
+    def test_missing_solution(self):
+        result = compare_solution(np.zeros(4), None)
+        assert not result.correct
+        assert "wbSolution" in result.message
+
+    def test_nan_matches_nan(self):
+        data = np.array([1.0, np.nan])
+        assert compare_solution(data, data.copy()).correct
+
+
+class TestOfflineHarness:
+    def test_solution_passes_offline(self):
+        lab = get_lab("vector-add")
+        result = run_offline(lab.solution, lab.dataset(0))
+        assert result.passed
+        assert result.kernel_seconds > 0
+
+    def test_wrong_code_fails_offline(self):
+        lab = get_lab("vector-add")
+        wrong = lab.solution.replace("in1[i] + in2[i]", "in1[i] * in2[i]")
+        result = run_offline(wrong, lab.dataset(0))
+        assert not result.passed
+        assert result.compare.mismatched > 0
+
+    def test_compile_error_propagates_raw(self):
+        from repro.minicuda import CompileError
+        lab = get_lab("vector-add")
+        with pytest.raises(CompileError):
+            run_offline(lab.solution.replace("int i =", "int i"),
+                        lab.dataset(0))

@@ -1,0 +1,120 @@
+"""Web routes for feedback, hints, shared attempts; driver recycling."""
+
+import pytest
+
+from repro.broker import ConfigServer, ContainerPool, MessageBroker, WorkerDriver
+from repro.broker.config_server import WorkerRemoteConfig
+from repro.broker.containers import CUDA_IMAGE
+from repro.cluster import GpuWorker, ManualClock, WorkerConfig
+from repro.cluster.job import Job
+from repro.core import WebGPU
+from repro.core.course import CourseOffering
+from repro.db import Database
+from repro.labs import get_lab
+from repro.web import Request, WebGpuApp
+
+VECADD = get_lab("vector-add")
+
+
+@pytest.fixture
+def app():
+    clock = ManualClock()
+    platform = WebGPU(clock=clock, rate_per_minute=600.0)
+    course = platform.create_course(
+        CourseOffering(code="HPP", year=2015,
+                       deadlines={"vector-add": 500.0}),
+        ["vector-add"])
+    student = platform.users.register("s@x.com", "S", "pw")
+    course.enroll(student.user_id)
+    app = WebGpuApp(platform, "HPP-2015")
+    token = app.handle(Request("POST", "/login", form={
+        "email": "s@x.com", "password": "pw"})).body
+    return app, clock, token, student
+
+
+class TestFeedbackRoutes:
+    def test_feedback_route(self, app):
+        app, clock, token, _ = app
+        wrong = VECADD.solution.replace("in1[i] + in2[i]", "in1[i]")
+        app.handle(Request("POST", "/lab/vector-add/code",
+                           form={"source": wrong}, session_token=token))
+        clock.advance(30)
+        app.handle(Request("POST", "/lab/vector-add/run",
+                           form={"dataset": "3"}, session_token=token))
+        response = app.handle(Request("GET", "/lab/vector-add/feedback",
+                                      session_token=token))
+        assert response.ok
+        assert "[correctness]" in response.body
+
+    def test_hint_route_stages_then_exhausts(self, app):
+        app, _, token, _ = app
+        seen = set()
+        while True:
+            response = app.handle(Request("POST", "/lab/vector-add/hint",
+                                          session_token=token))
+            if response.status == 204:
+                break
+            seen.add(response.body)
+        assert len(seen) == 3  # the three staged vector-add hints
+
+    def test_routes_require_auth(self, app):
+        app, _, _, _ = app
+        assert app.handle(
+            Request("GET", "/lab/vector-add/feedback")).status == 401
+        assert app.handle(
+            Request("POST", "/lab/vector-add/hint")).status == 401
+
+
+class TestSharedAttempts:
+    def test_shared_attempt_public_after_deadline(self, app):
+        app, clock, token, student = app
+        platform = app.platform
+        app.handle(Request("POST", "/lab/vector-add/code",
+                           form={"source": VECADD.solution},
+                           session_token=token))
+        clock.advance(30)
+        attempt = platform.run_attempt("HPP-2015", student, "vector-add")
+        # before the deadline: sharing is refused
+        with pytest.raises(PermissionError):
+            platform.attempts.share_publicly(attempt.attempt_id,
+                                             deadline=500.0,
+                                             now=clock.now())
+        # unshared attempts are not publicly readable
+        response = app.handle(Request(
+            "GET", f"/shared/attempt/{attempt.attempt_id}"))
+        assert response.status == 403
+        # after the deadline, share and fetch with no session at all
+        clock.advance(1000)
+        url = platform.attempts.share_publicly(attempt.attempt_id,
+                                               deadline=500.0,
+                                               now=clock.now())
+        response = app.handle(Request("GET", url))
+        assert response.ok
+        assert "vecAdd" in response.body  # the code is shown
+        assert "correct" in response.body
+
+    def test_unknown_attempt_404(self, app):
+        app, _, _, _ = app
+        assert app.handle(
+            Request("GET", "/shared/attempt/99999")).status == 404
+
+
+class TestDriverRecycling:
+    def test_recycle_after_configured_jobs(self):
+        clock = ManualClock()
+        broker = MessageBroker()
+        cfg = ConfigServer(WorkerRemoteConfig(max_jobs_before_recycle=3))
+        driver = WorkerDriver(
+            GpuWorker(WorkerConfig(), clock=clock), broker,
+            ContainerPool([CUDA_IMAGE]), cfg, Database("m"), clock=clock)
+        for _ in range(7):
+            broker.publish(Job(lab=VECADD, source=VECADD.solution),
+                           clock.now())
+        driver.drain()
+        assert driver.stats.jobs == 7
+        assert driver.stats.recycles == 2  # after jobs 3 and 6
+        # the pool is warm again after recycling
+        assert driver.containers.stats()["warm_available"] >= 1
+        # recycle events are reported to the metrics database
+        rows = driver.metrics_db.find("worker_metrics", event="recycle")
+        assert len(rows) == 2
