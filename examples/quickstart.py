@@ -3,18 +3,20 @@
 Creates the platform (web-server + database + two simulated GPU
 workers), a course, and a student; then walks the six student actions:
 edit, compile, run against a dataset, answer the question, submit for
-grading, and inspect history.
+grading, and inspect history — and finally resubmits the unchanged
+program to show the artifact cache answering warm requests.
 
 Run: python examples/quickstart.py
 """
 
 from repro import CourseOffering, WebGPU, get_lab
-from repro.cluster import ManualClock
+from repro.cluster import ManualClock, PlatformCaches
 
 
 def main() -> None:
     clock = ManualClock()
-    gpu = WebGPU(clock=clock, num_workers=2)
+    caches = PlatformCaches(clock=clock)
+    gpu = WebGPU(clock=clock, num_workers=2, caches=caches)
 
     # --- instructor: create the course and offer a lab -----------------
     course = gpu.create_course(
@@ -72,6 +74,23 @@ def main() -> None:
     for a in attempts:
         print(f"  [{a.kind.value:8s}] t={a.submitted_at:5.0f}s "
               f"correct={a.correct}")
+
+    # --- warm vs cold: resubmit the identical program -------------------
+    # The first submission was a cold miss (full compile + all datasets);
+    # an identical resubmission is answered from the grading cache.
+    clock.advance(60)
+    _, grade2 = gpu.submit_for_grading("HPP-2015", student, "vector-add")
+    snap = caches.snapshot()
+    print(f"\nresubmit (warm)  : grade {grade2.total_points:.0f}/"
+          f"{lab.rubric.total} — same program, served from cache")
+    print(f"compile cache    : {snap['compile']['hits']} hit(s) / "
+          f"{snap['compile']['misses']} miss(es), hit rate "
+          f"{snap['compile']['hit_rate']:.0%} "
+          f"(front-end ran {caches.compile.compile_count}x)")
+    print(f"grading cache    : {snap['results']['hits']} hit(s) / "
+          f"{snap['results']['misses']} miss(es), hit rate "
+          f"{snap['results']['hit_rate']:.0%}, "
+          f"{snap['results']['seconds_saved']:.1f}s of grading saved")
 
 
 if __name__ == "__main__":

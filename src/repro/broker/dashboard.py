@@ -8,6 +8,7 @@ and broker state into a status snapshot and a text rendering.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.broker.broker import MessageBroker
 from repro.db import Database
@@ -19,22 +20,37 @@ class Dashboard:
 
     metrics_db: Database
     broker: MessageBroker
+    #: optional repro.cluster.result_cache.PlatformCaches (or anything
+    #: with a ``snapshot()``) for fleet-wide cache counters
+    caches: Any = None
 
     def worker_summary(self) -> dict[str, dict[str, float]]:
-        """Per-worker job counts and service-time totals."""
+        """Per-worker job counts, cache hits, and service-time totals."""
         out: dict[str, dict[str, float]] = {}
         if not self.metrics_db.has_table("worker_metrics"):
             return out
         for row in self.metrics_db.find("worker_metrics", event="job"):
             entry = out.setdefault(row["worker"], {
-                "jobs": 0, "correct": 0, "service_s": 0.0,
+                "jobs": 0, "correct": 0, "cache_hits": 0, "service_s": 0.0,
                 "queue_wait_s": 0.0})
             payload = row["payload"] or {}
             entry["jobs"] += 1
             entry["correct"] += int(bool(payload.get("correct")))
+            entry["cache_hits"] += int(bool(payload.get("cache_hit")))
             entry["service_s"] += float(payload.get("service_s", 0.0))
             entry["queue_wait_s"] += float(payload.get("queue_wait_s", 0.0))
         return out
+
+    def cache_summary(self) -> dict[str, object]:
+        """Per-worker grading-cache hit rates + subsystem counters."""
+        per_worker = {
+            worker: (stats["cache_hits"] / stats["jobs"]
+                     if stats["jobs"] else 0.0)
+            for worker, stats in self.worker_summary().items()}
+        summary: dict[str, object] = {"hit_rate_per_worker": per_worker}
+        if self.caches is not None:
+            summary["stats"] = self.caches.snapshot()
+        return summary
 
     def health_summary(self) -> dict[str, float]:
         """Latest heartbeat per worker."""
@@ -53,6 +69,7 @@ class Dashboard:
             "queue": queue_stats.snapshot(self.broker.depth()),
             "replicas": self.broker.replica_stats(),
             "workers": self.worker_summary(),
+            "cache": self.cache_summary(),
             "last_heartbeat": self.health_summary(),
         }
 
@@ -66,10 +83,22 @@ class Dashboard:
             state = "up" if stats["alive"] else "DOWN"
             lines.append(f"  broker[{zone}]: {state} "
                          f"pub={stats['publishes']} poll={stats['polls']}")
+        cache = snap["cache"]
         for worker, stats in sorted(snap["workers"].items()):
             jobs = int(stats["jobs"])
             ok = int(stats["correct"])
             mean_wait = stats["queue_wait_s"] / jobs if jobs else 0.0
+            hit_rate = cache["hit_rate_per_worker"].get(worker, 0.0)
             lines.append(f"  {worker}: {jobs} job(s), {ok} correct, "
-                         f"mean wait {mean_wait:.2f}s")
+                         f"mean wait {mean_wait:.2f}s, "
+                         f"cache hit-rate {hit_rate:.0%}")
+        if "stats" in cache:
+            results = cache["stats"].get("results", {})
+            compiles = cache["stats"].get("compile", {})
+            lines.append(
+                f"  caches: grading {results.get('hit_rate', 0.0):.0%} hit "
+                f"({int(results.get('entries', 0))} entries, "
+                f"{int(results.get('cas_bytes', 0))} B), "
+                f"compile {compiles.get('hit_rate', 0.0):.0%} hit, "
+                f"{results.get('seconds_saved', 0.0):.1f}s saved")
         return "\n".join(lines)

@@ -38,6 +38,7 @@ class DriverStats:
     polls: int = 0
     empty_polls: int = 0
     jobs: int = 0
+    cache_hits: int = 0          # jobs answered without a container slot
     restarts: int = 0
     recycles: int = 0
     container_seconds: float = 0.0
@@ -50,7 +51,7 @@ class WorkerDriver:
     def __init__(self, worker: GpuWorker, broker: MessageBroker,
                  containers: ContainerPool, config_server: ConfigServer,
                  metrics_db: Database, clock: Clock | None = None,
-                 zone: str = "us-east-1a"):
+                 zone: str = "us-east-1a", result_cache: Any = None):
         self.worker = worker
         self.broker = broker
         self.containers = containers
@@ -60,6 +61,9 @@ class WorkerDriver:
         self.zone = zone
         self.config: WorkerRemoteConfig = config_server.current
         self.stats = DriverStats()
+        #: optional fleet-shared GradingResultCache: hits are answered
+        #: before a container slot is even acquired
+        self.result_cache = result_cache
         self._jobs_since_recycle = 0
         ensure_metrics_table(metrics_db)
         containers.prestart()
@@ -116,25 +120,41 @@ class WorkerDriver:
         job, queue_wait = polled
         self.stats.queue_wait_total += queue_wait
 
-        container, acquire_cost = self.containers.acquire(job.lab.language)
-        result = self.worker.process(job)
-        release_cost = self.containers.release(container)
-        self.stats.container_seconds += acquire_cost + release_cost
-        self.stats.jobs += 1
+        cached = None
+        if self.result_cache is not None:
+            cached = self.result_cache.fetch(job, worker_name=self.worker.name,
+                                             now=self.clock.now())
+        if cached is not None:
+            # answered from the grading cache: no container slot is
+            # occupied and the node's recycle budget is untouched
+            result = cached
+            self.stats.jobs += 1
+            self.stats.cache_hits += 1
+            acquire_cost = release_cost = 0.0
+        else:
+            container, acquire_cost = self.containers.acquire(job.lab.language)
+            result = self.worker.process(job)
+            release_cost = self.containers.release(container)
+            if self.result_cache is not None:
+                self.result_cache.complete(job, result)
+            self.stats.container_seconds += acquire_cost + release_cost
+            self.stats.jobs += 1
 
-        self._jobs_since_recycle += 1
-        if self._jobs_since_recycle >= self.config.max_jobs_before_recycle:
-            self._recycle()
+            self._jobs_since_recycle += 1
+            if self._jobs_since_recycle >= self.config.max_jobs_before_recycle:
+                self._recycle()
+
+            result.extra["container"] = container.name
+            result.extra["gpu_slot"] = container.gpu_slot
 
         result.extra["queue_wait_s"] = queue_wait
         result.extra["container_s"] = acquire_cost + release_cost
-        result.extra["container"] = container.name
-        result.extra["gpu_slot"] = container.gpu_slot
         self._metric("job", {
             "job_id": job.job_id,
             "lab": job.lab.slug,
             "status": result.status.value,
             "correct": result.all_correct,
+            "cache_hit": bool(result.extra.get("cache_hit")),
             "queue_wait_s": queue_wait,
             "service_s": result.service_seconds,
             "container_s": acquire_cost + release_cost,

@@ -1,0 +1,96 @@
+"""Content-addressed artifact cache: compile & grading memoization.
+
+MOOC traffic is dominated by near-duplicate work — thousands of
+students resubmitting identical or barely-edited code against the same
+instructor datasets (paper Fig. 1's deadline spikes). The original
+WebGPU recompiled and re-ran every attempt from scratch; this package
+turns that redundant work into O(1) lookups, the same shape as a
+compile/kernel cache in a training or inference stack:
+
+* :mod:`repro.cache.cas` — a content-addressed blob store (sha256
+  addresses, ref-counting, integrity verification on read) layered
+  over :mod:`repro.storage`;
+* :mod:`repro.cache.policy` — pluggable eviction: LRU entry caps,
+  byte-size caps, TTL expiry, and compositions thereof, with explicit
+  per-policy eviction stats;
+* :mod:`repro.cache.memo` — a single-flight memoization table that
+  deduplicates concurrent identical requests, so N workers compiling
+  the same source pay for one compile;
+* :mod:`repro.cache.keys` — deterministic content-derived key
+  derivation (program hash, dataset fingerprint, composed keys);
+* :mod:`repro.cache.stats` — hit/miss/eviction/byte counters exposed
+  as snapshots on the dashboard.
+
+Consumers: :class:`repro.minicuda.compiler.CompileCache` (front-end
+results keyed by preprocessed-source hash) and
+:class:`repro.cluster.result_cache.GradingResultCache` (grading job
+results keyed by ``(program_hash, dataset_hash, requirements)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.cas import (
+    CasError,
+    ContentAddressedStore,
+    IntegrityError,
+    MissingBlobError,
+)
+from repro.cache.keys import (
+    compose_key,
+    hash_bytes,
+    hash_mapping,
+    hash_text,
+    stable_digest_of,
+)
+from repro.cache.memo import HIT, JOINED, OWNER, Flight, MemoTable
+from repro.cache.policy import (
+    CompositePolicy,
+    EvictionPolicy,
+    LRUPolicy,
+    PolicyStats,
+    SizeCappedPolicy,
+    TTLPolicy,
+)
+from repro.cache.stats import CacheStats
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Knobs for the platform-level cache assembly.
+
+    ``ttl_s=None`` disables time-based expiry (pure LRU/size caps).
+    """
+
+    compile_entries: int = 512
+    result_entries: int = 4096
+    result_max_bytes: int = 64 * 1024 * 1024
+    ttl_s: float | None = None
+    verify_reads: bool = True
+
+
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "CasError",
+    "CompositePolicy",
+    "ContentAddressedStore",
+    "EvictionPolicy",
+    "Flight",
+    "HIT",
+    "IntegrityError",
+    "JOINED",
+    "LRUPolicy",
+    "MemoTable",
+    "MissingBlobError",
+    "OWNER",
+    "PolicyStats",
+    "SizeCappedPolicy",
+    "TTLPolicy",
+    "compose_key",
+    "hash_bytes",
+    "hash_mapping",
+    "hash_text",
+    "stable_digest_of",
+]

@@ -24,6 +24,7 @@ machinery the web-server uses:
 from repro.cluster.node import Clock, ManualClock, Node
 from repro.cluster.job import Job, JobResult, JobStatus
 from repro.cluster.worker import GpuWorker, WorkerConfig
+from repro.cluster.result_cache import GradingResultCache, PlatformCaches
 from repro.cluster.health import HealthMonitor
 from repro.cluster.pool import DispatchError, PushDispatcher, WorkerPool
 from repro.cluster.scaling import (
@@ -40,12 +41,14 @@ __all__ = [
     "DispatchError",
     "FaultInjector",
     "GpuWorker",
+    "GradingResultCache",
     "HealthMonitor",
     "Job",
     "JobResult",
     "JobStatus",
     "ManualClock",
     "Node",
+    "PlatformCaches",
     "PushDispatcher",
     "ReactiveAutoscaler",
     "ScalingDecision",

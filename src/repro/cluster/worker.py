@@ -53,7 +53,8 @@ class GpuWorker(Node):
 
     def __init__(self, config: WorkerConfig | None = None,
                  clock: Clock | None = None, zone: str = "us-east-1a",
-                 name: str = ""):
+                 name: str = "", compile_cache: Any = None,
+                 result_cache: Any = None):
         super().__init__(zone=zone, name=name)
         self.config = config or WorkerConfig()
         self.clock = clock or ManualClock()
@@ -63,6 +64,11 @@ class GpuWorker(Node):
         self.last_heartbeat = self.clock.now()
         self.drop_health_checks = False  # fault injection
         self.active_jobs = 0
+        #: optional repro.minicuda.CompileCache shared across the fleet
+        self.compile_cache = compile_cache
+        #: optional repro.cluster.result_cache.GradingResultCache
+        self.result_cache = result_cache
+        self.cache_hits = 0
 
     # -- capability matching (v2 uses this for pull; v1 for placement) -----
 
@@ -96,13 +102,28 @@ class GpuWorker(Node):
         self.active_jobs += 1
         self.jobs_processed += 1
         try:
-            result = self._evaluate(job, started)
+            result = self._evaluate_cached(job, started)
         finally:
             self.active_jobs -= 1
         self.busy_seconds += result.service_seconds
         for d in result.datasets:
             self.outcome_counts[d.outcome] = (
                 self.outcome_counts.get(d.outcome, 0) + 1)
+        return result
+
+    def _evaluate_cached(self, job: Job, started: float) -> JobResult:
+        """Consult the grading result cache before the sandbox: a
+        resubmission of unchanged code against unchanged datasets is
+        answered from cache without entering the sandbox at all."""
+        if self.result_cache is None:
+            return self._evaluate(job, started)
+        cached = self.result_cache.fetch(job, worker_name=self.name,
+                                         now=started)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        result = self._evaluate(job, started)
+        self.result_cache.complete(job, result)
         return result
 
     def _evaluate(self, job: Job, started: float) -> JobResult:
@@ -188,10 +209,11 @@ class GpuWorker(Node):
     def _compile_fn(self, lab: LabDefinition):
         def compile_fn(source: str, limiter: Any):
             try:
-                program = compile_source(source)
+                program = compile_source(source, cache=self.compile_cache)
             except CompileError as exc:
                 limiter.charge(0.2)  # front-end bails early
                 raise CompileFailure(str(exc)) from None
+            # a CompileCache hit charges zero synthetic nvcc cost
             limiter.charge(program.estimated_compile_seconds)
             return program
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cache import MemoTable
+from repro.cache.keys import compose_key
 from repro.cluster.job import JobResult
 from repro.labs.base import LabDefinition
 
@@ -32,10 +34,44 @@ class GradeBreakdown:
 
 
 class Grader:
-    """Turns a grading-job result plus answers into a rubric grade."""
+    """Turns a grading-job result plus answers into a rubric grade.
+
+    With a memo table (``repro.cache``), rubric computation is
+    memoized by the content that determines it — rubric points,
+    compile outcome, per-dataset correctness, answered-question count —
+    so a storm of identical resubmissions grades once. Since
+    :class:`GradeBreakdown` is frozen, the memoized value is shared
+    safely.
+    """
+
+    def __init__(self, memo: MemoTable | None = None):
+        self._memo = memo
+
+    @staticmethod
+    def grade_key(lab: LabDefinition, result: JobResult,
+                  answers: dict[int, str] | None = None) -> str:
+        """Content key for one rubric computation."""
+        answered = sum(1 for a in (answers or {}).values() if a.strip())
+        return compose_key(
+            "grade", lab.slug, lab.rubric.dataset_points,
+            lab.rubric.compile_points, lab.rubric.question_points,
+            len(lab.dataset_sizes), len(lab.questions),
+            result.compile_ok,
+            tuple(sorted((d.dataset_index, d.correct)
+                         for d in result.datasets)),
+            answered)
 
     def grade(self, lab: LabDefinition, result: JobResult,
               answers: dict[int, str] | None = None) -> GradeBreakdown:
+        if self._memo is None:
+            return self._grade(lab, result, answers)
+        key = self.grade_key(lab, result, answers)
+        breakdown, _hit = self._memo.get_or_compute(
+            key, lambda: self._grade(lab, result, answers))
+        return breakdown
+
+    def _grade(self, lab: LabDefinition, result: JobResult,
+               answers: dict[int, str] | None = None) -> GradeBreakdown:
         rubric = lab.rubric
         compile_points = rubric.compile_points if result.compile_ok else 0.0
 

@@ -21,6 +21,7 @@ from repro.cluster import (
 )
 from repro.cluster.job import Job, JobKind, JobResult
 from repro.cluster.node import Clock
+from repro.cluster.result_cache import PlatformCaches
 from repro.core.course import Course, CourseOffering
 from repro.core.feedback import Feedback, FeedbackEngine, HintService
 from repro.core.gradebook import GradeBook, GradeEntry
@@ -51,17 +52,22 @@ class WebGPU:
                  db: Database | None = None,
                  grade_exporter: Callable[[GradeEntry], None] | None = None,
                  rate_per_minute: float = 6.0,
-                 connection_pool_size: int = 10):
+                 connection_pool_size: int = 10,
+                 caches: "PlatformCaches | None" = None):
         self.clock = clock or ManualClock()
         self.db = db or Database("webgpu")
         self.db_pool = ConnectionPool(self.db, capacity=connection_pool_size)
+
+        # content-addressed compile/grading caches (repro.cache); None
+        # preserves the original recompile-everything behaviour
+        self.caches = caches
 
         # stores
         self.users = UserStore(self.db)
         self.revisions = RevisionStore(self.db)
         self.attempts = AttemptStore(self.db)
         self.gradebook = GradeBook(self.db, exporter=grade_exporter)
-        self.grader = Grader()
+        self.grader = Grader(memo=caches.grades if caches else None)
         self.peer_review = PeerReviewEngine(self.db)
         self.instructor_tools = InstructorTools(
             self.db, self.users, self.attempts, self.revisions,
@@ -88,8 +94,10 @@ class WebGPU:
 
     def add_worker(self, config: WorkerConfig | None = None,
                    zone: str = "us-east-1a") -> GpuWorker:
-        worker = GpuWorker(config or self._worker_config, clock=self.clock,
-                           zone=zone)
+        worker = GpuWorker(
+            config or self._worker_config, clock=self.clock, zone=zone,
+            compile_cache=self.caches.compile if self.caches else None,
+            result_cache=self.caches.results if self.caches else None)
         self.worker_pool.register(worker)
         self.health.record(worker.name, self.clock.now())
         return worker

@@ -31,6 +31,7 @@ from repro.broker.containers import (
 from repro.cluster import GpuWorker, WorkerConfig
 from repro.cluster.job import Job, JobKind, JobResult, JobStatus
 from repro.cluster.node import Clock
+from repro.cluster.result_cache import PlatformCaches
 from repro.core.gradebook import GradeEntry
 from repro.core.platform import PlatformError, WebGPU
 from repro.core.users import User
@@ -50,7 +51,8 @@ class WebGPU2(WebGPU):
                  grade_exporter: Callable[[GradeEntry], None] | None = None,
                  rate_per_minute: float = 6.0,
                  zones: tuple[str, ...] = ("us-east-1a", "us-east-1b"),
-                 images: tuple[ContainerImage, ...] = DEFAULT_IMAGES):
+                 images: tuple[ContainerImage, ...] = DEFAULT_IMAGES,
+                 caches: "PlatformCaches | None" = None):
         self.zones = zones
         self.images = images
         self.broker = MessageBroker(zones=zones)
@@ -66,8 +68,9 @@ class WebGPU2(WebGPU):
         super().__init__(clock=clock, num_workers=num_workers,
                          worker_config=worker_config, db=db,
                          grade_exporter=grade_exporter,
-                         rate_per_minute=rate_per_minute)
-        self.dashboard = Dashboard(self.metrics.primary, self.broker)
+                         rate_per_minute=rate_per_minute, caches=caches)
+        self.dashboard = Dashboard(self.metrics.primary, self.broker,
+                                   caches=self.caches)
 
     # -- fleet ------------------------------------------------------------------
 
@@ -79,16 +82,23 @@ class WebGPU2(WebGPU):
         the system requirements of the labs")."""
         cfg = config or self._worker_config
         zone = zone or self.zones[len(self.drivers) % len(self.zones)]
-        worker = GpuWorker(cfg, clock=self.clock, zone=zone)
+        # the driver consults the grading cache *before* acquiring a
+        # container slot, so the worker itself only gets the compile
+        # cache (a result-cache hit never reaches it)
+        worker = GpuWorker(
+            cfg, clock=self.clock, zone=zone,
+            compile_cache=self.caches.compile if self.caches else None)
         images = [CUDA_IMAGE]
         if "opencl" in cfg.tags:
             images.append(OPENCL_IMAGE)
         if "openacc" in cfg.tags:
             images.append(OPENACC_IMAGE)
         containers = ContainerPool(images, num_gpus=cfg.num_gpus)
-        driver = WorkerDriver(worker, self.broker, containers,
-                              self.config_server, self.metrics.primary,
-                              clock=self.clock, zone=zone)
+        driver = WorkerDriver(
+            worker, self.broker, containers,
+            self.config_server, self.metrics.primary,
+            clock=self.clock, zone=zone,
+            result_cache=self.caches.results if self.caches else None)
         self.drivers.append(driver)
         # the v1 pool/health bookkeeping still tracks fleet membership
         self.worker_pool.register(worker)

@@ -20,8 +20,27 @@ from typing import Any
 
 import numpy as np
 
+from repro.cache.keys import compose_key, hash_text
 from repro.labs.base import EvaluationMode, LabDefinition, Rubric
 from repro.storage import Bucket
+
+#: Version of the lab-configuration format. Bumping it invalidates every
+#: cached grading result at once (the fingerprint below embeds it), which
+#: is the escape hatch when evaluation semantics change without any
+#: single lab's config.json changing.
+LAB_CONFIG_VERSION = 1
+
+
+def lab_fingerprint(lab: LabDefinition, base_seed: int = 1234) -> str:
+    """Content digest of everything that determines a lab's datasets
+    and evaluation: the §IV-E config JSON (generator, sizes, limits,
+    rubric, markers, mode, …) plus the dataset base seed and the config
+    format version. Any instructor edit — new dataset sizes, changed
+    limits, different markers — yields a new fingerprint, so stale
+    cached grades can never be served (``repro.cache`` key derivation).
+    """
+    return compose_key("lab-config", LAB_CONFIG_VERSION, base_seed,
+                       hash_text(lab_config_json(lab)))
 
 
 def lab_config_json(lab: LabDefinition) -> str:

@@ -29,10 +29,11 @@ from repro.minicuda.preprocessor import Preprocessor, preprocess
 from repro.minicuda.lexer import Lexer, Token, TokenKind, tokenize
 from repro.minicuda.parser import Parser, parse
 from repro.minicuda.semantic import analyze
-from repro.minicuda.compiler import CompiledProgram, compile_source
+from repro.minicuda.compiler import CompileCache, CompiledProgram, compile_source
 from repro.minicuda.hostapi import HostEnv, SolutionRecorded, WbTimer
 
 __all__ = [
+    "CompileCache",
     "CompileError",
     "CompiledProgram",
     "Diagnostic",

@@ -21,17 +21,28 @@ class NoSuchKeyError(StorageError):
 
 @dataclass(frozen=True)
 class ObjectMeta:
-    """Metadata returned by head/put operations."""
+    """Metadata returned by head/put operations.
+
+    ``etag`` stays md5 for S3 wire compatibility; ``sha256`` is the
+    collision-resistant digest that content-addressed layers
+    (:mod:`repro.cache.cas`) key on — md5 collisions would silently
+    alias cache entries.
+    """
 
     key: str
     size: int
     etag: str
     version: int
     metadata: Mapping[str, str] = field(default_factory=dict)
+    sha256: str = ""
 
 
 def _etag(data: bytes) -> str:
     return hashlib.md5(data).hexdigest()
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
 
 
 @dataclass
@@ -58,7 +69,8 @@ class Bucket:
         data = bytes(data)
         version = len(self._history.get(key, [])) + 1
         meta = ObjectMeta(key=key, size=len(data), etag=_etag(data),
-                          version=version, metadata=dict(metadata or {}))
+                          version=version, metadata=dict(metadata or {}),
+                          sha256=_sha256(data))
         stored = _Stored(data=data, meta=meta)
         self._objects[key] = stored
         self._history.setdefault(key, []).append(stored)
