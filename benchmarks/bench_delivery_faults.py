@@ -1,0 +1,178 @@
+"""Delivery-fault ablation: crash storms with and without at-least-once.
+
+Before the leased-delivery rework, a v2 worker crashing between polling
+a job and reporting its result silently lost the job — the queue had
+already deleted it, and the student waited forever. This benchmark
+replays a crash storm through the broker path twice: once with
+at-least-once delivery (leases + acks + redelivery) and once in the
+legacy delete-on-poll mode, and also drives one poison job (every
+delivery crashes its node) into the dead-letter queue.
+
+Acceptance:
+* at-least-once: **0 of N jobs lost** despite a node crash mid-job
+  every ``CRASH_EVERY`` jobs, and each redelivered job completes
+  **exactly once** from the student's perspective;
+* legacy mode: exactly **1 job lost per crash** (the bug being fixed);
+* the poison job dead-letters after exactly ``max_attempts`` tries with
+  the exponential backoff delays recorded in its failure history.
+
+Set ``WEBGPU_BENCH_FAST=1`` for the CI smoke-test sizing.
+"""
+
+import os
+
+from conftest import print_table
+
+from repro.broker import (
+    ConfigServer,
+    ContainerPool,
+    DeliveryPolicy,
+    MessageBroker,
+    WorkerDriver,
+)
+from repro.broker.containers import CUDA_IMAGE
+from repro.cluster import FaultInjector, GpuWorker, ManualClock, WorkerConfig
+from repro.cluster.job import Job, JobKind
+from repro.db import Database
+from repro.labs import get_lab
+
+VECADD = get_lab("vector-add")
+FAST = bool(os.environ.get("WEBGPU_BENCH_FAST"))
+
+JOBS = 12 if FAST else 48
+CRASH_EVERY = 6            # every 6th job kills the node serving it
+POLICY = DeliveryPolicy(visibility_timeout_s=10.0, max_attempts=3,
+                        backoff_base_s=0.5, backoff_cap_s=30.0)
+# enough spare capacity that the storm never runs out of workers
+NUM_WORKERS = JOBS // CRASH_EVERY + 2
+
+
+def make_driver(broker, clock, metrics, name):
+    worker = GpuWorker(WorkerConfig(), clock=clock, name=name)
+    return WorkerDriver(worker, broker,
+                        ContainerPool([CUDA_IMAGE], warm_per_image=1),
+                        ConfigServer(), metrics, clock=clock)
+
+
+def pump(drivers, broker, clock, max_steps=1000):
+    """Drive pull loops to quiescence, advancing simulated time across
+    lease expiries and redelivery backoffs (mirrors WebGPU2.pump)."""
+    results = []
+    steps = 0
+    while steps < max_steps:
+        progressed = False
+        for driver in drivers:
+            result = driver.step()
+            steps += 1
+            if result is not None:
+                results.append(result)
+                progressed = True
+        if progressed:
+            continue
+        now = clock.now()
+        changed = bool(broker.expire_leases(now))
+        wake = broker.next_wakeup(now)
+        if wake is not None:
+            clock.set(max(now, wake))
+            broker.expire_leases(clock.now())
+        elif not changed:
+            break
+    return results
+
+
+def crash_storm(at_least_once: bool) -> dict:
+    clock = ManualClock()
+    broker = MessageBroker(policy=POLICY, at_least_once=at_least_once)
+    metrics = Database("metrics")
+    mode = "alo" if at_least_once else "amo"
+    drivers = [make_driver(broker, clock, metrics, f"{mode}-w{i}")
+               for i in range(NUM_WORKERS)]
+    injector = FaultInjector()
+
+    deliveries: dict[int, int] = {}     # job_id -> completed results
+    crashes = 0
+    for n in range(JOBS):
+        job = Job(lab=VECADD, source=VECADD.solution,
+                  kind=JobKind.RUN_DATASET, user=f"student-{n}",
+                  submitted_at=clock.now())
+        broker.publish(job, clock.now())
+        if (n + 1) % CRASH_EVERY == 0:
+            # the first alive driver is the one that will poll this job
+            victim = next(d.worker for d in drivers if d.worker.alive)
+            injector.crash_mid_job(victim)
+            crashes += 1
+        for result in pump(drivers, broker, clock):
+            deliveries[result.job_id] = deliveries.get(result.job_id, 0) + 1
+        clock.advance(1.0)
+
+    stats = broker.queue.stats
+    return {
+        "mode": "at-least-once" if at_least_once else "at-most-once",
+        "jobs": JOBS,
+        "crashes": crashes,
+        "completed": len(deliveries),
+        "lost": JOBS - len(deliveries) - len(broker.dead_letters()),
+        "duplicates": sum(1 for c in deliveries.values() if c > 1),
+        "redelivered": stats.redelivered,
+        "expired_leases": stats.expired_leases,
+    }
+
+
+def poison_run() -> dict:
+    """One job whose every delivery crashes its node: it must park in
+    the dead-letter queue after exactly ``max_attempts`` tries."""
+    clock = ManualClock()
+    broker = MessageBroker(policy=POLICY)
+    metrics = Database("metrics")
+    drivers = [make_driver(broker, clock, metrics, f"poison-w{i}")
+               for i in range(POLICY.max_attempts)]
+    injector = FaultInjector()
+    for driver in drivers:
+        injector.crash_mid_job(driver.worker)
+
+    job = Job(lab=VECADD, source=VECADD.solution, kind=JobKind.RUN_DATASET,
+              user="poison-student", submitted_at=clock.now())
+    broker.publish(job, clock.now())
+    results = pump(drivers, broker, clock)
+    return {"job": job, "results": results,
+            "dead": broker.dead_letter(job.job_id)}
+
+
+def test_delivery_fault_storm(benchmark):
+    def run():
+        return {"alo": crash_storm(at_least_once=True),
+                "amo": crash_storm(at_least_once=False),
+                "poison": poison_run()}
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    alo, amo, poison = out["alo"], out["amo"], out["poison"]
+
+    print_table(
+        f"Crash storm ({JOBS} jobs, a node crash mid-job every "
+        f"{CRASH_EVERY} jobs)", [alo, amo],
+        order=["mode", "jobs", "crashes", "completed", "lost",
+               "duplicates", "redelivered", "expired_leases"])
+
+    # at-least-once: zero lost, each job completes exactly once
+    assert alo["lost"] == 0
+    assert alo["completed"] == JOBS
+    assert alo["duplicates"] == 0
+    assert alo["redelivered"] >= alo["crashes"]
+    assert alo["expired_leases"] >= alo["crashes"]
+
+    # legacy delete-on-poll: one job vanishes per crash (the bug)
+    assert amo["lost"] == amo["crashes"] > 0
+    assert amo["redelivered"] == 0
+
+    # poison job: dead-lettered after exactly max_attempts deliveries,
+    # with the exponential backoff delays on record
+    assert poison["results"] == []
+    dead = poison["dead"]
+    assert dead is not None
+    assert poison["job"].delivery.attempts == POLICY.max_attempts
+    backoffs = [f["backoff_s"] for f in dead.failures if "backoff_s" in f]
+    assert backoffs == [0.5, 1.0]
+    assert dead.failures[-1].get("dead_lettered") is True
+    print(f"\npoison job: dead-lettered after "
+          f"{poison['job'].delivery.attempts} attempts, "
+          f"backoffs {backoffs}")

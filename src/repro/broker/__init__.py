@@ -9,7 +9,8 @@ that maintains a pool of Docker containers mapped onto physical GPUs,
 consults a remote configuration server (a config change restarts the
 driver), and reports metrics to a replicated database.
 
-* :mod:`repro.broker.queue` — the job queue with tag matching;
+* :mod:`repro.broker.queue` — the job queue with tag matching and
+  at-least-once delivery (leases, acks, redelivery, dead-letter queue);
 * :mod:`repro.broker.broker` — zone-replicated broker;
 * :mod:`repro.broker.containers` — container images and the pool
   (delete after each job, replenish from the image);
@@ -19,7 +20,13 @@ driver), and reports metrics to a replicated database.
 * :mod:`repro.broker.dashboard` — the administrators' status view.
 """
 
-from repro.broker.queue import JobQueue, QueueStats
+from repro.broker.queue import (
+    DeadLetter,
+    DeliveryPolicy,
+    JobQueue,
+    Lease,
+    QueueStats,
+)
 from repro.broker.broker import MessageBroker
 from repro.broker.containers import Container, ContainerImage, ContainerPool
 from repro.broker.config_server import ConfigServer, WorkerRemoteConfig
@@ -33,7 +40,10 @@ __all__ = [
     "ContainerPool",
     "ConfigServer",
     "Dashboard",
+    "DeadLetter",
+    "DeliveryPolicy",
     "FleetManager",
+    "Lease",
     "ScaleEvent",
     "JobQueue",
     "MessageBroker",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.broker.queue import JobQueue
+from repro.broker.queue import DeadLetter, DeliveryPolicy, JobQueue
 from repro.cluster.job import Job
 
 
@@ -30,10 +30,12 @@ class _Replica:
 class MessageBroker:
     """A logically-single queue presented through per-zone replicas."""
 
-    def __init__(self, zones: tuple[str, ...] = ("us-east-1a",)):
+    def __init__(self, zones: tuple[str, ...] = ("us-east-1a",),
+                 policy: DeliveryPolicy | None = None,
+                 at_least_once: bool = True):
         if not zones:
             raise ValueError("broker needs at least one zone")
-        self._queue = JobQueue()
+        self._queue = JobQueue(policy=policy, at_least_once=at_least_once)
         self._replicas = {zone: _Replica(zone) for zone in zones}
         self.failovers = 0
 
@@ -57,7 +59,10 @@ class MessageBroker:
             return replica
         for other in self._replicas.values():
             if other.alive:
-                self.failovers += 1
+                # only a known-but-down preferred zone is a failover;
+                # an unknown preferred zone is ordinary routing
+                if replica is not None:
+                    self.failovers += 1
                 return other
         raise RuntimeError("all broker replicas are down")
 
@@ -70,11 +75,41 @@ class MessageBroker:
         return replica.zone
 
     def poll(self, capabilities: frozenset[str], num_gpus: int, now: float,
-             zone: str | None = None) -> tuple[Job, float] | None:
-        """Worker poll through its zone replica."""
+             zone: str | None = None,
+             consumer: str = "") -> tuple[Job, float] | None:
+        """Worker poll through its zone replica (leases the job)."""
         replica = self._healthy_replica(zone or self.zones[0])
         replica.polls += 1
-        return self._queue.poll(capabilities, num_gpus, now)
+        return self._queue.poll(capabilities, num_gpus, now,
+                                consumer=consumer)
+
+    # -- at-least-once lease lifecycle (forwarded to the shared queue) -----
+
+    def ack(self, job_id: int) -> bool:
+        return self._queue.ack(job_id)
+
+    def nack(self, job_id: int, now: float,
+             reason: str = "consumer nack") -> bool:
+        return self._queue.nack(job_id, now, reason=reason)
+
+    def expire_leases(self, now: float) -> list[Job]:
+        return self._queue.expire_leases(now)
+
+    def cancel(self, job_id: int) -> bool:
+        return self._queue.cancel(job_id)
+
+    def dead_letters(self) -> list[DeadLetter]:
+        return self._queue.dead_letters()
+
+    def dead_letter(self, job_id: int) -> DeadLetter | None:
+        return self._queue.dead_letter(job_id)
+
+    def next_wakeup(self, now: float) -> float | None:
+        return self._queue.next_wakeup(now)
+
+    @property
+    def in_flight_count(self) -> int:
+        return self._queue.in_flight_count
 
     def depth(self) -> int:
         return len(self._queue)

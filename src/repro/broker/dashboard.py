@@ -62,12 +62,30 @@ class Dashboard:
                                         row["timestamp"])
         return latest
 
+    def delivery_summary(self) -> dict[str, object]:
+        """At-least-once delivery gauges: leases in flight, redelivered
+        and dead-lettered jobs, lease expiries."""
+        stats = self.broker.queue.stats
+        return {
+            "in_flight": self.broker.in_flight_count,
+            "acked": stats.acked,
+            "nacked": stats.nacked,
+            "redelivered": stats.redelivered,
+            "expired_leases": stats.expired_leases,
+            "dead_lettered": stats.dead_lettered,
+            "cancelled": stats.cancelled,
+            "dead_letter_jobs": [d.job.job_id
+                                 for d in self.broker.dead_letters()],
+        }
+
     def snapshot(self) -> dict[str, object]:
         queue_stats = self.broker.queue.stats
         return {
             "queue_depth": self.broker.depth(),
-            "queue": queue_stats.snapshot(self.broker.depth()),
+            "queue": queue_stats.snapshot(self.broker.depth(),
+                                          self.broker.in_flight_count),
             "replicas": self.broker.replica_stats(),
+            "delivery": self.delivery_summary(),
             "workers": self.worker_summary(),
             "cache": self.cache_summary(),
             "last_heartbeat": self.health_summary(),
@@ -83,6 +101,11 @@ class Dashboard:
             state = "up" if stats["alive"] else "DOWN"
             lines.append(f"  broker[{zone}]: {state} "
                          f"pub={stats['publishes']} poll={stats['polls']}")
+        delivery = snap["delivery"]
+        lines.append(f"  delivery: {delivery['in_flight']} in-flight, "
+                     f"{delivery['redelivered']} redelivered, "
+                     f"{delivery['dead_lettered']} dead-lettered "
+                     f"({delivery['expired_leases']} lease expiries)")
         cache = snap["cache"]
         for worker, stats in sorted(snap["workers"].items()):
             jobs = int(stats["jobs"])

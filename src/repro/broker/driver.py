@@ -15,7 +15,7 @@ from typing import Any
 from repro.broker.broker import MessageBroker
 from repro.broker.config_server import ConfigServer, WorkerRemoteConfig
 from repro.broker.containers import ContainerPool
-from repro.cluster.job import JobResult
+from repro.cluster.job import JobResult, JobStatus
 from repro.cluster.node import Clock, ManualClock
 from repro.cluster.worker import GpuWorker
 from repro.db import Column, ColumnType, Database, Schema
@@ -41,6 +41,10 @@ class DriverStats:
     cache_hits: int = 0          # jobs answered without a container slot
     restarts: int = 0
     recycles: int = 0
+    acks: int = 0                # deliveries completed and acknowledged
+    nacks: int = 0               # deliveries handed back for redelivery
+    crashes: int = 0             # jobs the node died holding (lease expires)
+    wedged: int = 0              # jobs the node wedged holding (lease expires)
     container_seconds: float = 0.0
     queue_wait_total: float = 0.0
 
@@ -103,22 +107,39 @@ class WorkerDriver:
         })
 
     def step(self) -> JobResult | None:
-        """One pull-loop iteration: config check, poll, run, report.
+        """One pull-loop iteration: config check, poll, run, ack, report.
 
         Returns the job result if a job was processed, else ``None``.
+        A successful job acks its lease; an infrastructure failure with
+        the node still up nacks it for redelivery; a node that dies (or
+        wedges) holding a job acks nothing — the lease expires and the
+        broker redelivers the job to another matching node.
         """
-        if not self.worker.alive:
+        if not self.worker.alive or self.worker.wedged:
             return None
         self.check_config()
         self.stats.polls += 1
         polled = self.broker.poll(self.capabilities,
                                   self.worker.config.num_gpus,
-                                  self.clock.now(), zone=self.zone)
+                                  self.clock.now(), zone=self.zone,
+                                  consumer=self.worker.name)
         if polled is None:
             self.stats.empty_polls += 1
             return None
         job, queue_wait = polled
         self.stats.queue_wait_total += queue_wait
+
+        if self.worker.wedge_mid_job:
+            # fault injection: the node wedges holding the job — alive
+            # but stuck, heartbeats stop, and it never acks. The lease
+            # expires and the broker redelivers to another node.
+            self.worker.wedge_mid_job = False
+            self.worker.wedged = True
+            self.worker.drop_health_checks = True
+            self.stats.wedged += 1
+            self._metric("job_wedged", {"job_id": job.job_id,
+                                        "attempt": job.delivery.attempts})
+            return None
 
         cached = None
         if self.result_cache is not None:
@@ -135,8 +156,32 @@ class WorkerDriver:
             container, acquire_cost = self.containers.acquire(job.lab.language)
             result = self.worker.process(job)
             release_cost = self.containers.release(container)
+            if not self.worker.alive:
+                # the node died mid-job: a dead process acks nothing,
+                # so the lease expires and the job is redelivered.
+                # Abandon the result-cache flight the dead owner opened
+                # so the redelivered job's worker becomes a fresh owner
+                # instead of joining a computation that will never land.
+                if self.result_cache is not None:
+                    self.result_cache.abandon(job)
+                self.stats.crashes += 1
+                self._metric("job_crashed", {
+                    "job_id": job.job_id,
+                    "attempt": job.delivery.attempts})
+                return None
             if self.result_cache is not None:
                 self.result_cache.complete(job, result)
+            if result.status is JobStatus.FAILED:
+                # infrastructure failure with the node still up: hand
+                # the job back so another node gets a try
+                self.stats.nacks += 1
+                self.broker.nack(job.job_id, self.clock.now(),
+                                 reason=result.error or "worker failure")
+                self._metric("job_nacked", {
+                    "job_id": job.job_id,
+                    "attempt": job.delivery.attempts,
+                    "error": result.error})
+                return None
             self.stats.container_seconds += acquire_cost + release_cost
             self.stats.jobs += 1
 
@@ -147,14 +192,19 @@ class WorkerDriver:
             result.extra["container"] = container.name
             result.extra["gpu_slot"] = container.gpu_slot
 
+        self.broker.ack(job.job_id)
+        self.stats.acks += 1
         result.extra["queue_wait_s"] = queue_wait
         result.extra["container_s"] = acquire_cost + release_cost
+        result.extra["attempts"] = job.delivery.attempts
+        result.extra["redeliveries"] = job.delivery.redeliveries
         self._metric("job", {
             "job_id": job.job_id,
             "lab": job.lab.slug,
             "status": result.status.value,
             "correct": result.all_correct,
             "cache_hit": bool(result.extra.get("cache_hit")),
+            "redeliveries": job.delivery.redeliveries,
             "queue_wait_s": queue_wait,
             "service_s": result.service_seconds,
             "container_s": acquire_cost + release_cost,

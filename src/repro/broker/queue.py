@@ -6,13 +6,43 @@ support or MPI support and dispatching jobs to the correct node. It
 also means that we do not need to provision our worker nodes to have
 the resources for the highest common multiple of the system
 requirements of the labs."
+
+Delivery is **at-least-once**: a poll hands out a *lease* (the job
+stays tracked in-flight under a visibility timeout) rather than
+deleting the item. Consumers ``ack`` on completion, ``nack`` on
+failure, or simply die — an expired lease is redelivered to the next
+matching consumer with an exponential-backoff delay. A job whose
+deliveries keep failing is moved to the dead-letter queue after
+``max_attempts`` tries, with its full failure history, instead of
+looping forever.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 
 from repro.cluster.job import Job
+
+
+@dataclass(frozen=True)
+class DeliveryPolicy:
+    """Lease / redelivery / dead-letter knobs for at-least-once delivery."""
+
+    #: How long a consumer may hold a leased job before the broker
+    #: assumes the consumer died and redelivers it.
+    visibility_timeout_s: float = 30.0
+    #: Total delivery attempts before a job is dead-lettered.
+    max_attempts: int = 3
+    #: First redelivery delay; doubles per failed attempt.
+    backoff_base_s: float = 0.5
+    #: Ceiling on the redelivery delay.
+    backoff_cap_s: float = 30.0
+
+    def backoff_for(self, attempt: int) -> float:
+        """Redelivery delay after the ``attempt``-th failed delivery."""
+        return min(self.backoff_cap_s,
+                   self.backoff_base_s * (2.0 ** max(0, attempt - 1)))
 
 
 @dataclass
@@ -21,39 +51,98 @@ class QueueStats:
     dequeued: int = 0
     rejected_polls: int = 0     # polls that matched nothing
     peak_depth: int = 0
+    acked: int = 0
+    nacked: int = 0
+    redelivered: int = 0
+    expired_leases: int = 0
+    dead_lettered: int = 0
+    cancelled: int = 0
 
-    def snapshot(self, depth: int) -> dict[str, int]:
+    def snapshot(self, depth: int, in_flight: int = 0) -> dict[str, int]:
         return {"enqueued": self.enqueued, "dequeued": self.dequeued,
                 "rejected_polls": self.rejected_polls,
-                "peak_depth": self.peak_depth, "depth": depth}
+                "peak_depth": self.peak_depth, "depth": depth,
+                "acked": self.acked, "nacked": self.nacked,
+                "redelivered": self.redelivered,
+                "expired_leases": self.expired_leases,
+                "dead_lettered": self.dead_lettered,
+                "cancelled": self.cancelled, "in_flight": in_flight}
+
+
+@dataclass
+class _Waiting:
+    enqueued_at: float
+    job: Job
+    #: redelivered jobs wait out their backoff before becoming pollable
+    not_before: float = 0.0
+
+
+@dataclass
+class Lease:
+    """One in-flight delivery: who holds the job and until when."""
+
+    job: Job
+    consumer: str
+    enqueued_at: float
+    deadline: float
+
+
+@dataclass
+class DeadLetter:
+    """A poison job parked after exhausting its delivery attempts."""
+
+    job: Job
+    dead_at: float
+    reason: str
+
+    @property
+    def failures(self) -> list[dict]:
+        """Full failure history (one entry per failed delivery)."""
+        return list(self.job.delivery.failures)
 
 
 class JobQueue:
-    """FIFO queue where consumers take the oldest job they can satisfy."""
+    """FIFO queue where consumers lease the oldest job they can satisfy."""
 
-    def __init__(self, name: str = "jobs"):
+    def __init__(self, name: str = "jobs",
+                 policy: DeliveryPolicy | None = None,
+                 at_least_once: bool = True):
         self.name = name
-        self._items: list[tuple[float, Job]] = []  # (enqueue_time, job)
+        self.policy = policy or DeliveryPolicy()
+        #: False restores the pre-lease semantics (delete on poll) —
+        #: kept for the delivery-faults ablation benchmark.
+        self.at_least_once = at_least_once
+        self._items: list[_Waiting] = []
+        self._leases: dict[int, Lease] = {}
+        self._dead: dict[int, DeadLetter] = {}
         self.stats = QueueStats()
 
     def __len__(self) -> int:
         return len(self._items)
 
+    @property
+    def in_flight_count(self) -> int:
+        return len(self._leases)
+
     def publish(self, job: Job, now: float) -> None:
-        self._items.append((now, job))
+        self._items.append(_Waiting(now, job))
         self.stats.enqueued += 1
         self.stats.peak_depth = max(self.stats.peak_depth, len(self._items))
 
     def poll(self, capabilities: frozenset[str], num_gpus: int,
-             now: float) -> tuple[Job, float] | None:
-        """Take the oldest job this consumer can run.
+             now: float, consumer: str = "") -> tuple[Job, float] | None:
+        """Lease the oldest job this consumer can run.
 
         Returns ``(job, queue_wait_seconds)`` or ``None``. Jobs the
         consumer cannot satisfy are skipped, not discarded — a
         less-capable worker never starves a tagged job, it just leaves
-        it for a matching worker.
+        it for a matching worker. The job stays tracked in-flight until
+        :meth:`ack`, :meth:`nack`, or lease expiry.
         """
-        for i, (enqueued_at, job) in enumerate(self._items):
+        for i, item in enumerate(self._items):
+            if item.not_before > now:
+                continue  # redelivery still waiting out its backoff
+            job = item.job
             needs = set(job.requirements)
             if "multi-gpu" in needs and num_gpus < 2:
                 continue
@@ -61,16 +150,105 @@ class JobQueue:
             if needs <= set(capabilities):
                 del self._items[i]
                 self.stats.dequeued += 1
-                return job, now - enqueued_at
+                job.delivery.attempts += 1
+                if self.at_least_once:
+                    self._leases[job.job_id] = Lease(
+                        job=job, consumer=consumer,
+                        enqueued_at=item.enqueued_at,
+                        deadline=now + self.policy.visibility_timeout_s)
+                return job, now - item.enqueued_at
         self.stats.rejected_polls += 1
         return None
 
+    # -- lease lifecycle ---------------------------------------------------
+
+    def ack(self, job_id: int) -> bool:
+        """Consumer completed the job: retire the lease."""
+        if self._leases.pop(job_id, None) is None:
+            return False
+        self.stats.acked += 1
+        return True
+
+    def nack(self, job_id: int, now: float,
+             reason: str = "consumer nack") -> bool:
+        """Consumer reports a failed delivery: redeliver (or dead-letter)."""
+        lease = self._leases.pop(job_id, None)
+        if lease is None:
+            return False
+        self.stats.nacked += 1
+        self._redeliver(lease, now, reason)
+        return True
+
+    def expire_leases(self, now: float) -> list[Job]:
+        """Redeliver every job whose lease deadline has passed — the
+        path a crashed consumer's jobs come back through."""
+        expired = [lease for lease in self._leases.values()
+                   if lease.deadline <= now]
+        for lease in expired:
+            del self._leases[lease.job.job_id]
+            self.stats.expired_leases += 1
+            self._redeliver(lease, now, "lease expired (held by "
+                            f"{lease.consumer or 'unknown'})")
+        return [lease.job for lease in expired]
+
+    def _redeliver(self, lease: Lease, now: float, reason: str) -> None:
+        job = lease.job
+        failure = {"time": now, "consumer": lease.consumer,
+                   "attempt": job.delivery.attempts, "reason": reason}
+        job.delivery.failures.append(failure)
+        if job.delivery.attempts >= self.policy.max_attempts:
+            failure["dead_lettered"] = True
+            self.stats.dead_lettered += 1
+            self._dead[job.job_id] = DeadLetter(job=job, dead_at=now,
+                                                reason=reason)
+            return
+        delay = self.policy.backoff_for(job.delivery.attempts)
+        failure["backoff_s"] = delay
+        self.stats.redelivered += 1
+        # the original enqueue time is kept so FIFO order and the
+        # student-visible queue wait stay honest across redeliveries
+        insort(self._items,
+               _Waiting(lease.enqueued_at, job, not_before=now + delay),
+               key=lambda w: w.enqueued_at)
+        self.stats.peak_depth = max(self.stats.peak_depth, len(self._items))
+
+    def cancel(self, job_id: int) -> bool:
+        """Remove a waiting job nobody should run (e.g. its submitter
+        already received a failure for it)."""
+        for i, item in enumerate(self._items):
+            if item.job.job_id == job_id:
+                del self._items[i]
+                self.stats.cancelled += 1
+                return True
+        return False
+
+    # -- introspection -----------------------------------------------------
+
     def waiting(self) -> list[Job]:
         """Jobs currently queued (oldest first)."""
-        return [job for _, job in self._items]
+        return [item.job for item in self._items]
+
+    def in_flight(self) -> list[Job]:
+        """Jobs currently leased to a consumer."""
+        return [lease.job for lease in self._leases.values()]
+
+    def dead_letters(self) -> list[DeadLetter]:
+        return list(self._dead.values())
+
+    def dead_letter(self, job_id: int) -> DeadLetter | None:
+        return self._dead.get(job_id)
+
+    def next_wakeup(self, now: float) -> float | None:
+        """The next instant delivery state can change on its own: the
+        earliest lease deadline or backoff expiry (None when neither
+        is pending). Drives simulated-time pumps."""
+        times = [lease.deadline for lease in self._leases.values()]
+        times += [item.not_before for item in self._items
+                  if item.not_before > now]
+        return min(times, default=None)
 
     def oldest_wait(self, now: float) -> float:
         """Age of the oldest queued job (0 when empty)."""
         if not self._items:
             return 0.0
-        return now - self._items[0][0]
+        return now - self._items[0].enqueued_at

@@ -9,6 +9,7 @@ allotted time."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.cluster.node import Clock
 from repro.cluster.worker import GpuWorker
@@ -40,15 +41,30 @@ class HealthMonitor:
         return [name for name, seen in self.last_seen.items()
                 if now - seen > self.timeout_s]
 
-    def evict_overdue(self, pool: "WorkerPoolLike") -> list[str]:
-        """Evict every overdue worker from the pool; returns names."""
+    def evict_overdue(self, pool: "WorkerPoolLike",
+                      evict: Callable[[str], bool] | None = None
+                      ) -> list[str]:
+        """Evict every overdue worker; returns the evicted names.
+
+        ``evict`` overrides ``pool.evict`` — platforms route this
+        through their ``remove_worker`` so their own bookkeeping (e.g.
+        a v2 node's pull driver) is torn down with the pool entry. A
+        worker the eviction callback does not know (returns False) is
+        *not* counted as an eviction and keeps its heartbeat record.
+        """
+        evict = evict or pool.evict
         evicted = []
         for name in self.overdue():
-            if pool.evict(name):
+            if evict(name):
                 evicted.append(name)
                 self.evictions.append((self.clock.now(), name))
-            del self.last_seen[name]
+                self.last_seen.pop(name, None)
         return evicted
+
+    def forget(self, worker_name: str) -> None:
+        """Worker left the fleet (scale-down or administrative removal):
+        drop its heartbeat record so it is never reported overdue."""
+        self.last_seen.pop(worker_name, None)
 
 
 class WorkerPoolLike:

@@ -32,6 +32,24 @@ _job_ids = itertools.count(1)
 
 
 @dataclass
+class DeliveryState:
+    """Broker-side at-least-once bookkeeping carried by the job.
+
+    ``attempts`` counts deliveries handed out (a job completed on its
+    first poll has ``attempts == 1``); ``failures`` holds one record
+    per failed delivery (time, consumer, reason, backoff) — the history
+    a dead-lettered job is parked with.
+    """
+
+    attempts: int = 0
+    failures: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def redeliveries(self) -> int:
+        return max(0, self.attempts - 1)
+
+
+@dataclass
 class Job:
     """One unit of work pushed to (v1) or pulled by (v2) a worker."""
 
@@ -43,6 +61,12 @@ class Job:
     submission_id: int = 0
     submitted_at: float = 0.0
     job_id: int = field(default_factory=lambda: next(_job_ids))
+    delivery: DeliveryState = field(default_factory=DeliveryState)
+
+    def __post_init__(self) -> None:
+        if self.dataset_index < 0:
+            raise ValueError("dataset_index must be >= 0, got "
+                             f"{self.dataset_index}")
 
     @property
     def requirements(self) -> frozenset[str]:

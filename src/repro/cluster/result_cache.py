@@ -201,6 +201,13 @@ class GradingResultCache:
             result.extra.get("cached_service_s", 0.0))
         return result
 
+    def abandon(self, job: Job) -> None:
+        """The flight's owner died without a result (worker crash
+        mid-job): close the single-flight so the redelivered job's
+        worker becomes a fresh owner instead of joining a computation
+        that will never be delivered."""
+        self.memo.abandon(self.key_for(job))
+
     def cacheable(self, result: JobResult) -> bool:
         """Only deterministic, completed evaluations are memoized —
         infrastructure failures and rejections must be retried."""

@@ -63,6 +63,9 @@ class GpuWorker(Node):
         self.outcome_counts: dict[str, int] = {}
         self.last_heartbeat = self.clock.now()
         self.drop_health_checks = False  # fault injection
+        self.crash_mid_job = False       # armed: die after taking a job
+        self.wedge_mid_job = False       # armed: wedge holding a job
+        self.wedged = False              # stuck: alive but not polling
         self.active_jobs = 0
         #: optional repro.minicuda.CompileCache shared across the fleet
         self.compile_cache = compile_cache
@@ -94,6 +97,11 @@ class GpuWorker(Node):
     def process(self, job: Job) -> JobResult:
         """Run one job to completion (synchronous, simulated time)."""
         started = self.clock.now()
+        if self.crash_mid_job:
+            # fault injection: the process dies after taking the job
+            # but before producing a result
+            self.crash_mid_job = False
+            self.crash()
         if not self.alive:
             return JobResult(job_id=job.job_id, status=JobStatus.FAILED,
                              worker_name=self.name, started_at=started,

@@ -103,12 +103,22 @@ class WebGPU:
         return worker
 
     def remove_worker(self, name: str) -> bool:
-        return self.worker_pool.evict(name)
+        removed = self.worker_pool.evict(name)
+        if removed:
+            self.health.forget(name)
+        return removed
 
     def tick_health(self) -> list[str]:
-        """Collect heartbeats and evict overdue workers."""
+        """Collect heartbeats and evict overdue workers.
+
+        Eviction is routed through :meth:`remove_worker` (not straight
+        to the pool) so subclasses tear down *all* their bookkeeping —
+        v2 also stops the evicted node's pull driver, otherwise a
+        zombie driver would keep polling the broker.
+        """
         self.health.poll_workers(self.worker_pool.workers)
-        return self.health.evict_overdue(self.worker_pool)
+        return self.health.evict_overdue(self.worker_pool,
+                                         evict=self.remove_worker)
 
     # -- course management ---------------------------------------------------------
 
@@ -212,11 +222,26 @@ class WebGPU:
 
     # -- job plumbing ----------------------------------------------------------------------
 
+    @staticmethod
+    def _validate_dataset_index(lab, kind: JobKind,
+                                dataset_index: int) -> None:
+        """Reject out-of-range dataset indexes at the platform boundary
+        — a negative index would otherwise reach Python's negative
+        indexing in the worker and be recorded on the attempt."""
+        if kind is not JobKind.RUN_DATASET:
+            return
+        count = len(lab.dataset_sizes)
+        if not 0 <= dataset_index < count:
+            raise PlatformError(
+                f"dataset_index {dataset_index} out of range for lab "
+                f"{lab.slug!r} ({count} dataset(s))")
+
     def _run_job(self, course_key: str, user: User, lab_slug: str,
                  kind: JobKind,
                  dataset_index: int) -> tuple[Attempt, JobResult]:
         self._require_enrolled(course_key, user)
         lab = self._lab_for(course_key, lab_slug)
+        self._validate_dataset_index(lab, kind, dataset_index)
         now = self.clock.now()
         if not self.rate_limiter.try_submit(user.email, now):
             raise RateLimited(

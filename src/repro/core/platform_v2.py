@@ -19,6 +19,7 @@ from repro.broker import (
     ConfigServer,
     ContainerPool,
     Dashboard,
+    DeliveryPolicy,
     MessageBroker,
     WorkerDriver,
 )
@@ -52,10 +53,11 @@ class WebGPU2(WebGPU):
                  rate_per_minute: float = 6.0,
                  zones: tuple[str, ...] = ("us-east-1a", "us-east-1b"),
                  images: tuple[ContainerImage, ...] = DEFAULT_IMAGES,
-                 caches: "PlatformCaches | None" = None):
+                 caches: "PlatformCaches | None" = None,
+                 delivery: DeliveryPolicy | None = None):
         self.zones = zones
         self.images = images
-        self.broker = MessageBroker(zones=zones)
+        self.broker = MessageBroker(zones=zones, policy=delivery)
         self.config_server = ConfigServer()
         self.metrics = ReplicatedDatabase("metrics")
         for zone in zones:
@@ -110,11 +112,16 @@ class WebGPU2(WebGPU):
         return super().remove_worker(name)
 
     def pump(self, max_steps: int = 1000) -> list[JobResult]:
-        """Run driver pull loops until the queue drains (or step cap)."""
+        """Run driver pull loops until the queue drains (or step cap).
+
+        When no driver can make progress but deliveries are still
+        pending — leases held by crashed nodes, redeliveries waiting
+        out their backoff — simulated time is advanced to the next
+        delivery event so redelivery completes within one pump.
+        """
         results: list[JobResult] = []
-        idle_rounds = 0
         steps = 0
-        while steps < max_steps and idle_rounds < 1:
+        while steps < max_steps:
             progressed = False
             for driver in self.drivers:
                 result = driver.step()
@@ -122,8 +129,21 @@ class WebGPU2(WebGPU):
                 if result is not None:
                     results.append(result)
                     progressed = True
-            idle_rounds = 0 if progressed else idle_rounds + 1
+            if not progressed and not self._advance_delivery():
+                break
         return results
+
+    def _advance_delivery(self) -> bool:
+        """Drive lease expiry and redelivery backoffs; True if delivery
+        state changed (the pump should keep polling)."""
+        now = self.clock.now()
+        changed = bool(self.broker.expire_leases(now))
+        wake = self.broker.next_wakeup(now)
+        if wake is not None and hasattr(self.clock, "set"):
+            self.clock.set(max(now, wake))
+            self.broker.expire_leases(self.clock.now())
+            return True
+        return changed
 
     # -- lab authoring through the object store -----------------------------------
 
@@ -178,6 +198,7 @@ class WebGPU2(WebGPU):
 
         self._require_enrolled(course_key, user)
         lab = self._lab_for(course_key, lab_slug)
+        self._validate_dataset_index(lab, kind, dataset_index)
         now = self.clock.now()
         if not self.rate_limiter.try_submit(user.email, now):
             raise RateLimited(
@@ -193,10 +214,32 @@ class WebGPU2(WebGPU):
         results = self.pump()
         result = next((r for r in results if r.job_id == job.job_id), None)
         if result is None:
-            result = JobResult(
-                job_id=job.job_id, status=JobStatus.FAILED,
-                error="no worker in the fleet can satisfy this job's "
-                      f"requirements ({sorted(job.requirements)})")
+            dead = self.broker.dead_letter(job.job_id)
+            if dead is not None:
+                # poison job: every delivery attempt crashed a node —
+                # surface an honest FAILED attempt with the history
+                history = "; ".join(
+                    f"attempt {f['attempt']}: {f['reason']}"
+                    for f in job.delivery.failures)
+                result = JobResult(
+                    job_id=job.job_id, status=JobStatus.FAILED,
+                    error=f"dead-lettered after {job.delivery.attempts} "
+                          f"delivery attempt(s): {history}")
+                result.extra["dead_lettered"] = True
+                result.extra["attempts"] = job.delivery.attempts
+                result.extra["redeliveries"] = job.delivery.redeliveries
+            else:
+                # no matching worker: cancel the job so a capable
+                # worker added later does not grade an orphan nobody
+                # is waiting for
+                self.broker.cancel(job.job_id)
+                suffix = (f" after {job.delivery.attempts} failed delivery "
+                          "attempt(s)" if job.delivery.attempts else "")
+                result = JobResult(
+                    job_id=job.job_id, status=JobStatus.FAILED,
+                    error="no worker in the fleet can satisfy this job's "
+                          f"requirements ({sorted(job.requirements)})"
+                          f"{suffix}")
         attempt = self.attempts.record(
             user.user_id, lab_slug, self._kind_for(kind),
             revision.revision_id, dataset_index, now, result)

@@ -34,6 +34,7 @@ ATTEMPTS_SCHEMA = Schema(columns=[
     Column("report", ColumnType.TEXT, default=""),
     Column("worker", ColumnType.TEXT, default=""),
     Column("service_seconds", ColumnType.FLOAT, default=0.0),
+    Column("redeliveries", ColumnType.INT, default=0),
     Column("shared_publicly", ColumnType.BOOL, default=False),
 ], indexes=[("user_id", "lab"), ("lab",)])
 
@@ -61,6 +62,9 @@ class Attempt:
     report: str
     worker: str = ""
     service_seconds: float = 0.0
+    #: broker deliveries beyond the first (worker crashed mid-job and
+    #: the at-least-once queue redelivered the job elsewhere)
+    redeliveries: int = 0
     shared_publicly: bool = False
 
 
@@ -92,7 +96,8 @@ class AttemptStore:
             else result.compile_ok,
             report="\n".join(p for p in report_parts if p),
             worker=result.worker_name,
-            service_seconds=result.service_seconds)
+            service_seconds=result.service_seconds,
+            redeliveries=int(result.extra.get("redeliveries", 0)))
         return self.get(attempt_id)
 
     def get(self, attempt_id: int) -> Attempt:
@@ -146,4 +151,5 @@ class AttemptStore:
             compile_ok=row["compile_ok"], correct=row["correct"],
             report=row["report"], worker=row["worker"],
             service_seconds=row["service_seconds"],
+            redeliveries=row["redeliveries"],
             shared_publicly=row["shared_publicly"])

@@ -6,6 +6,7 @@ from repro.broker import (
     ConfigServer,
     ContainerPool,
     Dashboard,
+    DeliveryPolicy,
     JobQueue,
     MessageBroker,
     WorkerDriver,
@@ -16,7 +17,13 @@ from repro.broker.containers import (
     OPENCL_IMAGE,
     OPENACC_IMAGE,
 )
-from repro.cluster import GpuWorker, ManualClock, WorkerConfig
+from repro.cluster import (
+    FaultInjector,
+    GpuWorker,
+    ManualClock,
+    PlatformCaches,
+    WorkerConfig,
+)
 from repro.cluster.job import Job
 from repro.db import Database
 from repro.labs import get_lab
@@ -72,6 +79,133 @@ class TestJobQueue:
         assert q.oldest_wait(now=10.0) == 7.0
 
 
+class TestAtLeastOnceDelivery:
+    POLICY = DeliveryPolicy(visibility_timeout_s=10.0, max_attempts=3,
+                            backoff_base_s=0.5, backoff_cap_s=30.0)
+
+    def queue(self):
+        return JobQueue(policy=self.POLICY)
+
+    def test_poll_leases_instead_of_deleting(self):
+        q = self.queue()
+        job = job_for(VECADD)
+        q.publish(job, now=0.0)
+        got, _ = q.poll(frozenset({"cuda"}), 1, now=1.0, consumer="w1")
+        assert got is job
+        assert len(q) == 0                 # not waiting any more...
+        assert q.in_flight_count == 1      # ...but tracked in flight
+        assert job.delivery.attempts == 1
+
+    def test_ack_retires_lease(self):
+        q = self.queue()
+        job = job_for(VECADD)
+        q.publish(job, now=0.0)
+        q.poll(frozenset({"cuda"}), 1, now=0.0)
+        assert q.ack(job.job_id)
+        assert q.in_flight_count == 0
+        assert q.stats.acked == 1
+        assert not q.ack(job.job_id)  # double-ack is a no-op
+
+    def test_nack_redelivers_after_backoff(self):
+        q = self.queue()
+        job = job_for(VECADD)
+        q.publish(job, now=0.0)
+        q.poll(frozenset({"cuda"}), 1, now=0.0)
+        assert q.nack(job.job_id, now=1.0, reason="boom")
+        assert len(q) == 1 and q.in_flight_count == 0
+        # still inside the backoff window: not pollable
+        assert q.poll(frozenset({"cuda"}), 1, now=1.1) is None
+        got, wait = q.poll(frozenset({"cuda"}), 1, now=2.0)
+        assert got is job
+        assert wait == 2.0  # queue wait measured from the original publish
+        assert job.delivery.attempts == 2
+        assert job.delivery.redeliveries == 1
+        assert job.delivery.failures[0]["reason"] == "boom"
+        assert job.delivery.failures[0]["backoff_s"] == 0.5
+
+    def test_lease_expiry_redelivers_crashed_consumers_job(self):
+        q = self.queue()
+        job = job_for(VECADD)
+        q.publish(job, now=0.0)
+        q.poll(frozenset({"cuda"}), 1, now=0.0, consumer="doomed")
+        assert q.expire_leases(now=5.0) == []      # lease still live
+        expired = q.expire_leases(now=10.0)
+        assert expired == [job]
+        assert q.stats.expired_leases == 1
+        assert "doomed" in job.delivery.failures[0]["reason"]
+        # redelivered to the next matching consumer after the backoff
+        got, _ = q.poll(frozenset({"cuda"}), 1, now=11.0, consumer="w2")
+        assert got is job and job.delivery.redeliveries == 1
+
+    def test_poison_job_dead_letters_after_max_attempts(self):
+        q = self.queue()
+        job = job_for(VECADD)
+        q.publish(job, now=0.0)
+        now = 0.0
+        for _ in range(self.POLICY.max_attempts):
+            polled = q.poll(frozenset({"cuda"}), 1, now=now)
+            assert polled is not None
+            q.nack(job.job_id, now=now, reason="segfault")
+            now += 60.0  # well past any backoff
+        assert job.delivery.attempts == self.POLICY.max_attempts
+        assert len(q) == 0 and q.in_flight_count == 0
+        dead = q.dead_letter(job.job_id)
+        assert dead is not None and dead.job is job
+        assert q.stats.dead_lettered == 1
+        # failure history: one record per attempt, backoffs doubling
+        assert len(dead.failures) == 3
+        assert [f.get("backoff_s") for f in dead.failures[:2]] == [0.5, 1.0]
+        assert dead.failures[-1]["dead_lettered"] is True
+        # a dead-lettered job is never polled again
+        assert q.poll(frozenset({"cuda"}), 1, now=now + 100.0) is None
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = DeliveryPolicy(backoff_base_s=1.0, backoff_cap_s=8.0)
+        assert [policy.backoff_for(n) for n in (1, 2, 3, 4, 5)] == \
+            [1.0, 2.0, 4.0, 8.0, 8.0]
+
+    def test_cancel_removes_waiting_job(self):
+        q = self.queue()
+        job = job_for(MPI)
+        q.publish(job, now=0.0)
+        assert q.cancel(job.job_id)
+        assert len(q) == 0 and q.stats.cancelled == 1
+        assert not q.cancel(job.job_id)
+
+    def test_next_wakeup_tracks_leases_and_backoffs(self):
+        q = self.queue()
+        assert q.next_wakeup(now=0.0) is None
+        a, b = job_for(VECADD), job_for(VECADD)
+        q.publish(a, now=0.0)
+        q.publish(b, now=0.0)
+        q.poll(frozenset({"cuda"}), 1, now=0.0)       # lease ends at 10
+        assert q.next_wakeup(now=0.0) == 10.0
+        q.poll(frozenset({"cuda"}), 1, now=0.0)
+        q.nack(b.job_id, now=0.0)                     # backoff ends at 0.5
+        assert q.next_wakeup(now=0.0) == 0.5
+
+    def test_at_most_once_mode_preserves_legacy_semantics(self):
+        q = JobQueue(at_least_once=False)
+        job = job_for(VECADD)
+        q.publish(job, now=0.0)
+        q.poll(frozenset({"cuda"}), 1, now=0.0)
+        assert q.in_flight_count == 0      # deleted on poll: crash loses it
+        assert not q.ack(job.job_id)
+        assert q.expire_leases(now=1e9) == []
+
+    def test_redelivered_job_keeps_fifo_position(self):
+        q = self.queue()
+        first, second = job_for(VECADD), job_for(VECADD)
+        q.publish(first, now=0.0)
+        q.publish(second, now=1.0)
+        q.poll(frozenset({"cuda"}), 1, now=2.0)
+        q.nack(first.job_id, now=2.0)
+        # after the backoff the redelivered job is still ahead of the
+        # younger one (original enqueue time is kept)
+        got, _ = q.poll(frozenset({"cuda"}), 1, now=3.0)
+        assert got is first
+
+
 class TestBrokerReplication:
     def test_publish_via_zone(self):
         broker = MessageBroker(zones=("a", "b"))
@@ -98,6 +232,14 @@ class TestBrokerReplication:
         broker.fail_zone("a")
         broker.restore_zone("a")
         assert broker.publish(job_for(VECADD), 0.0, zone="a") == "a"
+
+    def test_unknown_zone_is_routed_not_counted_as_failover(self):
+        broker = MessageBroker(zones=("a", "b"))
+        assert broker.publish(job_for(VECADD), 0.0, zone="nowhere") == "a"
+        assert broker.failovers == 0   # nothing failed; plain routing
+        broker.fail_zone("a")
+        assert broker.publish(job_for(VECADD), 1.0, zone="a") == "b"
+        assert broker.failovers == 1   # a known-but-down zone is one
 
 
 class TestContainerPool:
@@ -221,6 +363,131 @@ class TestWorkerDriver:
             broker.publish(job_for(VECADD), clock.now())
         results = driver.drain()
         assert len(results) == 3
+
+    def test_successful_job_acks_its_lease(self):
+        clock = ManualClock()
+        driver, broker, _, _ = self.make_driver(clock)
+        broker.publish(job_for(VECADD), clock.now())
+        result = driver.step()
+        assert result is not None
+        assert broker.in_flight_count == 0
+        assert broker.queue.stats.acked == 1
+        assert driver.stats.acks == 1
+        assert result.extra["attempts"] == 1
+        assert result.extra["redeliveries"] == 0
+
+    def test_crash_mid_job_redelivered_to_second_worker(self):
+        clock = ManualClock()
+        broker = MessageBroker(
+            policy=DeliveryPolicy(visibility_timeout_s=10.0,
+                                  backoff_base_s=0.5))
+        db = Database("metrics")
+        d1, _, _, _ = self.make_driver(clock, broker=broker, db=db)
+        d2, _, _, _ = self.make_driver(clock, broker=broker, db=db)
+        job = job_for(VECADD)
+        broker.publish(job, clock.now())
+
+        FaultInjector().crash_mid_job(d1.worker)
+        assert d1.step() is None           # died holding the job
+        assert not d1.worker.alive
+        assert d1.stats.crashes == 1
+        assert broker.in_flight_count == 1  # lease survives the crash
+        assert broker.depth() == 0
+
+        clock.advance(11.0)                 # past the visibility timeout
+        assert broker.expire_leases(clock.now()) == [job]
+        clock.advance(1.0)                  # past the redelivery backoff
+        result = d2.step()
+        assert result is not None and result.all_correct
+        assert result.worker_name == d2.worker.name
+        assert result.extra["redeliveries"] == 1
+        assert job.delivery.failures[0]["consumer"] == d1.worker.name
+        assert broker.in_flight_count == 0
+
+    def test_wedge_mid_job_silent_node_loses_its_lease(self):
+        clock = ManualClock()
+        broker = MessageBroker(
+            policy=DeliveryPolicy(visibility_timeout_s=10.0,
+                                  backoff_base_s=0.5))
+        db = Database("metrics")
+        d1, _, _, _ = self.make_driver(clock, broker=broker, db=db)
+        d2, _, _, _ = self.make_driver(clock, broker=broker, db=db)
+        job = job_for(VECADD)
+        broker.publish(job, clock.now())
+
+        FaultInjector().wedge_mid_job(d1.worker)
+        assert d1.step() is None
+        assert d1.worker.alive and d1.worker.wedged
+        assert d1.worker.heartbeat() is None   # silent: eviction scenario
+        assert broker.in_flight_count == 1
+        polls_before = d1.stats.polls
+        assert d1.step() is None               # a stuck node stops polling
+        assert d1.stats.polls == polls_before
+
+        clock.advance(11.0)
+        broker.expire_leases(clock.now())
+        clock.advance(1.0)
+        result = d2.step()
+        assert result is not None and result.all_correct
+        assert result.extra["redeliveries"] == 1
+
+    def test_crash_mid_job_abandons_cache_flight(self):
+        """A redelivered job whose first owner died must become a fresh
+        single-flight owner, not a joiner of a dead computation."""
+        clock = ManualClock()
+        caches = PlatformCaches(clock=clock)
+        broker = MessageBroker(
+            policy=DeliveryPolicy(visibility_timeout_s=10.0,
+                                  backoff_base_s=0.5))
+        db = Database("metrics")
+        cfg = ConfigServer()
+
+        def cached_driver():
+            worker = GpuWorker(WorkerConfig(), clock=clock)
+            return WorkerDriver(worker, broker,
+                                ContainerPool([CUDA_IMAGE]), cfg, db,
+                                clock=clock, result_cache=caches.results)
+
+        d1, d2 = cached_driver(), cached_driver()
+        job = job_for(VECADD)
+        broker.publish(job, clock.now())
+        FaultInjector().crash_mid_job(d1.worker)
+        assert d1.step() is None
+        assert caches.results.memo.inflight_count == 0  # flight abandoned
+
+        clock.advance(11.0)
+        broker.expire_leases(clock.now())
+        clock.advance(1.0)
+        result = d2.step()
+        assert result is not None and result.all_correct
+        assert caches.results.stats.dedup_hits == 0  # owner, not joiner
+        assert len(caches.results) == 1              # result was memoized
+
+    def test_dashboard_shows_delivery_gauges(self):
+        clock = ManualClock()
+        broker = MessageBroker(
+            policy=DeliveryPolicy(visibility_timeout_s=10.0,
+                                  backoff_base_s=0.5, max_attempts=2))
+        db = Database("metrics")
+        d1, _, _, _ = self.make_driver(clock, broker=broker, db=db)
+        d2, _, _, _ = self.make_driver(clock, broker=broker, db=db)
+        job = job_for(VECADD)
+        broker.publish(job, clock.now())
+        FaultInjector().crash_mid_job(d1.worker)
+        d1.step()
+        dashboard = Dashboard(db, broker)
+        assert dashboard.snapshot()["delivery"]["in_flight"] == 1
+
+        clock.advance(11.0)
+        broker.expire_leases(clock.now())
+        clock.advance(1.0)
+        d2.step()
+        snap = dashboard.snapshot()["delivery"]
+        assert snap["in_flight"] == 0
+        assert snap["redelivered"] == 1
+        assert snap["expired_leases"] == 1
+        assert snap["acked"] == 1
+        assert "redelivered" in dashboard.render()
 
     def test_dashboard_renders_fleet(self):
         clock = ManualClock()

@@ -192,6 +192,74 @@ class TestHealthEviction:
         worker.crash()
         assert worker.heartbeat() is None
 
+    def test_failed_eviction_keeps_heartbeat_record(self, clock, pool):
+        """A worker the pool does not know must not be counted as
+        evicted, and its heartbeat record must survive."""
+        monitor = HealthMonitor(clock, timeout_s=30)
+        monitor.record("ghost", clock.now())   # never registered
+        clock.advance(31)
+        assert monitor.evict_overdue(pool) == []
+        assert monitor.evictions == []
+        assert "ghost" in monitor.last_seen
+
+    def test_eviction_routed_through_custom_callback(self, clock, pool):
+        monitor = HealthMonitor(clock, timeout_s=30)
+        monitor.poll_workers(pool.workers)
+        FaultInjector().silence(pool.workers[0])
+        clock.advance(31)
+        monitor.poll_workers(pool.workers)
+        seen = []
+
+        def remove(name):
+            seen.append(name)
+            return pool.evict(name)
+
+        evicted = monitor.evict_overdue(pool, evict=remove)
+        assert evicted == seen and len(evicted) == 1
+        assert evicted[0] not in monitor.last_seen
+
+    def test_forget_drops_heartbeat_record(self, clock, pool):
+        monitor = HealthMonitor(clock, timeout_s=30)
+        monitor.poll_workers(pool.workers)
+        name = pool.workers[0].name
+        monitor.forget(name)
+        clock.advance(31)
+        assert name not in monitor.overdue()
+
+
+class TestMidJobFaults:
+    def test_crash_mid_job_fires_between_poll_and_completion(self, clock):
+        worker = GpuWorker(WorkerConfig(), clock=clock)
+        FaultInjector().crash_mid_job(worker)
+        result = worker.process(make_job())
+        assert result.status is JobStatus.FAILED
+        assert not worker.alive
+        assert not worker.crash_mid_job    # one-shot
+
+    def test_push_path_survives_crash_mid_job(self, clock, pool):
+        """v1 push dispatch already retries on another candidate when a
+        worker dies holding the job."""
+        dispatcher = PushDispatcher(pool)
+        FaultInjector().crash_mid_job(pool.workers[0])
+        for _ in range(3):
+            result = dispatcher.dispatch(make_job())
+            assert result.status is JobStatus.COMPLETED
+        assert dispatcher.retries >= 1
+
+    def test_heal_clears_armed_faults(self, clock):
+        worker = GpuWorker(WorkerConfig(), clock=clock)
+        injector = FaultInjector()
+        injector.crash_mid_job(worker)
+        injector.wedge_mid_job(worker)
+        worker.wedged = True
+        injector.heal(worker)
+        assert worker.alive
+        assert not worker.crash_mid_job
+        assert not worker.wedge_mid_job
+        assert not worker.wedged
+        result = worker.process(make_job())
+        assert result.status is JobStatus.COMPLETED
+
 
 class TestScalingPolicies:
     def test_static(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import ManualClock, WorkerConfig
+from repro.cluster import FaultInjector, ManualClock, WorkerConfig
 from repro.core import PlatformError, RateLimited, WebGPU, WebGPU2
 from repro.core.course import CourseOffering
 from repro.labs import get_lab
@@ -173,6 +173,125 @@ class TestV2Infrastructure:
         back = platform.fetch_dataset_arrays("vector-add", 0)
         assert np.allclose(back["expected"], data.expected)
         assert set(back) == {"input0", "input1", "expected"}
+
+
+@pytest.mark.parametrize("cls", [WebGPU, WebGPU2],
+                         ids=["v1-push", "v2-broker"])
+class TestDatasetIndexValidation:
+    def test_boundary_indexes_accepted(self, cls):
+        platform, clock, _, student = make_platform(cls)
+        platform.save_code("HPP-2015", student, "vector-add",
+                           VECADD.solution)
+        last = len(VECADD.dataset_sizes) - 1
+        for index in (0, last):
+            clock.advance(30)
+            attempt = platform.run_attempt("HPP-2015", student, "vector-add",
+                                           dataset_index=index)
+            assert attempt.correct
+
+    @pytest.mark.parametrize("bad", [-1, "past_end"])
+    def test_out_of_range_index_rejected(self, cls, bad):
+        platform, clock, _, student = make_platform(cls)
+        platform.save_code("HPP-2015", student, "vector-add",
+                           VECADD.solution)
+        if bad == "past_end":
+            bad = len(VECADD.dataset_sizes)
+        clock.advance(30)
+        with pytest.raises(PlatformError, match="out of range"):
+            platform.run_attempt("HPP-2015", student, "vector-add",
+                                 dataset_index=bad)
+        # nothing was recorded or enqueued for the rejected request
+        assert platform.attempt_history("HPP-2015", student,
+                                        "vector-add") == []
+
+
+class TestDeliveryResilience:
+    """v2 at-least-once delivery, end to end through the facade."""
+
+    def test_unmatched_job_is_cancelled_not_orphaned(self):
+        clock = ManualClock()
+        platform = WebGPU2(clock=clock, num_workers=1)  # cuda-only fleet
+        course = platform.create_course(
+            CourseOffering(code="PUMPS", year=2015), ["mpi-stencil"])
+        student = platform.users.register("s@x.com", "S", "pw")
+        course.enroll(student.user_id)
+        lab = get_lab("mpi-stencil")
+        platform.save_code("PUMPS-2015", student, "mpi-stencil",
+                           lab.solution)
+        clock.advance(30)
+        attempt = platform.run_attempt("PUMPS-2015", student, "mpi-stencil")
+        assert attempt.status == "failed"
+        # the unservable job was cancelled, not left behind in the queue
+        assert platform.broker.depth() == 0
+        assert platform.dashboard.delivery_summary()["cancelled"] == 1
+        # a capable worker added later must not grade the orphan
+        platform.add_worker(WorkerConfig(tags=frozenset({"cuda", "mpi"}),
+                                         num_gpus=4))
+        assert platform.pump() == []
+        history = platform.attempt_history("PUMPS-2015", student,
+                                           "mpi-stencil")
+        assert len(history) == 1
+
+    def test_evicted_driver_stops_polling(self):
+        platform, clock, _, student = make_platform(WebGPU2)
+        platform.tick_health()
+        zombie = platform.drivers[0]
+        FaultInjector().silence(zombie.worker)
+        clock.advance(120)
+        evicted = platform.tick_health()
+        assert evicted == [zombie.worker.name]
+        # the driver was torn down with the worker — no zombie pull loop
+        assert len(platform.drivers) == 1
+        assert zombie not in platform.drivers
+        polls_before = zombie.stats.polls
+        platform.save_code("HPP-2015", student, "vector-add",
+                           VECADD.solution)
+        clock.advance(30)
+        attempt = platform.run_attempt("HPP-2015", student, "vector-add")
+        assert attempt.correct
+        assert attempt.worker == platform.drivers[0].worker.name
+        assert zombie.stats.polls == polls_before
+
+    def test_crash_mid_job_redelivered_to_second_worker(self):
+        platform, clock, _, student = make_platform(WebGPU2)
+        platform.save_code("HPP-2015", student, "vector-add",
+                           VECADD.solution)
+        doomed = platform.drivers[0].worker
+        FaultInjector().crash_mid_job(doomed)
+        clock.advance(30)
+        attempt = platform.run_attempt("HPP-2015", student, "vector-add")
+        # the job was not lost: the lease expired and the broker
+        # redelivered it to the surviving worker
+        assert attempt.correct
+        assert attempt.redeliveries >= 1
+        assert attempt.worker == platform.drivers[1].worker.name
+        assert attempt.worker != doomed.name
+        summary = platform.dashboard.delivery_summary()
+        assert summary["redelivered"] >= 1
+        assert summary["expired_leases"] >= 1
+
+    def test_poison_job_dead_letters_as_failed_attempt(self):
+        clock = ManualClock()
+        platform = WebGPU2(clock=clock, num_workers=3)
+        course = platform.create_course(
+            CourseOffering(code="HPP", year=2015), ["vector-add"])
+        student = platform.users.register("s@x.com", "S", "pw")
+        course.enroll(student.user_id)
+        platform.save_code("HPP-2015", student, "vector-add",
+                           VECADD.solution)
+        injector = FaultInjector()
+        for driver in platform.drivers:   # every delivery kills a node
+            injector.crash_mid_job(driver.worker)
+        clock.advance(30)
+        attempt = platform.run_attempt("HPP-2015", student, "vector-add")
+        assert attempt.status == "failed"
+        assert not attempt.correct
+        # default policy: max_attempts=3, so exactly 2 redeliveries
+        assert attempt.redeliveries == 2
+        result = platform._last_results[(student.user_id, "vector-add")]
+        assert result.extra["dead_lettered"] is True
+        assert "dead-lettered after 3 delivery attempt(s)" in result.error
+        assert platform.dashboard.delivery_summary()["dead_lettered"] == 1
 
 
 class TestDegradedFleet:
