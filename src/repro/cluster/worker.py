@@ -44,6 +44,8 @@ class WorkerConfig:
     health_interval_s: float = 10.0
     policy: SeccompPolicy = field(default_factory=SeccompPolicy.baseline)
     scanner: BlacklistScanner = field(default_factory=BlacklistScanner)
+    #: kernel execution engine ("closure"/"ast"); None → env var/default
+    kernel_engine: str | None = None
 
 
 class GpuWorker(Node):
@@ -237,7 +239,8 @@ class GpuWorker(Node):
                     lab, artifact.source, data, spec=self.config.gpu_spec,
                     max_steps=max_steps,
                     stdout_hook=lambda _line: None,
-                    syscall_hook=env.gate.invoke)
+                    syscall_hook=env.gate.invoke,
+                    engine=self.config.kernel_engine)
             except KernelHang:
                 # an exhausted step budget is the watchdog firing
                 raise TimeLimitExceeded("run", lab.run_limit_s,

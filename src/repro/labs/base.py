@@ -89,34 +89,38 @@ def execute_lab_source(lab: LabDefinition, source: str, data: GeneratedData,
                        spec: DeviceSpec = KEPLER_K20,
                        max_steps: int = 50_000_000,
                        stdout_hook: Any = None,
-                       syscall_hook: Any = None) -> LabExecution:
+                       syscall_hook: Any = None,
+                       engine: str | None = None) -> LabExecution:
     """Compile + run ``source`` for ``lab`` against one dataset.
 
     This is the worker's inner evaluation step, shared with the offline
     harness and the grader. Compile errors propagate as
     :class:`repro.minicuda.CompileError`; runtime faults propagate as
     their interpreter/simulator exceptions (the sandbox layer catches
-    and classifies them).
+    and classifies them). ``engine`` selects the kernel execution
+    engine (``"closure"``/``"ast"``; None → env var / default).
     """
     if lab.mode is EvaluationMode.KERNEL_ONLY:
-        return _execute_kernel_only(lab, source, data, spec, max_steps)
+        return _execute_kernel_only(lab, source, data, spec, max_steps,
+                                    engine)
     if lab.mode is EvaluationMode.MPI:
         return _execute_mpi(lab, source, data, spec, max_steps,
-                            stdout_hook, syscall_hook)
+                            stdout_hook, syscall_hook, engine)
     return _execute_full_program(lab, source, data, spec, max_steps,
-                                 stdout_hook, syscall_hook)
+                                 stdout_hook, syscall_hook, engine)
 
 
 def _execute_full_program(lab: LabDefinition, source: str,
                           data: GeneratedData, spec: DeviceSpec,
                           max_steps: int, stdout_hook: Any = None,
-                          syscall_hook: Any = None) -> LabExecution:
+                          syscall_hook: Any = None,
+                          engine: str | None = None) -> LabExecution:
     program = compile_source(source)
     runtime = GpuRuntime(Device(spec))
     env = HostEnv(datasets=dict(data.inputs), stdout_hook=stdout_hook,
                   syscall_hook=syscall_hook)
     result = program.run_main(runtime=runtime, host_env=env,
-                              max_steps=max_steps)
+                              max_steps=max_steps, engine=engine)
     if lab.mode is EvaluationMode.STDOUT_MARKERS:
         text = "\n".join(env.stdout + env.log)
         missing = [m for m in lab.stdout_markers if m not in text]
@@ -138,7 +142,8 @@ def _execute_full_program(lab: LabDefinition, source: str,
 
 def _execute_kernel_only(lab: LabDefinition, source: str,
                          data: GeneratedData, spec: DeviceSpec,
-                         max_steps: int) -> LabExecution:
+                         max_steps: int,
+                         engine: str | None = None) -> LabExecution:
     """OpenCL-style labs: the student writes only the kernel; the
     harness owns the host side (create buffers, launch, read back)."""
     program = compile_source(source)
@@ -155,7 +160,7 @@ def _execute_kernel_only(lab: LabDefinition, source: str,
     grid = (max(*(int(a.size) for a in inputs), n) + block - 1) // block
     args: list[Any] = [b.ptr() for b in buffers] + [out.ptr(), n]
     stats = program.launch(runtime, lab.kernel_name, grid, block, *args,
-                           max_steps=max_steps)
+                           max_steps=max_steps, engine=engine)
     actual = runtime.memcpy_dtoh(out)
     compare = compare_solution(data.expected, actual)
     return LabExecution(compare=compare, stdout=[],
@@ -166,7 +171,8 @@ def _execute_kernel_only(lab: LabDefinition, source: str,
 
 def _execute_mpi(lab: LabDefinition, source: str, data: GeneratedData,
                  spec: DeviceSpec, max_steps: int, stdout_hook: Any = None,
-                 syscall_hook: Any = None) -> LabExecution:
+                 syscall_hook: Any = None,
+                 engine: str | None = None) -> LabExecution:
     """Multi-GPU MPI labs: one rank per (simulated) GPU."""
     program = compile_source(source)
     ranks = int(data.params.get("ranks", 4))
@@ -180,7 +186,8 @@ def _execute_mpi(lab: LabDefinition, source: str, data: GeneratedData,
         env = envs[endpoint.rank]
         env.mpi = endpoint
         result = program.run_main(runtime=runtimes[endpoint.rank],
-                                  host_env=env, max_steps=max_steps)
+                                  host_env=env, max_steps=max_steps,
+                                  engine=engine)
         return result.exit_code
 
     exit_codes = run_mpi(ranks, rank_main)

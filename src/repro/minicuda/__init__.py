@@ -19,7 +19,11 @@ course (Table II):
   :class:`repro.gpusim.ThreadContext` (so ``__syncthreads()`` maps onto
   the scheduler's lockstep barrier and every memory access is profiled);
   host code runs against a CUDA-runtime + libwb host API
-  (:mod:`repro.minicuda.hostapi`).
+  (:mod:`repro.minicuda.hostapi`);
+* :mod:`repro.minicuda.codegen` — the ``closure`` kernel execution
+  engine (the default): lowers each checked kernel AST once into nested
+  Python closures, memoized per program fingerprint, with the
+  tree-walker kept as the ``ast`` reference oracle.
 
 The facade is :func:`repro.minicuda.compiler.compile_source`.
 """
@@ -31,12 +35,14 @@ from repro.minicuda.parser import Parser, parse
 from repro.minicuda.semantic import analyze
 from repro.minicuda.compiler import CompileCache, CompiledProgram, compile_source
 from repro.minicuda.hostapi import HostEnv, SolutionRecorded, WbTimer
+from repro.minicuda.interpreter import ENGINES, resolve_engine
 
 __all__ = [
     "CompileCache",
     "CompileError",
     "CompiledProgram",
     "Diagnostic",
+    "ENGINES",
     "HostEnv",
     "Lexer",
     "Parser",
@@ -50,5 +56,6 @@ __all__ = [
     "compile_source",
     "parse",
     "preprocess",
+    "resolve_engine",
     "tokenize",
 ]

@@ -63,14 +63,19 @@ class CompiledProgram:
 
     def run_main(self, runtime: GpuRuntime | None = None,
                  host_env: HostEnv | None = None,
-                 max_steps: int = 50_000_000) -> HostRunResult:
-        """Execute ``main`` (the usual lab entry point)."""
+                 max_steps: int = 50_000_000,
+                 engine: str | None = None) -> HostRunResult:
+        """Execute ``main`` (the usual lab entry point).
+
+        ``engine`` picks the kernel execution engine (``"closure"`` or
+        ``"ast"``); None defers to ``WEBGPU_KERNEL_ENGINE`` / default.
+        """
         if not self.info.has_main:
             raise CompileError("program has no main() function")
         runtime = runtime or GpuRuntime()
         host_env = host_env or HostEnv()
         interp = Interpreter(self.info, runtime, host_env,
-                             max_steps=max_steps)
+                             max_steps=max_steps, engine=engine)
         main = self.info.host_functions["main"]
         args: tuple[Any, ...] = ()
         if len(main.params) >= 2:
@@ -85,10 +90,10 @@ class CompiledProgram:
 
     def launch(self, runtime: GpuRuntime, kernel: str, grid: Any, block: Any,
                *args: Any, host_env: HostEnv | None = None,
-               max_steps: int = 50_000_000) -> Any:
+               max_steps: int = 50_000_000, engine: str | None = None) -> Any:
         """Directly launch a single kernel (kernel-only labs: OpenCL)."""
         interp = Interpreter(self.info, runtime, host_env,
-                             max_steps=max_steps)
+                             max_steps=max_steps, engine=engine)
         return interp.launch_kernel(kernel, grid, block, tuple(args))
 
 
@@ -110,6 +115,7 @@ def compile_source(source: str,
     unit = parse(preprocessed,
                  typedef_names=frozenset(DEFAULT_TYPEDEFS) | EXTRA_TYPEDEFS)
     info = analyze(unit)
+    info.fingerprint = hash_text(preprocessed)
     return CompiledProgram(source=source, preprocessed=preprocessed, info=info)
 
 
@@ -156,8 +162,10 @@ class CompileCache:
         def front_end() -> CompiledProgram:
             unit = parse(preprocessed, typedef_names=(
                 frozenset(DEFAULT_TYPEDEFS) | EXTRA_TYPEDEFS))
+            info = analyze(unit)
+            info.fingerprint = key
             return CompiledProgram(source=source, preprocessed=preprocessed,
-                                   info=analyze(unit))
+                                   info=info)
 
         program, hit = self.memo.get_or_compute(key, front_end)
         if not hit:

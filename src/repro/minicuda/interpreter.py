@@ -134,6 +134,107 @@ def _truthy(value: Any) -> bool:
     return value is not None
 
 
+def member_value(obj: Any, field: str, pos: SourcePos) -> Any:
+    """``obj.field`` access shared by both execution engines."""
+    # dim3/uint3 components and runtime-struct fields (cudaDeviceProp)
+    if not field.startswith("_") and hasattr(obj, field):
+        value = getattr(obj, field)
+        if not callable(value):
+            return value
+    raise InterpreterError(
+        f"no member {field!r} on value of type {type(obj).__name__}", pos)
+
+
+def read_indexed(base: Any, index: Any, ctx: "ThreadContext | None",
+                 pos: SourcePos) -> Any:
+    """``base[index]`` dispatch shared by both execution engines."""
+    if isinstance(base, DevicePtr):
+        if ctx is None:
+            raise MemoryFault(
+                "segmentation fault: host code dereferenced a device "
+                "pointer (use cudaMemcpy)")
+        return ctx.load(base, int(index))
+    if isinstance(base, HostPtr):
+        if ctx is not None:
+            raise MemoryFault(
+                "invalid device access: kernel dereferenced a host "
+                "pointer (pass device memory to kernels)")
+        return base.read(int(index))
+    if isinstance(base, SharedArray):
+        assert ctx is not None
+        return ctx.shared_load(base, int(index))
+    if isinstance(base, MDView):
+        if base.is_scalar_level:
+            flat = base.flat_index(int(index))
+            return read_indexed(base.storage, flat, ctx, pos)
+        return base.sub(int(index))
+    if isinstance(base, LocalArray):
+        if ctx is not None:
+            ctx.count_instr()
+        return base.read(int(index))
+    if isinstance(base, (list, tuple)):
+        return base[int(index)]
+    if isinstance(base, NullPtr):
+        base.read(0)
+    raise InterpreterError(
+        f"value of type {type(base).__name__} is not indexable", pos)
+
+
+def write_indexed(base: Any, index: Any, value: Any,
+                  ctx: "ThreadContext | None", pos: SourcePos) -> None:
+    """``base[index] = value`` dispatch shared by both engines."""
+    if isinstance(base, DevicePtr):
+        if ctx is None:
+            raise MemoryFault(
+                "segmentation fault: host code wrote through a device "
+                "pointer (use cudaMemcpy)")
+        ctx.store(base, int(index), value)
+        return
+    if isinstance(base, HostPtr):
+        if ctx is not None:
+            raise MemoryFault(
+                "invalid device access: kernel wrote through a host "
+                "pointer")
+        base.write(int(index), value)
+        return
+    if isinstance(base, SharedArray):
+        assert ctx is not None
+        ctx.shared_store(base, int(index), value)
+        return
+    if isinstance(base, MDView):
+        if base.is_scalar_level:
+            flat = base.flat_index(int(index))
+            write_indexed(base.storage, flat, value, ctx, pos)
+            return
+        raise InterpreterError("assignment to a sub-array", pos)
+    if isinstance(base, LocalArray):
+        if ctx is not None:
+            ctx.count_instr()
+        base.write(int(index), value)
+        return
+    if isinstance(base, NullPtr):
+        base.write(0, value)
+    raise InterpreterError(
+        f"value of type {type(base).__name__} is not indexable", pos)
+
+
+#: Kernel execution engines: ``closure`` (compiled, default) and
+#: ``ast`` (the tree-walking reference oracle).
+ENGINES = ("closure", "ast")
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Resolve an engine choice: explicit argument, then the
+    ``WEBGPU_KERNEL_ENGINE`` environment variable, then ``closure``."""
+    if engine is None:
+        import os
+        engine = os.environ.get("WEBGPU_KERNEL_ENGINE") or "closure"
+    if engine not in ENGINES:
+        raise InterpreterError(
+            f"unknown kernel engine {engine!r} (expected one of {ENGINES})")
+    return engine
+
+
 def c_format(fmt: str, args: tuple[Any, ...]) -> str:
     """Approximate C printf formatting using Python %-formatting."""
     pyfmt = (fmt.replace("%u", "%d").replace("%lu", "%d")
@@ -163,12 +264,14 @@ class Interpreter:
     """
 
     def __init__(self, info: ProgramInfo, runtime: GpuRuntime,
-                 host_env: Any = None, max_steps: int = 50_000_000):
+                 host_env: Any = None, max_steps: int = 50_000_000,
+                 engine: str | None = None):
         self.info = info
         self.runtime = runtime
         self.host = host_env
         self.max_steps = max_steps
         self.steps = 0
+        self.engine = resolve_engine(engine)
         self.globals = Env()
         self._init_globals()
 
@@ -230,11 +333,25 @@ class Interpreter:
 
     def make_kernel(self, name: str,
                     args: tuple[Any, ...]) -> Callable[[ThreadContext], Any]:
-        """Package kernel ``name`` as a gpusim per-thread generator."""
+        """Package kernel ``name`` as a gpusim per-thread callable.
+
+        Under the default ``closure`` engine the kernel's AST is
+        lowered once into nested Python closures (memoized per
+        program+kernel); barrier-free kernels come back as plain
+        functions so the scheduler skips generator machinery entirely.
+        The ``ast`` engine — and any construct the closure compiler
+        does not support — takes the tree-walking path below.
+        """
         fn = self.info.kernels.get(name)
         if fn is None:
             raise InterpreterError(f"no kernel {name!r}")
         coerced = self._coerce_args(fn, args)
+
+        if self.engine == "closure":
+            from repro.minicuda import codegen
+            compiled = codegen.compile_kernel(self.info, name)
+            if compiled is not None:
+                return compiled.bind(self, coerced)
 
         def kernel_thread(ctx: ThreadContext) -> Iterator[Any]:
             yield from self._call_user_function(fn, coerced, ctx)
@@ -564,84 +681,17 @@ class Interpreter:
 
     @staticmethod
     def _member(obj: Any, field: str, pos: SourcePos) -> Any:
-        # dim3/uint3 components and runtime-struct fields (cudaDeviceProp)
-        if not field.startswith("_") and hasattr(obj, field):
-            value = getattr(obj, field)
-            if not callable(value):
-                return value
-        raise InterpreterError(
-            f"no member {field!r} on value of type {type(obj).__name__}", pos)
+        return member_value(obj, field, pos)
 
     # -- memory access dispatch ---------------------------------------------------
 
     def _read_indexed(self, base: Any, index: Any,
                       ctx: ThreadContext | None, pos: SourcePos) -> Any:
-        if isinstance(base, DevicePtr):
-            if ctx is None:
-                raise MemoryFault(
-                    "segmentation fault: host code dereferenced a device "
-                    "pointer (use cudaMemcpy)")
-            return ctx.load(base, int(index))
-        if isinstance(base, HostPtr):
-            if ctx is not None:
-                raise MemoryFault(
-                    "invalid device access: kernel dereferenced a host "
-                    "pointer (pass device memory to kernels)")
-            return base.read(int(index))
-        if isinstance(base, SharedArray):
-            assert ctx is not None
-            return ctx.shared_load(base, int(index))
-        if isinstance(base, MDView):
-            if base.is_scalar_level:
-                flat = base.flat_index(int(index))
-                return self._read_indexed(base.storage, flat, ctx, pos)
-            return base.sub(int(index))
-        if isinstance(base, LocalArray):
-            if ctx is not None:
-                ctx.count_instr()
-            return base.read(int(index))
-        if isinstance(base, (list, tuple)):
-            return base[int(index)]
-        if isinstance(base, NullPtr):
-            base.read(0)
-        raise InterpreterError(
-            f"value of type {type(base).__name__} is not indexable", pos)
+        return read_indexed(base, index, ctx, pos)
 
     def _write_indexed(self, base: Any, index: Any, value: Any,
                        ctx: ThreadContext | None, pos: SourcePos) -> None:
-        if isinstance(base, DevicePtr):
-            if ctx is None:
-                raise MemoryFault(
-                    "segmentation fault: host code wrote through a device "
-                    "pointer (use cudaMemcpy)")
-            ctx.store(base, int(index), value)
-            return
-        if isinstance(base, HostPtr):
-            if ctx is not None:
-                raise MemoryFault(
-                    "invalid device access: kernel wrote through a host "
-                    "pointer")
-            base.write(int(index), value)
-            return
-        if isinstance(base, SharedArray):
-            assert ctx is not None
-            ctx.shared_store(base, int(index), value)
-            return
-        if isinstance(base, MDView):
-            if base.is_scalar_level:
-                flat = base.flat_index(int(index))
-                self._write_indexed(base.storage, flat, value, ctx, pos)
-                return
-            raise InterpreterError("assignment to a sub-array", pos)
-        if isinstance(base, LocalArray):
-            if ctx is not None:
-                ctx.count_instr()
-            base.write(int(index), value)
-            return
-        if isinstance(base, NullPtr):
-            base.write(0, value)
-        raise InterpreterError(
-            f"value of type {type(base).__name__} is not indexable", pos)
+        write_indexed(base, index, value, ctx, pos)
 
     # -- lvalues --------------------------------------------------------------------
 

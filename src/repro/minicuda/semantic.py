@@ -14,6 +14,10 @@ from repro.minicuda import builtins as bi
 from repro.minicuda.diagnostics import CompileError, Diagnostic, SourcePos
 
 
+#: Device builtins that hit a block-wide barrier when called.
+BARRIER_BUILTINS = frozenset({"__syncthreads", "barrier"})
+
+
 @dataclass
 class ProgramInfo:
     """What later stages need to know about a checked program."""
@@ -23,10 +27,23 @@ class ProgramInfo:
     device_functions: dict[str, ast.FuncDef] = field(default_factory=dict)
     host_functions: dict[str, ast.FuncDef] = field(default_factory=dict)
     constants: dict[str, ast.Declarator] = field(default_factory=dict)
+    #: Kernels / device functions whose execution may reach a barrier
+    #: (``__syncthreads`` / OpenCL ``barrier``), closed transitively
+    #: over device-function calls. Execution engines use this to decide
+    #: whether a kernel needs lockstep generator scheduling.
+    barrier_functions: set[str] = field(default_factory=set)
+    #: sha256 of the preprocessed source this program was compiled
+    #: from; set by the compiler facade. Used as a stable memoization
+    #: key for per-kernel codegen artifacts ("" when unavailable).
+    fingerprint: str = ""
 
     @property
     def has_main(self) -> bool:
         return "main" in self.host_functions
+
+    def kernel_uses_barrier(self, name: str) -> bool:
+        """May the named kernel reach a ``__syncthreads`` barrier?"""
+        return name in self.barrier_functions
 
 
 class _Scope:
@@ -65,7 +82,32 @@ class Analyzer:
                 self._check_function(fn)
         if self.diagnostics:
             raise CompileError(self.diagnostics)
+        self._collect_barrier_functions()
         return self.info
+
+    def _collect_barrier_functions(self) -> None:
+        """Mark kernels/device functions that may reach a barrier,
+        closing over device-function calls with a fixpoint (handles
+        mutual recursion without revisiting)."""
+        device_fns = {**self.info.kernels, **self.info.device_functions}
+        calls: dict[str, set[str]] = {}
+        uses = self.info.barrier_functions
+        for name, fn in device_fns.items():
+            called: set[str] = set()
+            for node in ast.walk(fn.body):
+                if isinstance(node, ast.Call):
+                    if node.name in BARRIER_BUILTINS:
+                        uses.add(name)
+                    elif node.name in self.info.device_functions:
+                        called.add(node.name)
+            calls[name] = called
+        changed = True
+        while changed:
+            changed = False
+            for name, called in calls.items():
+                if name not in uses and called & uses:
+                    uses.add(name)
+                    changed = True
 
     @staticmethod
     def _is_prototype(fn: ast.FuncDef) -> bool:

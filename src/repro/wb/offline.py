@@ -33,18 +33,20 @@ class OfflineResult:
 
 def run_offline(source: str, data: GeneratedData,
                 spec: DeviceSpec = KEPLER_K20,
-                max_steps: int = 50_000_000) -> OfflineResult:
+                max_steps: int = 50_000_000,
+                engine: str | None = None) -> OfflineResult:
     """Compile and run ``source`` against one generated dataset.
 
     Raises :class:`repro.minicuda.CompileError` on compile errors and
     lets runtime faults propagate — offline development shows the raw
     toolchain behaviour, unlike the worker which wraps everything.
+    ``engine`` selects the kernel execution engine (closure/ast).
     """
     program = compile_source(source)
     runtime = GpuRuntime(Device(spec))
     env = HostEnv(datasets=dict(data.inputs))
     result = program.run_main(runtime=runtime, host_env=env,
-                              max_steps=max_steps)
+                              max_steps=max_steps, engine=engine)
     compare = compare_solution(
         data.expected, env.solution.data if env.solution else None)
     kernel_seconds = sum(s.elapsed_seconds for _, s in env.kernel_launches)

@@ -190,6 +190,34 @@ class TestProfilingCounters:
         # contention makes the timing model slower
         assert s1.elapsed_seconds > s2.elapsed_seconds
 
+    def test_global_atomics_counted_in_memory_traffic(self, rt):
+        """A global atomic is a read-modify-write: it must show up in
+        the coalescing trace (requests, transactions, bytes), not only
+        in the atomic counters."""
+        counters = rt.malloc(32, "int")
+
+        def kernel(ctx, counters):
+            ctx.atomic_add(counters.ptr(), ctx.global_x, 1)
+
+        stats = rt.launch(kernel, (1,), (32,), counters)
+        assert stats.atomic_ops == 32
+        # one coalesced warp access for the read half + one for the write
+        assert stats.global_load_requests == 1
+        assert stats.global_store_requests == 1
+        assert stats.global_load_transactions >= 1
+        assert stats.bytes_read == 32 * 4
+        assert stats.bytes_written == 32 * 4
+
+    def test_shared_atomics_not_in_global_traffic(self, rt):
+        def kernel(ctx):
+            s = ctx.shared("bins", 32, "int")
+            ctx.atomic_add(s, ctx.threadIdx.x, 1)
+
+        stats = rt.launch(kernel, (1,), (32,))
+        assert stats.atomic_ops == 32
+        assert stats.global_load_requests == 0
+        assert stats.bytes_read == 0
+
 
 class TestHostApi:
     def test_memcpy_roundtrip(self, rt):

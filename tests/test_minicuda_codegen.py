@@ -1,0 +1,319 @@
+"""Closure-compiled kernel engine: parity, memoization, fallback."""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, GpuRuntime
+from repro.gpusim.grid import Dim3
+from repro.minicuda import HostEnv, compile_source
+from repro.minicuda import codegen
+from repro.minicuda.interpreter import Interpreter
+
+STAT_FIELDS = (
+    "blocks", "threads", "warps", "instructions",
+    "global_load_requests", "global_store_requests",
+    "global_load_transactions", "global_store_transactions",
+    "bytes_read", "bytes_written", "shared_accesses", "bank_conflicts",
+    "atomic_ops", "max_atomic_contention", "max_shared_atomic_contention",
+    "barriers",
+)
+
+
+def assert_stats_equal(a, b):
+    for fld in STAT_FIELDS:
+        assert getattr(a, fld) == getattr(b, fld), fld
+
+
+def launch_both(source, kernel, grid, block, buf_specs, scalar_args):
+    """Run one kernel under both engines; returns (stats, output) pairs."""
+    results = {}
+    for engine in ("ast", "closure"):
+        program = compile_source(source)
+        rt = GpuRuntime(Device())
+        bufs = []
+        for n, dtype, init in buf_specs:
+            buf = rt.malloc(n, dtype)
+            if init is not None:
+                rt.memcpy_htod(buf, init)
+            bufs.append(buf)
+        args = [b.ptr() for b in bufs] + list(scalar_args)
+        stats = program.launch(rt, kernel, grid, block, *args,
+                               engine=engine)
+        outs = [rt.memcpy_dtoh(b) for b in bufs]
+        results[engine] = (stats, outs)
+    return results
+
+
+class TestStatsParity:
+    def test_tiled_matmul_identical_counters(self):
+        source = """
+#define TILE 8
+__global__ void matmul(float *A, float *B, float *C, int n) {
+  __shared__ float As[TILE][TILE];
+  __shared__ float Bs[TILE][TILE];
+  int row = blockIdx.y * TILE + threadIdx.y;
+  int col = blockIdx.x * TILE + threadIdx.x;
+  float acc = 0.0f;
+  for (int t = 0; t < n / TILE; t++) {
+    As[threadIdx.y][threadIdx.x] = A[row * n + t * TILE + threadIdx.x];
+    Bs[threadIdx.y][threadIdx.x] = B[(t * TILE + threadIdx.y) * n + col];
+    __syncthreads();
+    for (int k = 0; k < TILE; k++)
+      acc += As[threadIdx.y][k] * Bs[k][threadIdx.x];
+    __syncthreads();
+  }
+  C[row * n + col] = acc;
+}
+int main() { return 0; }
+"""
+        n = 16
+        a = (np.arange(n * n, dtype=np.float32) % 7)
+        b = (np.arange(n * n, dtype=np.float32) % 5)
+        results = launch_both(
+            source, "matmul", Dim3(n // 8, n // 8), Dim3(8, 8),
+            [(n * n, np.float32, a), (n * n, np.float32, b),
+             (n * n, np.float32, None)], [n])
+        s_ast, out_ast = results["ast"]
+        s_closure, out_closure = results["closure"]
+        assert_stats_equal(s_ast, s_closure)
+        assert np.array_equal(out_ast[2], out_closure[2])
+        expected = (a.reshape(n, n) @ b.reshape(n, n)).astype(np.float32)
+        assert np.allclose(out_closure[2].reshape(n, n), expected)
+
+    def test_histogram_shared_atomics_identical(self):
+        source = """
+#define BINS 16
+__global__ void hist(int *in, int *out, int n) {
+  __shared__ int local[BINS];
+  if (threadIdx.x < BINS) local[threadIdx.x] = 0;
+  __syncthreads();
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) atomicAdd(&local[in[i] % BINS], 1);
+  __syncthreads();
+  if (threadIdx.x < BINS) atomicAdd(&out[threadIdx.x],
+                                    local[threadIdx.x]);
+}
+int main() { return 0; }
+"""
+        n = 256
+        data = (np.arange(n, dtype=np.int32) * 7) % 23
+        results = launch_both(
+            source, "hist", 4, 64,
+            [(n, np.int32, data), (16, np.int32, np.zeros(16, np.int32))],
+            [n])
+        s_ast, out_ast = results["ast"]
+        s_closure, out_closure = results["closure"]
+        assert_stats_equal(s_ast, s_closure)
+        assert np.array_equal(out_ast[1], out_closure[1])
+        assert out_closure[1].sum() == n
+
+    def test_grid_stride_reduction_identical(self):
+        source = """
+__global__ void reduce(float *in, float *out, int n) {
+  __shared__ float scratch[64];
+  int tid = threadIdx.x;
+  float acc = 0.0f;
+  for (int i = blockIdx.x * blockDim.x + tid; i < n;
+       i += blockDim.x * gridDim.x)
+    acc += in[i];
+  scratch[tid] = acc;
+  __syncthreads();
+  for (int s = blockDim.x / 2; s > 0; s = s / 2) {
+    if (tid < s) scratch[tid] += scratch[tid + s];
+    __syncthreads();
+  }
+  if (tid == 0) atomicAdd(&out[0], scratch[0]);
+}
+int main() { return 0; }
+"""
+        n = 512
+        data = np.ones(n, dtype=np.float32)
+        results = launch_both(
+            source, "reduce", 2, 64,
+            [(n, np.float32, data), (1, np.float32,
+                                     np.zeros(1, np.float32))], [n])
+        s_ast, out_ast = results["ast"]
+        s_closure, out_closure = results["closure"]
+        assert_stats_equal(s_ast, s_closure)
+        assert out_closure[1][0] == n
+
+
+class TestCompilation:
+    def test_barrier_free_kernel_compiles_to_plain_function(self):
+        source = """
+__global__ void k(float *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) out[i] = 2.0f * i;
+}
+int main() { return 0; }
+"""
+        program = compile_source(source)
+        compiled = codegen.compile_kernel(program.info, "k")
+        assert compiled is not None
+        assert not compiled.is_gen
+        rt = GpuRuntime(Device())
+        interp = Interpreter(program.info, rt, None, engine="closure")
+        thread_fn = interp.make_kernel(
+            "k", (rt.malloc(8, "float").ptr(), 8))
+        # the scheduler fast path keys off this
+        assert not inspect.isgeneratorfunction(thread_fn)
+
+    def test_barrier_kernel_compiles_to_generator(self):
+        source = """
+__global__ void k(float *out) {
+  __shared__ float s[32];
+  s[threadIdx.x] = 1.0f;
+  __syncthreads();
+  out[threadIdx.x] = s[31 - threadIdx.x];
+}
+int main() { return 0; }
+"""
+        program = compile_source(source)
+        compiled = codegen.compile_kernel(program.info, "k")
+        assert compiled is not None
+        assert compiled.is_gen
+        rt = GpuRuntime(Device())
+        interp = Interpreter(program.info, rt, None, engine="closure")
+        thread_fn = interp.make_kernel("k", (rt.malloc(32, "float").ptr(),))
+        assert inspect.isgeneratorfunction(thread_fn)
+
+    def test_artifact_memoized_on_program(self):
+        source = """
+__global__ void k(float *out) { out[0] = 1.0f; }
+int main() { return 0; }
+"""
+        program = compile_source(source)
+        first = codegen.compile_kernel(program.info, "k")
+        second = codegen.compile_kernel(program.info, "k")
+        assert first is second
+
+    def test_cross_program_memoization_by_fingerprint(self):
+        source = """
+__global__ void k(float *out) { out[0] = 3.0f; }
+int main() { return 0; }
+"""
+        # two compiles of the same source → same fingerprint → the
+        # second program gets the first program's compiled kernel
+        p1 = compile_source(source)
+        p2 = compile_source(source)
+        assert p1.info.fingerprint == p2.info.fingerprint
+        assert p1.info is not p2.info
+        k1 = codegen.compile_kernel(p1.info, "k")
+        k2 = codegen.compile_kernel(p2.info, "k")
+        assert k1 is k2
+
+
+class TestFallback:
+    def test_address_of_local_scalar_falls_back(self):
+        source = """
+__global__ void k(float *out) {
+  float x = 2.0f;
+  float *p = &x;
+  out[0] = x;
+}
+int main() { return 0; }
+"""
+        program = compile_source(source)
+        assert codegen.compile_kernel(program.info, "k") is None
+        # the unsupported verdict is memoized, and the tree-walker
+        # still runs the kernel under the default closure engine
+        assert codegen.compile_kernel(program.info, "k") is None
+        rt = GpuRuntime(Device())
+        out = rt.malloc(1, "float")
+        program.launch(rt, "k", 1, 1, out.ptr(), engine="closure")
+        assert rt.memcpy_dtoh(out)[0] == 2.0
+
+    def test_barrier_device_function_falls_back(self):
+        source = """
+__device__ void phase_sync() { __syncthreads(); }
+__global__ void k(float *out) {
+  __shared__ float s[32];
+  s[threadIdx.x] = (float)threadIdx.x;
+  phase_sync();
+  out[threadIdx.x] = s[31 - threadIdx.x];
+}
+int main() { return 0; }
+"""
+        program = compile_source(source)
+        assert "phase_sync" in program.info.barrier_functions
+        assert "k" in program.info.barrier_functions
+        assert codegen.compile_kernel(program.info, "k") is None
+        rt = GpuRuntime(Device())
+        out = rt.malloc(32, "float")
+        program.launch(rt, "k", 1, 32, out.ptr(), engine="closure")
+        assert list(rt.memcpy_dtoh(out)) == [float(31 - i)
+                                             for i in range(32)]
+
+    def test_plain_device_function_supported(self):
+        source = """
+__device__ float cube(float x) { return x * x * x; }
+__global__ void k(float *out) {
+  out[threadIdx.x] = cube((float)threadIdx.x);
+}
+int main() { return 0; }
+"""
+        program = compile_source(source)
+        assert codegen.compile_kernel(program.info, "k") is not None
+        rt = GpuRuntime(Device())
+        out = rt.malloc(8, "float")
+        program.launch(rt, "k", 1, 8, out.ptr(), engine="closure")
+        assert list(rt.memcpy_dtoh(out)) == [float(i ** 3)
+                                             for i in range(8)]
+
+
+class TestSemanticBarrierAnalysis:
+    def test_transitive_barrier_use_detected(self):
+        source = """
+__device__ void inner() { __syncthreads(); }
+__device__ void outer() { inner(); }
+__global__ void k() { outer(); }
+__global__ void plain(float *out) { out[0] = 1.0f; }
+int main() { return 0; }
+"""
+        info = compile_source(source).info
+        assert info.kernel_uses_barrier("k")
+        assert not info.kernel_uses_barrier("plain")
+        assert {"inner", "outer", "k"} <= info.barrier_functions
+        assert "plain" not in info.barrier_functions
+
+    def test_opencl_barrier_detected(self):
+        source = """
+__kernel void k(__global float *out) {
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = 1.0f;
+}
+"""
+        info = compile_source(source).info
+        assert info.kernel_uses_barrier("k")
+
+
+class TestEngineParityUnderLoad:
+    @pytest.mark.parametrize("block", [32, 64])
+    def test_divergent_control_flow_parity(self, block):
+        source = """
+__global__ void branchy(int *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int acc = 0;
+  for (int j = 0; j < i % 5; j++) {
+    if (j % 2 == 0) acc += j * i;
+    else acc -= j;
+    switch (j % 3) {
+      case 0: acc++; break;
+      case 1: acc += 2; break;
+      default: acc--; break;
+    }
+  }
+  if (i < n) out[i] = acc;
+}
+int main() { return 0; }
+"""
+        n = block * 2
+        results = launch_both(
+            source, "branchy", 2, block,
+            [(n, np.int32, np.zeros(n, np.int32))], [n])
+        s_ast, out_ast = results["ast"]
+        s_closure, out_closure = results["closure"]
+        assert_stats_equal(s_ast, s_closure)
+        assert np.array_equal(out_ast[0], out_closure[0])

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.gpusim import Device, GpuRuntime
 from repro.minicuda import HostEnv, compile_source
 from repro.minicuda.interpreter import _c_div, _c_mod
 
@@ -176,11 +177,42 @@ int main() {{
     return program.run_main(host_env=HostEnv()).exit_code
 
 
+def run_expression_in_kernel(node: Node, engine: str):
+    """Check the expression on-device; returns (1-if-match, KernelStats).
+
+    The comparison happens inside the kernel (interpreter integers are
+    unbounded, the int32 output buffer is not)."""
+    source = f"""
+__global__ void eval(int *out) {{
+  int ok = ({node.render()}) == ({node.evaluate()});
+  out[0] = ok;
+}}
+int main() {{ return 0; }}
+"""
+    program = compile_source(source)
+    rt = GpuRuntime(Device())
+    out = rt.malloc(1, "int")
+    stats = program.launch(rt, "eval", 1, 1, out.ptr(), engine=engine)
+    return int(rt.memcpy_dtoh(out)[0]), stats
+
+
 class TestDifferential:
     @given(expressions())
     @settings(max_examples=120, deadline=None)
     def test_interpreter_matches_c_semantics(self, node):
         assert run_expression(node) == 1, node.render()
+
+    @given(expressions())
+    @settings(max_examples=60, deadline=None)
+    def test_engines_agree_on_device(self, node):
+        """Both kernel engines must produce the same value AND
+        bit-identical profiling counters for any expression."""
+        ok_ast, stats_ast = run_expression_in_kernel(node, "ast")
+        ok_closure, stats_closure = run_expression_in_kernel(node, "closure")
+        assert ok_ast == 1, node.render()
+        assert ok_closure == 1, node.render()
+        assert stats_ast.instructions == stats_closure.instructions, \
+            node.render()
 
     @given(st.integers(-100, 100), st.integers(-100, 100))
     @settings(max_examples=40, deadline=None)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.gpusim import Device, GpuRuntime
-from repro.minicuda import HostEnv, compile_source
+from repro.minicuda import ENGINES, HostEnv, compile_source
 from repro.minicuda.hostapi import HostApiError
 from repro.minicuda.values import MemoryFault
 
@@ -202,3 +202,62 @@ class TestSecurityHooks:
         run("int main() { float *p = (float *)malloc(64); return 0; }",
             syscall_hook=calls.append)
         assert "mmap" in calls
+
+
+class TestKernelLaunchEngines:
+    """The full host path (cudaMalloc/Memcpy + <<<>>>) under both
+    kernel execution engines must produce the same solution and the
+    same profiled launch stats."""
+
+    SOURCE = """
+__global__ void vecadd(float *a, float *b, float *c, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) c[i] = a[i] + b[i];
+}
+int main() {
+  int n;
+  float *hA = (float *)wbImport(wbArg_getInputFile(0, 0), &n);
+  float *hB = (float *)wbImport(wbArg_getInputFile(0, 1), &n);
+  float *hC = (float *)malloc(n * sizeof(float));
+  float *dA; float *dB; float *dC;
+  cudaMalloc((void **)&dA, n * sizeof(float));
+  cudaMalloc((void **)&dB, n * sizeof(float));
+  cudaMalloc((void **)&dC, n * sizeof(float));
+  cudaMemcpy(dA, hA, n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(dB, hB, n * sizeof(float), cudaMemcpyHostToDevice);
+  vecadd<<<(n + 31) / 32, 32>>>(dA, dB, dC, n);
+  cudaMemcpy(hC, dC, n * sizeof(float), cudaMemcpyDeviceToHost);
+  wbSolution(0, hC, n);
+  return 0;
+}
+"""
+
+    def _launch(self, engine):
+        a = np.arange(100, dtype=np.float32)
+        b = np.arange(100, dtype=np.float32)[::-1].copy()
+        program = compile_source(self.SOURCE)
+        env = HostEnv(datasets={"input0": a, "input1": b})
+        result = program.run_main(runtime=GpuRuntime(Device()),
+                                  host_env=env, engine=engine)
+        return result, env, a + b
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_vecadd_through_host_api(self, engine):
+        result, env, expected = self._launch(engine)
+        assert result.exit_code == 0
+        assert np.allclose(env.solution.data, expected)
+        assert len(env.kernel_launches) == 1
+
+    def test_engines_report_identical_stats(self):
+        stats = {}
+        for engine in ENGINES:
+            _, env, _ = self._launch(engine)
+            ((_, s),) = env.kernel_launches
+            stats[engine] = s
+        for fld in ("instructions", "global_load_requests",
+                    "global_store_requests", "global_load_transactions",
+                    "global_store_transactions", "bytes_read",
+                    "bytes_written", "shared_accesses", "bank_conflicts",
+                    "barriers", "atomic_ops"):
+            assert getattr(stats["closure"], fld) == \
+                getattr(stats["ast"], fld), fld

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.gpusim import Device, GpuRuntime
-from repro.minicuda import HostEnv, compile_source
+from repro.gpusim.errors import BarrierDivergenceError, OutOfBoundsError
+from repro.minicuda import ENGINES, HostEnv, compile_source
 from repro.minicuda.interpreter import KernelHang, _c_div, _c_mod
 from repro.minicuda.values import MemoryFault
 
@@ -130,6 +131,11 @@ int main() { return fact(5); }
 
 
 class TestDeviceExecution:
+    @pytest.fixture(autouse=True, params=ENGINES)
+    def _engine(self, request, monkeypatch):
+        """Every device-execution test runs under both kernel engines."""
+        monkeypatch.setenv("WEBGPU_KERNEL_ENGINE", request.param)
+
     def test_device_function_call_from_kernel(self):
         source = """
 __device__ float square(float x) { return x * x; }
@@ -236,3 +242,110 @@ int main() { k<<<2, 4>>>(); return 0; }
         env = HostEnv()
         program.run_main(runtime=rt, host_env=env)
         assert lines == ["block 0 checking in", "block 1 checking in"]
+
+
+class TestEngineErrorPaths:
+    """Fault behaviour must be engine-independent: same exception type
+    and message whichever engine executed the kernel."""
+
+    @pytest.fixture(params=ENGINES)
+    def engine(self, request):
+        return request.param
+
+    def test_device_read_out_of_bounds_faults(self, engine):
+        source = """
+__global__ void k(float *p, int n) { float x = p[n + 7]; }
+int main() {
+  float *d;
+  cudaMalloc((void **)&d, 4 * sizeof(float));
+  k<<<1, 1>>>(d, 4);
+  return 0;
+}
+"""
+        program = compile_source(source)
+        with pytest.raises(OutOfBoundsError, match="out of bounds"):
+            program.run_main(host_env=HostEnv(), engine=engine)
+
+    def test_local_array_out_of_bounds_faults(self, engine):
+        source = """
+__global__ void k(int *out) {
+  int scratch[4];
+  out[0] = scratch[9];
+}
+int main() {
+  int *d;
+  cudaMalloc((void **)&d, sizeof(int));
+  k<<<1, 1>>>(d);
+  return 0;
+}
+"""
+        program = compile_source(source)
+        with pytest.raises(MemoryFault,
+                           match=r"out of bounds for local array scratch"):
+            program.run_main(host_env=HostEnv(), engine=engine)
+
+    def test_infinite_kernel_loop_hangs(self, engine):
+        source = """
+__global__ void spin(int *out) {
+  int i = 0;
+  while (1) { i = i + 1; }
+  out[0] = i;
+}
+int main() {
+  int *d;
+  cudaMalloc((void **)&d, sizeof(int));
+  spin<<<1, 1>>>(d);
+  return 0;
+}
+"""
+        program = compile_source(source)
+        with pytest.raises(KernelHang, match="step budget exhausted"):
+            program.run_main(host_env=HostEnv(), max_steps=50_000,
+                             engine=engine)
+
+    def test_infinite_for_loop_hangs(self, engine):
+        source = """
+__global__ void spin() { for (;;) {} }
+int main() { spin<<<1, 1>>>(); return 0; }
+"""
+        program = compile_source(source)
+        with pytest.raises(KernelHang, match="step budget exhausted"):
+            program.run_main(host_env=HostEnv(), max_steps=50_000,
+                             engine=engine)
+
+    def test_barrier_divergence_detected(self, engine):
+        source = """
+__global__ void diverge(int *out) {
+  if (threadIdx.x < 16) { __syncthreads(); }
+  out[threadIdx.x] = 1;
+}
+int main() {
+  int *d;
+  cudaMalloc((void **)&d, 32 * sizeof(int));
+  diverge<<<1, 32>>>(d);
+  return 0;
+}
+"""
+        program = compile_source(source)
+        with pytest.raises(BarrierDivergenceError, match="exited the kernel"):
+            program.run_main(host_env=HostEnv(), engine=engine)
+
+    def test_atomic_on_host_memory_faults(self, engine):
+        source = """
+__global__ void k(float *p) { atomicAdd(&p[0], 1.0f); }
+int main() {
+  float *h = (float *)malloc(4);
+  k<<<1, 1>>>(h);
+  return 0;
+}
+"""
+        program = compile_source(source)
+        with pytest.raises(MemoryFault,
+                           match="atomics require device or shared memory"):
+            program.run_main(host_env=HostEnv(), engine=engine)
+
+    def test_unknown_engine_rejected(self):
+        source = "int main() { return 0; }"
+        program = compile_source(source)
+        with pytest.raises(Exception, match="unknown kernel engine"):
+            program.run_main(host_env=HostEnv(), engine="jit")
