@@ -16,7 +16,11 @@ Acceptance:
 * the poison job dead-letters after exactly ``max_attempts`` tries with
   the exponential backoff delays recorded in its failure history.
 
-Set ``WEBGPU_BENCH_FAST=1`` for the CI smoke-test sizing.
+Set ``WEBGPU_BENCH_FAST=1`` for the CI smoke-test sizing. Set
+``WEBGPU_TRACE_OUT=path.jsonl`` to run the at-least-once storm with
+tracing enabled and write every span (including the ``lease.expired``
+and ``redelivery`` fault spans) as JSONL — CI uploads this file as the
+build's trace artifact.
 """
 
 import os
@@ -35,9 +39,11 @@ from repro.cluster import FaultInjector, GpuWorker, ManualClock, WorkerConfig
 from repro.cluster.job import Job, JobKind
 from repro.db import Database
 from repro.labs import get_lab
+from repro.telemetry import Telemetry, write_jsonl
 
 VECADD = get_lab("vector-add")
 FAST = bool(os.environ.get("WEBGPU_BENCH_FAST"))
+TRACE_OUT = os.environ.get("WEBGPU_TRACE_OUT")
 
 JOBS = 12 if FAST else 48
 CRASH_EVERY = 6            # every 6th job kills the node serving it
@@ -82,7 +88,12 @@ def pump(drivers, broker, clock, max_steps=1000):
 
 def crash_storm(at_least_once: bool) -> dict:
     clock = ManualClock()
-    broker = MessageBroker(policy=POLICY, at_least_once=at_least_once)
+    # tracing is opt-in (WEBGPU_TRACE_OUT) on the at-least-once run so
+    # the CI artifact includes the lease-expiry/redelivery fault spans
+    telemetry = (Telemetry(clock=clock, tracing=True)
+                 if TRACE_OUT and at_least_once else None)
+    broker = MessageBroker(policy=POLICY, at_least_once=at_least_once,
+                           telemetry=telemetry)
     metrics = Database("metrics")
     mode = "alo" if at_least_once else "amo"
     drivers = [make_driver(broker, clock, metrics, f"{mode}-w{i}")
@@ -106,6 +117,9 @@ def crash_storm(at_least_once: bool) -> dict:
         clock.advance(1.0)
 
     stats = broker.queue.stats
+    if telemetry is not None and TRACE_OUT:
+        count = write_jsonl(telemetry.tracer.spans, TRACE_OUT)
+        print(f"\nwrote {count} span(s) to {TRACE_OUT}")
     return {
         "mode": "at-least-once" if at_least_once else "at-most-once",
         "jobs": JOBS,

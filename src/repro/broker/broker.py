@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.broker.queue import DeadLetter, DeliveryPolicy, JobQueue
 from repro.cluster.job import Job
+from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -32,10 +33,13 @@ class MessageBroker:
 
     def __init__(self, zones: tuple[str, ...] = ("us-east-1a",),
                  policy: DeliveryPolicy | None = None,
-                 at_least_once: bool = True):
+                 at_least_once: bool = True,
+                 telemetry: Telemetry | None = None):
         if not zones:
             raise ValueError("broker needs at least one zone")
-        self._queue = JobQueue(policy=policy, at_least_once=at_least_once)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._queue = JobQueue(policy=policy, at_least_once=at_least_once,
+                               telemetry=self.telemetry)
         self._replicas = {zone: _Replica(zone) for zone in zones}
         self.failovers = 0
 
@@ -63,6 +67,10 @@ class MessageBroker:
                 # an unknown preferred zone is ordinary routing
                 if replica is not None:
                     self.failovers += 1
+                    self.telemetry.metrics.counter(
+                        "webgpu_broker_failovers_total",
+                        "publishes/polls rerouted around a down zone"
+                    ).inc(from_zone=preferred, to_zone=other.zone)
                 return other
         raise RuntimeError("all broker replicas are down")
 
@@ -71,6 +79,9 @@ class MessageBroker:
         that actually accepted it (differs on failover)."""
         replica = self._healthy_replica(zone or self.zones[0])
         replica.publishes += 1
+        self.telemetry.metrics.counter(
+            "webgpu_broker_publishes_total",
+            "jobs accepted per zone replica").inc(zone=replica.zone)
         self._queue.publish(job, now)
         return replica.zone
 
@@ -85,8 +96,8 @@ class MessageBroker:
 
     # -- at-least-once lease lifecycle (forwarded to the shared queue) -----
 
-    def ack(self, job_id: int) -> bool:
-        return self._queue.ack(job_id)
+    def ack(self, job_id: int, now: float | None = None) -> bool:
+        return self._queue.ack(job_id, now=now)
 
     def nack(self, job_id: int, now: float,
              reason: str = "consumer nack") -> bool:

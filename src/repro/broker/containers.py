@@ -19,6 +19,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro.telemetry import Telemetry
+
 #: Seconds to start a container from a locally-cached image.
 CONTAINER_START_S = 1.2
 #: Seconds to tear a used container down.
@@ -72,9 +74,11 @@ class ContainerPool:
     """
 
     def __init__(self, images: list[ContainerImage], num_gpus: int = 1,
-                 warm_per_image: int = 1):
+                 warm_per_image: int = 1,
+                 telemetry: Telemetry | None = None):
         if num_gpus < 1:
             raise ValueError("need at least one GPU slot")
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.images = {img.name: img for img in images}
         self.num_gpus = num_gpus
         self.warm_per_image = warm_per_image
@@ -122,11 +126,16 @@ class ContainerPool:
             raise LookupError(
                 f"no container image for language {language!r} on this "
                 f"worker (images: {sorted(self.images)})")
+        acquisitions = self.telemetry.metrics.counter(
+            "webgpu_container_acquisitions_total",
+            "container acquisitions by outcome")
         warm = self._warm[image.name]
         if warm:
             self.warm_hits += 1
+            acquisitions.inc(outcome="warm_hit", image=image.name)
             return warm.pop(), 0.0
         self.cold_starts += 1
+        acquisitions.inc(outcome="cold_start", image=image.name)
         return self._start(image.name), CONTAINER_START_S
 
     def release(self, container: Container) -> float:

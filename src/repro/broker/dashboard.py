@@ -12,6 +12,7 @@ from typing import Any
 
 from repro.broker.broker import MessageBroker
 from repro.db import Database
+from repro.telemetry import STAGES
 
 
 @dataclass
@@ -23,34 +24,75 @@ class Dashboard:
     #: optional repro.cluster.result_cache.PlatformCaches (or anything
     #: with a ``snapshot()``) for fleet-wide cache counters
     caches: Any = None
+    #: optional repro.telemetry.Telemetry for the per-stage latency
+    #: breakdown (the broker's bundle on a v2 platform)
+    telemetry: Any = None
 
     def worker_summary(self) -> dict[str, dict[str, float]]:
-        """Per-worker job counts, cache hits, and service-time totals."""
+        """Per-worker job counts, cache hits, service-time totals, and
+        derived rates.
+
+        A metrics row whose payload never arrived (``None`` — the
+        insert raced a node death) is counted under ``malformed`` and
+        contributes to no other field; a worker with only such rows
+        reports explicit 0.0 rates rather than dividing by zero.
+        """
         out: dict[str, dict[str, float]] = {}
         if not self.metrics_db.has_table("worker_metrics"):
             return out
         for row in self.metrics_db.find("worker_metrics", event="job"):
             entry = out.setdefault(row["worker"], {
                 "jobs": 0, "correct": 0, "cache_hits": 0, "service_s": 0.0,
-                "queue_wait_s": 0.0})
-            payload = row["payload"] or {}
+                "queue_wait_s": 0.0, "malformed": 0})
+            payload = row["payload"]
+            if payload is None:
+                entry["malformed"] += 1
+                continue
             entry["jobs"] += 1
             entry["correct"] += int(bool(payload.get("correct")))
             entry["cache_hits"] += int(bool(payload.get("cache_hit")))
             entry["service_s"] += float(payload.get("service_s", 0.0))
             entry["queue_wait_s"] += float(payload.get("queue_wait_s", 0.0))
+        for entry in out.values():
+            jobs = entry["jobs"]
+            entry["correct_rate"] = entry["correct"] / jobs if jobs else 0.0
+            entry["cache_hit_rate"] = (entry["cache_hits"] / jobs
+                                       if jobs else 0.0)
+            entry["mean_service_s"] = (entry["service_s"] / jobs
+                                       if jobs else 0.0)
+            entry["mean_queue_wait_s"] = (entry["queue_wait_s"] / jobs
+                                          if jobs else 0.0)
         return out
 
     def cache_summary(self) -> dict[str, object]:
         """Per-worker grading-cache hit rates + subsystem counters."""
         per_worker = {
-            worker: (stats["cache_hits"] / stats["jobs"]
-                     if stats["jobs"] else 0.0)
+            worker: stats["cache_hit_rate"]
             for worker, stats in self.worker_summary().items()}
         summary: dict[str, object] = {"hit_rate_per_worker": per_worker}
         if self.caches is not None:
             summary["stats"] = self.caches.snapshot()
         return summary
+
+    def latency_summary(self, by_tag: bool = False) -> dict[str, dict]:
+        """p50/p95/p99 (plus count/mean/min/max) for every pipeline
+        stage, optionally nested per requirement tag. Stages with no
+        observations yet report an explicit all-zero summary so the
+        breakdown always covers the whole pipeline."""
+        observed = (self.telemetry.stage_summary(by_tag=by_tag)
+                    if self.telemetry is not None else {})
+        empty = {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                 "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        out: dict[str, dict] = {}
+        for stage in STAGES:
+            summary = observed.get(stage)
+            out[stage] = dict(empty) if summary is None else summary
+            if by_tag:
+                out[stage].setdefault("tags", {})
+        # a stage outside the fixed vocabulary still shows up
+        for stage, summary in observed.items():
+            out.setdefault(stage, summary)
+        return out
 
     def health_summary(self) -> dict[str, float]:
         """Latest heartbeat per worker."""
@@ -89,6 +131,7 @@ class Dashboard:
             "workers": self.worker_summary(),
             "cache": self.cache_summary(),
             "last_heartbeat": self.health_summary(),
+            "latency": self.latency_summary(),
         }
 
     def render(self) -> str:
@@ -106,11 +149,17 @@ class Dashboard:
                      f"{delivery['redelivered']} redelivered, "
                      f"{delivery['dead_lettered']} dead-lettered "
                      f"({delivery['expired_leases']} lease expiries)")
+        lines.append("  stage latency (p50/p95/p99, seconds):")
+        for stage, summary in snap["latency"].items():
+            lines.append(
+                f"    {stage:<18} {summary['p50']:.4f} / "
+                f"{summary['p95']:.4f} / {summary['p99']:.4f} "
+                f"(n={int(summary['count'])})")
         cache = snap["cache"]
         for worker, stats in sorted(snap["workers"].items()):
             jobs = int(stats["jobs"])
             ok = int(stats["correct"])
-            mean_wait = stats["queue_wait_s"] / jobs if jobs else 0.0
+            mean_wait = stats["mean_queue_wait_s"]
             hit_rate = cache["hit_rate_per_worker"].get(worker, 0.0)
             lines.append(f"  {worker}: {jobs} job(s), {ok} correct, "
                          f"mean wait {mean_wait:.2f}s, "

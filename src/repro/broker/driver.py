@@ -19,6 +19,7 @@ from repro.cluster.job import JobResult, JobStatus
 from repro.cluster.node import Clock, ManualClock
 from repro.cluster.worker import GpuWorker
 from repro.db import Column, ColumnType, Database, Schema
+from repro.telemetry import Telemetry, requirement_tag
 
 METRICS_SCHEMA = Schema(columns=[
     Column("worker", ColumnType.TEXT),
@@ -55,10 +56,16 @@ class WorkerDriver:
     def __init__(self, worker: GpuWorker, broker: MessageBroker,
                  containers: ContainerPool, config_server: ConfigServer,
                  metrics_db: Database, clock: Clock | None = None,
-                 zone: str = "us-east-1a", result_cache: Any = None):
+                 zone: str = "us-east-1a", result_cache: Any = None,
+                 telemetry: Telemetry | None = None):
         self.worker = worker
         self.broker = broker
         self.containers = containers
+        # drivers default onto the broker's bundle so the whole fleet
+        # shares one metrics registry and one tracer
+        self.telemetry = telemetry if telemetry is not None else broker.telemetry
+        containers.telemetry = self.telemetry
+        worker.telemetry = self.telemetry
         self.config_server = config_server
         self.metrics_db = metrics_db
         self.clock = clock or ManualClock()
@@ -128,6 +135,10 @@ class WorkerDriver:
             return None
         job, queue_wait = polled
         self.stats.queue_wait_total += queue_wait
+        now = self.clock.now()
+        tag = requirement_tag(job)
+        self.telemetry.record_stage("queue_wait", queue_wait, tag=tag)
+        tracer = self.telemetry.tracer
 
         if self.worker.wedge_mid_job:
             # fault injection: the node wedges holding the job — alive
@@ -152,9 +163,21 @@ class WorkerDriver:
             self.stats.jobs += 1
             self.stats.cache_hits += 1
             acquire_cost = release_cost = 0.0
+            if tracer.enabled:
+                tracer.log_event("cache.hit", time=now, parent=job.trace,
+                                 cache="grading_results",
+                                 job_id=job.job_id,
+                                 worker=self.worker.name)
         else:
             container, acquire_cost = self.containers.acquire(job.lab.language)
-            result = self.worker.process(job)
+            if tracer.enabled:
+                tracer.start_span(
+                    "container.acquire", parent=job.trace, time=now,
+                    job_id=job.job_id, container=container.name,
+                    cold=acquire_cost > 0.0).end(time=now + acquire_cost)
+            self.telemetry.record_stage("container_acquire", acquire_cost,
+                                        tag=tag)
+            result = self.worker.process(job, started_at=now + acquire_cost)
             release_cost = self.containers.release(container)
             if not self.worker.alive:
                 # the node died mid-job: a dead process acks nothing,
@@ -192,7 +215,8 @@ class WorkerDriver:
             result.extra["container"] = container.name
             result.extra["gpu_slot"] = container.gpu_slot
 
-        self.broker.ack(job.job_id)
+        self.broker.ack(job.job_id,
+                        now=max(self.clock.now(), result.finished_at))
         self.stats.acks += 1
         result.extra["queue_wait_s"] = queue_wait
         result.extra["container_s"] = acquire_cost + release_cost

@@ -21,8 +21,10 @@ from __future__ import annotations
 
 from bisect import insort
 from dataclasses import dataclass
+from typing import Any
 
 from repro.cluster.job import Job
+from repro.telemetry import Telemetry, WARNING
 
 
 @dataclass(frozen=True)
@@ -85,6 +87,8 @@ class Lease:
     consumer: str
     enqueued_at: float
     deadline: float
+    #: telemetry span open for this delivery (poll -> ack/nack/expiry)
+    span: Any = None
 
 
 @dataclass
@@ -106,16 +110,30 @@ class JobQueue:
 
     def __init__(self, name: str = "jobs",
                  policy: DeliveryPolicy | None = None,
-                 at_least_once: bool = True):
+                 at_least_once: bool = True,
+                 telemetry: Telemetry | None = None):
         self.name = name
         self.policy = policy or DeliveryPolicy()
         #: False restores the pre-lease semantics (delete on poll) —
         #: kept for the delivery-faults ablation benchmark.
         self.at_least_once = at_least_once
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._items: list[_Waiting] = []
         self._leases: dict[int, Lease] = {}
         self._dead: dict[int, DeadLetter] = {}
         self.stats = QueueStats()
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        self.telemetry.metrics.counter(
+            "webgpu_queue_events_total",
+            "queue lifecycle events by type").inc(amount, event=event)
+
+    def _gauge_depths(self) -> None:
+        metrics = self.telemetry.metrics
+        metrics.gauge("webgpu_queue_depth",
+                      "jobs waiting in the queue").set(len(self._items))
+        metrics.gauge("webgpu_queue_in_flight",
+                      "jobs leased to a consumer").set(len(self._leases))
 
     def __len__(self) -> int:
         return len(self._items)
@@ -128,6 +146,13 @@ class JobQueue:
         self._items.append(_Waiting(now, job))
         self.stats.enqueued += 1
         self.stats.peak_depth = max(self.stats.peak_depth, len(self._items))
+        self._count("enqueued")
+        self._gauge_depths()
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            tracer.start_span("enqueue", parent=job.trace, time=now,
+                              job_id=job.job_id, queue=self.name,
+                              depth=len(self._items)).end(time=now)
 
     def poll(self, capabilities: frozenset[str], num_gpus: int,
              now: float, consumer: str = "") -> tuple[Job, float] | None:
@@ -151,22 +176,51 @@ class JobQueue:
                 del self._items[i]
                 self.stats.dequeued += 1
                 job.delivery.attempts += 1
+                self._count("dequeued")
+                span = None
+                tracer = self.telemetry.tracer
+                if tracer.enabled:
+                    tracer.start_span(
+                        "queue.wait", parent=job.trace,
+                        time=item.enqueued_at, job_id=job.job_id,
+                        consumer=consumer).end(time=now)
+                    span = tracer.start_span(
+                        "lease", parent=job.trace, time=now,
+                        job_id=job.job_id, consumer=consumer,
+                        attempt=job.delivery.attempts,
+                        deadline=now + self.policy.visibility_timeout_s)
                 if self.at_least_once:
                     self._leases[job.job_id] = Lease(
                         job=job, consumer=consumer,
                         enqueued_at=item.enqueued_at,
-                        deadline=now + self.policy.visibility_timeout_s)
+                        deadline=now + self.policy.visibility_timeout_s,
+                        span=span)
+                elif span is not None:
+                    # legacy delete-on-poll: no ack will ever arrive,
+                    # so the delivery span closes at hand-off
+                    span.end(time=now, mode="at-most-once")
+                self._gauge_depths()
                 return job, now - item.enqueued_at
         self.stats.rejected_polls += 1
+        self._count("rejected_polls")
         return None
 
     # -- lease lifecycle ---------------------------------------------------
 
-    def ack(self, job_id: int) -> bool:
+    def ack(self, job_id: int, now: float | None = None) -> bool:
         """Consumer completed the job: retire the lease."""
-        if self._leases.pop(job_id, None) is None:
+        lease = self._leases.pop(job_id, None)
+        if lease is None:
             return False
         self.stats.acked += 1
+        self._count("acked")
+        self._gauge_depths()
+        if lease.span is not None:
+            end = lease.span.start if now is None else now
+            tracer = self.telemetry.tracer
+            tracer.start_span("ack", parent=lease.span, time=end,
+                              job_id=job_id).end(time=end)
+            lease.span.end(time=end, outcome="acked")
         return True
 
     def nack(self, job_id: int, now: float,
@@ -176,6 +230,10 @@ class JobQueue:
         if lease is None:
             return False
         self.stats.nacked += 1
+        self._count("nacked")
+        if lease.span is not None:
+            lease.span.event("nack", time=now, reason=reason)
+            lease.span.end(time=now, outcome="nacked")
         self._redeliver(lease, now, reason)
         return True
 
@@ -187,6 +245,11 @@ class JobQueue:
         for lease in expired:
             del self._leases[lease.job.job_id]
             self.stats.expired_leases += 1
+            self._count("expired_leases")
+            if lease.span is not None:
+                lease.span.event("lease.expired", time=now, level=WARNING,
+                                 consumer=lease.consumer or "unknown")
+                lease.span.end(time=now, outcome="expired")
             self._redeliver(lease, now, "lease expired (held by "
                             f"{lease.consumer or 'unknown'})")
         return [lease.job for lease in expired]
@@ -196,15 +259,27 @@ class JobQueue:
         failure = {"time": now, "consumer": lease.consumer,
                    "attempt": job.delivery.attempts, "reason": reason}
         job.delivery.failures.append(failure)
+        tracer = self.telemetry.tracer
         if job.delivery.attempts >= self.policy.max_attempts:
             failure["dead_lettered"] = True
             self.stats.dead_lettered += 1
+            self._count("dead_lettered")
+            if tracer.enabled:
+                tracer.log_event("dlq.parked", time=now, level=WARNING,
+                                 parent=job.trace, job_id=job.job_id,
+                                 attempts=job.delivery.attempts,
+                                 reason=reason)
             self._dead[job.job_id] = DeadLetter(job=job, dead_at=now,
                                                 reason=reason)
             return
         delay = self.policy.backoff_for(job.delivery.attempts)
         failure["backoff_s"] = delay
         self.stats.redelivered += 1
+        self._count("redelivered")
+        if tracer.enabled:
+            tracer.log_event("redelivery", time=now, parent=job.trace,
+                             job_id=job.job_id, backoff_s=delay,
+                             attempt=job.delivery.attempts, reason=reason)
         # the original enqueue time is kept so FIFO order and the
         # student-visible queue wait stay honest across redeliveries
         insort(self._items,
@@ -219,6 +294,8 @@ class JobQueue:
             if item.job.job_id == job_id:
                 del self._items[i]
                 self.stats.cancelled += 1
+                self._count("cancelled")
+                self._gauge_depths()
                 return True
         return False
 

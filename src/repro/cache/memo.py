@@ -24,6 +24,7 @@ from typing import Any, Callable
 
 from repro.cache.policy import EvictionPolicy
 from repro.cache.stats import CacheStats
+from repro.telemetry import Telemetry
 
 #: Roles handed out by :meth:`MemoTable.begin`.
 HIT = "hit"
@@ -72,9 +73,13 @@ class MemoTable:
                  clock: Any = None,
                  memoize_errors: bool = False,
                  weigh: Callable[[Any], int] | None = None,
-                 on_evict: Callable[[str, Any], None] | None = None):
+                 on_evict: Callable[[str, Any], None] | None = None,
+                 telemetry: Telemetry | None = None,
+                 cache_name: str = "memo"):
         self.policy = policy if policy is not None else EvictionPolicy()
         self.stats = stats if stats is not None else CacheStats()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.cache_name = cache_name
         self.memoize_errors = memoize_errors
         self._weigh = weigh or (lambda value: 1)
         self._on_evict = on_evict
@@ -97,6 +102,9 @@ class MemoTable:
         role is ``HIT`` (value ready), ``OWNER`` (caller must compute
         and ``deliver``), or ``JOINED`` (another caller is computing)."""
         now = self._now()
+        lookups = self.telemetry.metrics.counter(
+            "webgpu_cache_lookups_total",
+            "memo-table lookups by cache and outcome")
         flight = self._done.get(key)
         if flight is not None:
             if flight.failed and not self.memoize_errors:
@@ -104,13 +112,16 @@ class MemoTable:
             else:
                 self.stats.record_hit()
                 self.policy.record_access(key, now)
+                lookups.inc(cache=self.cache_name, outcome="hit")
                 return HIT, flight
         flight = self._inflight.get(key)
         if flight is not None:
             flight.joiners += 1
             self.stats.dedup_hits += 1
+            lookups.inc(cache=self.cache_name, outcome="join")
             return JOINED, flight
         self.stats.record_miss()
+        lookups.inc(cache=self.cache_name, outcome="miss")
         flight = Flight(key)
         self._inflight[key] = flight
         return OWNER, flight

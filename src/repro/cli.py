@@ -9,7 +9,11 @@ Subcommands:
   the verdict plus the kernel profile;
 * ``funnel``                — regenerate Table I;
 * ``figure1``               — regenerate the Figure 1 trace summary;
-* ``occupancy THREADS``     — the occupancy calculator.
+* ``occupancy THREADS``     — the occupancy calculator;
+* ``trace-attempt SLUG``    — run one graded attempt through the v2
+  broker path with tracing on, print the ASCII waterfall and the
+  per-stage latency breakdown, and optionally write the spans as
+  JSONL (``--trace-out traces.jsonl``).
 """
 
 from __future__ import annotations
@@ -134,6 +138,45 @@ def cmd_occupancy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_attempt(args: argparse.Namespace) -> int:
+    from repro.cluster.node import ManualClock
+    from repro.core.course import CourseOffering
+    from repro.core.platform_v2 import WebGPU2
+    from repro.telemetry import Telemetry, waterfall, write_jsonl
+
+    lab = get_lab(args.slug)
+    if args.source:
+        source = Path(args.source).read_text()
+    else:
+        source = lab.solution
+        print("(no --source given: tracing the reference solution)")
+
+    clock = ManualClock()
+    telemetry = Telemetry(clock=clock, tracing=True)
+    platform = WebGPU2(clock=clock, num_workers=args.workers,
+                       telemetry=telemetry)
+    offering = CourseOffering(code="TRACE", year=2016, deadlines={})
+    course = platform.create_course(offering, [args.slug])
+    user = platform.users.register("trace@webgpu", "Tracer", "pw")
+    course.enroll(user.user_id)
+    platform.save_code(offering.key, user, args.slug, source)
+    _attempt, entry = platform.submit_for_grading(offering.key, user,
+                                                  args.slug)
+    print(f"grade: {entry.total_points:.0f}/{lab.rubric.total}\n")
+
+    tracer = telemetry.tracer
+    for trace_id in tracer.trace_ids():
+        print(waterfall(tracer.for_trace(trace_id)))
+    print("\nstage latency (p50/p95/p99, seconds):")
+    for stage, summary in platform.dashboard.latency_summary().items():
+        print(f"  {stage:<18} {summary['p50']:.4f} / {summary['p95']:.4f}"
+              f" / {summary['p99']:.4f} (n={int(summary['count'])})")
+    if args.trace_out:
+        count = write_jsonl(tracer.spans, args.trace_out)
+        print(f"\nwrote {count} span(s) to {args.trace_out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="webgpu-sim",
@@ -171,6 +214,19 @@ def build_parser() -> argparse.ArgumentParser:
     occ.add_argument("--shared", type=int, default=0,
                      help="shared memory bytes per block")
     occ.set_defaults(fn=cmd_occupancy)
+
+    trace = sub.add_parser(
+        "trace-attempt",
+        help="trace one graded attempt end-to-end through the v2 "
+             "broker path")
+    trace.add_argument("slug")
+    trace.add_argument("--source", help="path to a CUDA-C file "
+                                        "(default: reference solution)")
+    trace.add_argument("--workers", type=int, default=2,
+                       help="worker fleet size (default 2)")
+    trace.add_argument("--trace-out", default=None,
+                       help="write the trace spans to this JSONL file")
+    trace.set_defaults(fn=cmd_trace_attempt)
     return parser
 
 

@@ -13,6 +13,7 @@ from typing import Callable
 
 from repro.cluster.node import Clock
 from repro.cluster.worker import GpuWorker
+from repro.telemetry import WARNING, Telemetry
 
 
 @dataclass
@@ -23,6 +24,7 @@ class HealthMonitor:
     timeout_s: float = 30.0
     last_seen: dict[str, float] = field(default_factory=dict)
     evictions: list[tuple[float, str]] = field(default_factory=list)
+    telemetry: Telemetry = field(default_factory=Telemetry)
 
     def record(self, worker_name: str, timestamp: float) -> None:
         """A health check arrived from ``worker_name``."""
@@ -57,8 +59,17 @@ class HealthMonitor:
         for name in self.overdue():
             if evict(name):
                 evicted.append(name)
-                self.evictions.append((self.clock.now(), name))
+                now = self.clock.now()
+                self.evictions.append((now, name))
+                overdue_s = now - self.last_seen.get(name, now)
                 self.last_seen.pop(name, None)
+                self.telemetry.metrics.counter(
+                    "webgpu_health_evictions_total",
+                    "workers evicted for missed health checks").inc(
+                        worker=name)
+                self.telemetry.tracer.log_event(
+                    "health.evicted", time=now, level=WARNING,
+                    worker=name, overdue_s=overdue_s)
         return evicted
 
     def forget(self, worker_name: str) -> None:

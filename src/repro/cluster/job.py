@@ -62,6 +62,11 @@ class Job:
     submitted_at: float = 0.0
     job_id: int = field(default_factory=lambda: next(_job_ids))
     delivery: DeliveryState = field(default_factory=DeliveryState)
+    #: telemetry TraceContext this job extends (set by the platform at
+    #: submit, carried across the broker so redeliveries, cache hits,
+    #: and the worker's sandbox spans all land in one trace); None when
+    #: tracing is off or the job was built outside a platform.
+    trace: Any = None
 
     def __post_init__(self) -> None:
         if self.dataset_index < 0:

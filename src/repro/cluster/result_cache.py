@@ -137,7 +137,8 @@ class GradingResultCache:
             policy = CompositePolicy(tuple(policies))
         self.memo = MemoTable(
             policy=policy, stats=self.stats, clock=clock,
-            weigh=self._weigh_address, on_evict=self._release_address)
+            weigh=self._weigh_address, on_evict=self._release_address,
+            cache_name="grading_results")
         self.base_seed = base_seed
         self._fingerprints: dict[str, str] = {}  # lab slug -> cached fp
 
@@ -259,7 +260,16 @@ class PlatformCaches:
                                     clock=clock)
         self.results = GradingResultCache(config=self.config, bucket=bucket,
                                           clock=clock, base_seed=base_seed)
-        self.grades = MemoTable(stats=CacheStats(), clock=clock)
+        self.grades = MemoTable(stats=CacheStats(), clock=clock,
+                                cache_name="grades")
+
+    def attach_telemetry(self, telemetry: Any) -> None:
+        """Late-bind the platform's telemetry bundle (caches are built
+        by callers before any platform exists)."""
+        self.compile.memo.telemetry = telemetry
+        self.compile.memo.cache_name = "compile"
+        self.results.memo.telemetry = telemetry
+        self.grades.telemetry = telemetry
 
     def snapshot(self) -> dict[str, dict[str, float]]:
         """Point-in-time stats for dashboards/benchmarks."""

@@ -27,6 +27,7 @@ from repro.sandbox import (
     SeccompPolicy,
 )
 from repro.sandbox.sandbox import CompileFailure, ExecutionOutcome, SandboxEnv
+from repro.telemetry import NULL_SPAN, Telemetry, requirement_tag
 
 #: Fixed overhead per job for scheduling/IO on the worker, seconds.
 JOB_OVERHEAD_S = 0.15
@@ -56,8 +57,10 @@ class GpuWorker(Node):
     def __init__(self, config: WorkerConfig | None = None,
                  clock: Clock | None = None, zone: str = "us-east-1a",
                  name: str = "", compile_cache: Any = None,
-                 result_cache: Any = None):
+                 result_cache: Any = None,
+                 telemetry: Telemetry | None = None):
         super().__init__(zone=zone, name=name)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.config = config or WorkerConfig()
         self.clock = clock or ManualClock()
         self.jobs_processed = 0
@@ -96,9 +99,15 @@ class GpuWorker(Node):
 
     # -- job processing -----------------------------------------------------------
 
-    def process(self, job: Job) -> JobResult:
-        """Run one job to completion (synchronous, simulated time)."""
-        started = self.clock.now()
+    def process(self, job: Job, started_at: float | None = None) -> JobResult:
+        """Run one job to completion (synchronous, simulated time).
+
+        ``started_at`` lets the caller offset the job's simulated start
+        (the v2 driver passes poll time + container acquisition so the
+        worker's spans nest after the container span); it defaults to
+        the clock.
+        """
+        started = self.clock.now() if started_at is None else started_at
         if self.crash_mid_job:
             # fault injection: the process dies after taking the job
             # but before producing a result
@@ -111,42 +120,57 @@ class GpuWorker(Node):
                              error=f"worker {self.name} is down")
         self.active_jobs += 1
         self.jobs_processed += 1
+        tracer = self.telemetry.tracer
+        span = NULL_SPAN
+        if tracer.enabled:
+            span = tracer.start_span("process", parent=job.trace,
+                                     time=started, job_id=job.job_id,
+                                     worker=self.name, lab=job.lab.slug,
+                                     kind=job.kind.value)
         try:
-            result = self._evaluate_cached(job, started)
+            result = self._evaluate_cached(job, started, span)
         finally:
             self.active_jobs -= 1
+        span.end(time=max(started, result.finished_at),
+                 status=result.status.value)
         self.busy_seconds += result.service_seconds
         for d in result.datasets:
             self.outcome_counts[d.outcome] = (
                 self.outcome_counts.get(d.outcome, 0) + 1)
         return result
 
-    def _evaluate_cached(self, job: Job, started: float) -> JobResult:
+    def _evaluate_cached(self, job: Job, started: float,
+                         span: Any = NULL_SPAN) -> JobResult:
         """Consult the grading result cache before the sandbox: a
         resubmission of unchanged code against unchanged datasets is
         answered from cache without entering the sandbox at all."""
         if self.result_cache is None:
-            return self._evaluate(job, started)
+            return self._evaluate(job, started, span)
         cached = self.result_cache.fetch(job, worker_name=self.name,
                                          now=started)
         if cached is not None:
             self.cache_hits += 1
+            span.event("cache.hit", time=started, cache="grading_results")
             return cached
-        result = self._evaluate(job, started)
+        span.event("cache.miss", time=started, cache="grading_results")
+        result = self._evaluate(job, started, span)
         self.result_cache.complete(job, result)
         return result
 
-    def _evaluate(self, job: Job, started: float) -> JobResult:
+    def _evaluate(self, job: Job, started: float,
+                  span: Any = NULL_SPAN) -> JobResult:
         lab = job.lab
         sandbox = SandboxExecutor(SandboxConfig(
             policy=self.config.policy,
             compile_limit_s=lab.compile_limit_s,
             run_limit_s=lab.run_limit_s,
             scanner=self.config.scanner,
-        ))
+        ), telemetry=self.telemetry)
         result = JobResult(job_id=job.job_id, status=JobStatus.COMPLETED,
                            worker_name=self.name, started_at=started)
         elapsed = JOB_OVERHEAD_S
+        tag = requirement_tag(job)
+        tracer = self.telemetry.tracer
 
         if job.kind is JobKind.COMPILE_ONLY:
             indices: list[int] = []
@@ -156,12 +180,23 @@ class GpuWorker(Node):
             indices = [min(job.dataset_index, len(lab.dataset_sizes) - 1)]
 
         # compile-only check first so pure compile jobs still sandbox-scan
+        compile_start = started + elapsed
         compile_probe = sandbox.execute(
             job.source, self._compile_fn(lab), lambda artifact, env: None)
         result.compile_ok = compile_probe.ok
         result.compile_message = compile_probe.stderr
         result.compile_seconds = compile_probe.compile_seconds
         elapsed += compile_probe.compile_seconds
+        self.telemetry.record_stage("compile", compile_probe.compile_seconds,
+                                    tag=tag)
+        if tracer.enabled:
+            # end at started + elapsed (not compile_start + seconds):
+            # same value, but the same summation order as finished_at,
+            # so nesting survives float non-associativity
+            tracer.start_span(
+                "compile", parent=span, time=compile_start,
+                job_id=job.job_id, ok=compile_probe.ok).end(
+                    time=started + elapsed)
         if not compile_probe.ok:
             result.finished_at = started + elapsed
             return result
@@ -169,10 +204,19 @@ class GpuWorker(Node):
         for index in indices:
             data = lab.dataset(index)
             max_steps = int(lab.run_limit_s * STEPS_PER_LIMIT_SECOND)
+            exec_start = started + elapsed
             run = sandbox.execute(
                 job.source, self._compile_fn(lab),
                 self._run_fn(lab, data, max_steps))
             elapsed += run.compile_seconds + run.run_seconds
+            self.telemetry.record_stage(
+                "exec", run.compile_seconds + run.run_seconds, tag=tag)
+            if tracer.enabled:
+                tracer.start_span(
+                    "exec", parent=span, time=exec_start,
+                    job_id=job.job_id, dataset_index=index,
+                    outcome=run.outcome.value).end(
+                        time=started + elapsed)
             if run.ok:
                 execution = run.value
                 result.datasets.append(DatasetOutcome(
@@ -240,7 +284,8 @@ class GpuWorker(Node):
                     max_steps=max_steps,
                     stdout_hook=lambda _line: None,
                     syscall_hook=env.gate.invoke,
-                    engine=self.config.kernel_engine)
+                    engine=self.config.kernel_engine,
+                    telemetry=self.telemetry)
             except KernelHang:
                 # an exhausted step budget is the watchdog firing
                 raise TimeLimitExceeded("run", lab.run_limit_s,

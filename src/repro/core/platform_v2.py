@@ -31,13 +31,14 @@ from repro.broker.containers import (
 )
 from repro.cluster import GpuWorker, WorkerConfig
 from repro.cluster.job import Job, JobKind, JobResult, JobStatus
-from repro.cluster.node import Clock
+from repro.cluster.node import Clock, ManualClock
 from repro.cluster.result_cache import PlatformCaches
 from repro.core.gradebook import GradeEntry
 from repro.core.platform import PlatformError, WebGPU
 from repro.core.users import User
 from repro.db import Database, ReplicatedDatabase
 from repro.storage import ObjectStore
+from repro.telemetry import NULL_SPAN, Telemetry, requirement_tag
 
 #: Images every v2 worker carries unless configured otherwise.
 DEFAULT_IMAGES: tuple[ContainerImage, ...] = (CUDA_IMAGE, OPENCL_IMAGE)
@@ -54,10 +55,17 @@ class WebGPU2(WebGPU):
                  zones: tuple[str, ...] = ("us-east-1a", "us-east-1b"),
                  images: tuple[ContainerImage, ...] = DEFAULT_IMAGES,
                  caches: "PlatformCaches | None" = None,
-                 delivery: DeliveryPolicy | None = None):
+                 delivery: DeliveryPolicy | None = None,
+                 telemetry: "Telemetry | None" = None):
         self.zones = zones
         self.images = images
-        self.broker = MessageBroker(zones=zones, policy=delivery)
+        # resolve clock + telemetry before the broker: the broker (and
+        # every driver it hands jobs to) shares the platform's bundle
+        clock = clock or ManualClock()
+        telemetry = (telemetry if telemetry is not None
+                     else Telemetry(clock=clock))
+        self.broker = MessageBroker(zones=zones, policy=delivery,
+                                    telemetry=telemetry)
         self.config_server = ConfigServer()
         self.metrics = ReplicatedDatabase("metrics")
         for zone in zones:
@@ -70,9 +78,11 @@ class WebGPU2(WebGPU):
         super().__init__(clock=clock, num_workers=num_workers,
                          worker_config=worker_config, db=db,
                          grade_exporter=grade_exporter,
-                         rate_per_minute=rate_per_minute, caches=caches)
+                         rate_per_minute=rate_per_minute, caches=caches,
+                         telemetry=telemetry)
         self.dashboard = Dashboard(self.metrics.primary, self.broker,
-                                   caches=self.caches)
+                                   caches=self.caches,
+                                   telemetry=self.telemetry)
 
     # -- fleet ------------------------------------------------------------------
 
@@ -210,6 +220,14 @@ class WebGPU2(WebGPU):
         job = Job(lab=lab, source=revision.source, kind=kind,
                   dataset_index=dataset_index, user=user.email,
                   submitted_at=now)
+        tracer = self.telemetry.tracer
+        root = NULL_SPAN
+        if tracer.enabled:
+            root = tracer.start_trace("submit", time=now,
+                                      job_id=job.job_id, user=user.email,
+                                      lab=lab_slug, kind=kind.value)
+            job.trace = root.context
+        self._last_root = root
         self.broker.publish(job, now)
         results = self.pump()
         result = next((r for r in results if r.job_id == job.job_id), None)
@@ -240,6 +258,8 @@ class WebGPU2(WebGPU):
                     error="no worker in the fleet can satisfy this job's "
                           f"requirements ({sorted(job.requirements)})"
                           f"{suffix}")
+        root.end(time=max(self.clock.now(), result.finished_at),
+                 status=result.status.value)
         attempt = self.attempts.record(
             user.user_id, lab_slug, self._kind_for(kind),
             revision.revision_id, dataset_index, now, result)

@@ -8,6 +8,7 @@ like ``cudaEventElapsedTime``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -42,7 +43,8 @@ class GpuEvent:
 class GpuRuntime:
     """Host-side handle to one simulated device."""
 
-    def __init__(self, device: Device | None = None):
+    def __init__(self, device: Device | None = None,
+                 telemetry: Any = None):
         self.device = device if device is not None else Device()
         self.timing = TimingModel(self.device.spec)
         self.device_time = 0.0
@@ -50,6 +52,10 @@ class GpuRuntime:
         self.launch_history: list[KernelStats] = []
         #: Optional hook receiving device printf output lines.
         self.io_hook: Callable[[str], None] | None = None
+        #: Optional repro.telemetry.Telemetry; None keeps the launch
+        #: hot path free of even a wall-clock read (the overhead
+        #: benchmark holds this path to the seed's timing).
+        self.telemetry = telemetry
 
     # -- memory -----------------------------------------------------------
 
@@ -110,18 +116,28 @@ class GpuRuntime:
     # -- kernel launch --------------------------------------------------------
 
     def launch(self, kernel: Callable[..., Any], grid: Any, block: Any,
-               *args: Any) -> KernelStats:
+               *args: Any, kernel_name: str | None = None) -> KernelStats:
         """``kernel<<<grid, block>>>(*args)``; returns the launch stats."""
         grid_d = dim3(grid)
         block_d = dim3(block)
         self.device.validate_launch(grid_d, block_d)
-        stats, output = run_grid(self.device, kernel, grid_d, block_d, args)
+        if self.telemetry is None:
+            stats, output = run_grid(self.device, kernel, grid_d, block_d,
+                                     args)
+        else:
+            wall_start = time.perf_counter()
+            stats, output = run_grid(self.device, kernel, grid_d, block_d,
+                                     args)
+            wall = time.perf_counter() - wall_start
         stats.elapsed_seconds = self.timing.estimate(stats)
         self.device_time += stats.elapsed_seconds
         self.device.kernels_launched += 1
         self.device.total_kernel_seconds += stats.elapsed_seconds
         self.last_stats = stats
         self.launch_history.append(stats)
+        if self.telemetry is not None:
+            name = kernel_name or getattr(kernel, "__name__", "kernel")
+            self.telemetry.record_kernel(name, wall, stats)
         if self.io_hook is not None:
             for line in output:
                 self.io_hook(line)

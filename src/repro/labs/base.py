@@ -90,7 +90,8 @@ def execute_lab_source(lab: LabDefinition, source: str, data: GeneratedData,
                        max_steps: int = 50_000_000,
                        stdout_hook: Any = None,
                        syscall_hook: Any = None,
-                       engine: str | None = None) -> LabExecution:
+                       engine: str | None = None,
+                       telemetry: Any = None) -> LabExecution:
     """Compile + run ``source`` for ``lab`` against one dataset.
 
     This is the worker's inner evaluation step, shared with the offline
@@ -99,24 +100,29 @@ def execute_lab_source(lab: LabDefinition, source: str, data: GeneratedData,
     their interpreter/simulator exceptions (the sandbox layer catches
     and classifies them). ``engine`` selects the kernel execution
     engine (``"closure"``/``"ast"``; None → env var / default).
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) is handed to
+    the :class:`GpuRuntime` so per-kernel wall time and KernelStats
+    land in the metrics registry; None keeps the launch path untimed.
     """
     if lab.mode is EvaluationMode.KERNEL_ONLY:
         return _execute_kernel_only(lab, source, data, spec, max_steps,
-                                    engine)
+                                    engine, telemetry)
     if lab.mode is EvaluationMode.MPI:
         return _execute_mpi(lab, source, data, spec, max_steps,
-                            stdout_hook, syscall_hook, engine)
+                            stdout_hook, syscall_hook, engine, telemetry)
     return _execute_full_program(lab, source, data, spec, max_steps,
-                                 stdout_hook, syscall_hook, engine)
+                                 stdout_hook, syscall_hook, engine,
+                                 telemetry)
 
 
 def _execute_full_program(lab: LabDefinition, source: str,
                           data: GeneratedData, spec: DeviceSpec,
                           max_steps: int, stdout_hook: Any = None,
                           syscall_hook: Any = None,
-                          engine: str | None = None) -> LabExecution:
+                          engine: str | None = None,
+                          telemetry: Any = None) -> LabExecution:
     program = compile_source(source)
-    runtime = GpuRuntime(Device(spec))
+    runtime = GpuRuntime(Device(spec), telemetry=telemetry)
     env = HostEnv(datasets=dict(data.inputs), stdout_hook=stdout_hook,
                   syscall_hook=syscall_hook)
     result = program.run_main(runtime=runtime, host_env=env,
@@ -143,11 +149,12 @@ def _execute_full_program(lab: LabDefinition, source: str,
 def _execute_kernel_only(lab: LabDefinition, source: str,
                          data: GeneratedData, spec: DeviceSpec,
                          max_steps: int,
-                         engine: str | None = None) -> LabExecution:
+                         engine: str | None = None,
+                         telemetry: Any = None) -> LabExecution:
     """OpenCL-style labs: the student writes only the kernel; the
     harness owns the host side (create buffers, launch, read back)."""
     program = compile_source(source)
-    runtime = GpuRuntime(Device(spec))
+    runtime = GpuRuntime(Device(spec), telemetry=telemetry)
     if lab.kernel_name not in program.kernel_names:
         raise CompileError(
             f"expected a kernel named {lab.kernel_name!r}; found "
@@ -172,7 +179,8 @@ def _execute_kernel_only(lab: LabDefinition, source: str,
 def _execute_mpi(lab: LabDefinition, source: str, data: GeneratedData,
                  spec: DeviceSpec, max_steps: int, stdout_hook: Any = None,
                  syscall_hook: Any = None,
-                 engine: str | None = None) -> LabExecution:
+                 engine: str | None = None,
+                 telemetry: Any = None) -> LabExecution:
     """Multi-GPU MPI labs: one rank per (simulated) GPU."""
     program = compile_source(source)
     ranks = int(data.params.get("ranks", 4))
@@ -180,7 +188,8 @@ def _execute_mpi(lab: LabDefinition, source: str, data: GeneratedData,
                                    stdout_hook=stdout_hook,
                                    syscall_hook=syscall_hook)
                            for _ in range(ranks)]
-    runtimes = [GpuRuntime(Device(spec, device_id=r)) for r in range(ranks)]
+    runtimes = [GpuRuntime(Device(spec, device_id=r), telemetry=telemetry)
+                for r in range(ranks)]
 
     def rank_main(endpoint: Any) -> int:
         env = envs[endpoint.rank]

@@ -362,7 +362,8 @@ class Interpreter:
                       args: tuple[Any, ...]) -> Any:
         """Host-side kernel launch helper (used by KernelLaunch)."""
         kernel = self.make_kernel(name, args)
-        return self.runtime.launch(kernel, _as_dim3(grid), _as_dim3(block))
+        return self.runtime.launch(kernel, _as_dim3(grid), _as_dim3(block),
+                                   kernel_name=name)
 
     def _coerce_args(self, fn: ast.FuncDef, args: tuple[Any, ...]) -> tuple:
         if len(args) != len(fn.params):
@@ -590,7 +591,8 @@ class Interpreter:
 
         block = 128
         grid = (count + block - 1) // block
-        stats = self.runtime.launch(acc_kernel, (grid,), (block,))
+        stats = self.runtime.launch(acc_kernel, (grid,), (block,),
+                                    kernel_name=f"acc@{stmt.pos.line}")
         if self.host is not None:
             self.host.on_kernel_launch(f"acc@{stmt.pos.line}", stats)
 

@@ -28,6 +28,7 @@ from repro.sandbox.privileges import (
     make_sandbox_context,
 )
 from repro.sandbox.seccomp import SeccompPolicy, SyscallGate, SyscallViolation
+from repro.telemetry import Telemetry
 
 
 class SandboxViolation(Exception):
@@ -106,9 +107,11 @@ class CompileFailure(Exception):
 class SandboxExecutor:
     """Runs one compile+execute job under the full security stack."""
 
-    def __init__(self, config: SandboxConfig, fs: FileSystemModel | None = None):
+    def __init__(self, config: SandboxConfig, fs: FileSystemModel | None = None,
+                 telemetry: Telemetry | None = None):
         self.config = config
         self.fs = fs if fs is not None else FileSystemModel()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.jobs_run = 0
         self.kills_by_outcome: dict[ExecutionOutcome, int] = {}
 
@@ -193,4 +196,8 @@ class SandboxExecutor:
             self.kills_by_outcome[result.outcome] = (
                 self.kills_by_outcome.get(result.outcome, 0) + 1
             )
+        self.telemetry.metrics.counter(
+            "webgpu_sandbox_executions_total",
+            "sandbox pipeline runs by outcome").inc(
+                outcome=result.outcome.value)
         return result

@@ -39,15 +39,37 @@ class HourlySeries:
         window = self.counts[start_hour:]
         return int(window.min()) if window.size else 0
 
-    def daily_max(self) -> np.ndarray:
-        """Max per day (used to find spike days)."""
-        days = self.hours // 24
-        return self.counts[: days * 24].reshape(days, 24).max(axis=1)
+    def daily_max(self, partial: bool = False) -> np.ndarray:
+        """Max per day (used to find spike days).
 
-    def weekly_totals(self) -> np.ndarray:
+        By default only *complete* 24-hour days are reported — a
+        trailing partial day is silently truncated, so a series of 30
+        hours yields one value. Pass ``partial=True`` to append one
+        extra value for the remainder bucket (the max over however many
+        trailing hours exist); a series whose length is an exact
+        multiple of 24 is unaffected.
+        """
+        days = self.hours // 24
+        full = self.counts[: days * 24].reshape(days, 24).max(axis=1)
+        if not partial or self.hours == days * 24:
+            return full
+        tail = self.counts[days * 24:]
+        return np.concatenate([full, [tail.max() if tail.size else 0]])
+
+    def weekly_totals(self, partial: bool = False) -> np.ndarray:
+        """Total per week.
+
+        Like :meth:`daily_max`, a trailing partial week (anything short
+        of 168 hours) is truncated by default; ``partial=True`` appends
+        the remainder bucket's total so no observed hour is dropped.
+        """
         weeks = self.hours // HOURS_PER_WEEK
-        return (self.counts[: weeks * HOURS_PER_WEEK]
+        full = (self.counts[: weeks * HOURS_PER_WEEK]
                 .reshape(weeks, HOURS_PER_WEEK).sum(axis=1))
+        if not partial or self.hours == weeks * HOURS_PER_WEEK:
+            return full
+        tail = self.counts[weeks * HOURS_PER_WEEK:]
+        return np.concatenate([full, [tail.sum() if tail.size else 0]])
 
 
 def weekly_profile(series: HourlySeries) -> np.ndarray:

@@ -1,0 +1,152 @@
+"""End-to-end telemetry: metrics registry + distributed tracing.
+
+:class:`Telemetry` is the bundle every pipeline component receives —
+a :class:`~repro.telemetry.metrics.MetricsRegistry` (always on; counter
+bumps are nanoseconds against millisecond jobs) plus a tracer that
+defaults to the zero-overhead :class:`~repro.telemetry.trace.NullTracer`
+and becomes a real :class:`~repro.telemetry.trace.Tracer` when the
+platform is built with ``Telemetry(clock, tracing=True)``.
+
+Span taxonomy, metric names, and the exposition formats are documented
+in DESIGN.md ("Observability").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.telemetry.export import (
+    dump_jsonl,
+    read_jsonl,
+    render_trace,
+    waterfall,
+    write_jsonl,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_registries,
+)
+from repro.telemetry.trace import (
+    INFO,
+    NULL_SPAN,
+    WARNING,
+    NullSpan,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+)
+
+#: The per-stage latency breakdown every job passes through (the
+#: dashboard reports p50/p95/p99 for each).
+STAGES = ("queue_wait", "container_acquire", "compile", "exec",
+          "grade", "report")
+
+#: Histogram family name for the per-stage breakdown.
+STAGE_SECONDS = "webgpu_stage_seconds"
+
+
+def requirement_tag(job: Any) -> str:
+    """The label the per-stage latency breakdown is sliced by: the
+    job's requirement tags joined (e.g. ``mpi+multi-gpu``), or
+    ``untagged`` for plain single-GPU jobs."""
+    tags = sorted(job.requirements)
+    return "+".join(tags) if tags else "untagged"
+
+
+
+#: Histogram family names for per-kernel execution time.
+KERNEL_WALL_SECONDS = "webgpu_kernel_wall_seconds"
+KERNEL_SIM_SECONDS = "webgpu_kernel_sim_seconds"
+
+
+class Telemetry:
+    """The metrics registry + tracer bundle one platform shares."""
+
+    __slots__ = ("metrics", "tracer", "clock")
+
+    def __init__(self, clock: Any = None, tracing: bool = False,
+                 registry: MetricsRegistry | None = None,
+                 tracer: "Tracer | NullTracer | None" = None):
+        self.clock = clock
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        if tracer is not None:
+            self.tracer = tracer
+        else:
+            self.tracer = Tracer(clock) if tracing else NullTracer()
+
+    @property
+    def enabled(self) -> bool:
+        """True when real tracing is on (metrics are always on)."""
+        return self.tracer.enabled
+
+    # -- convenience recorders (the shared vocabulary) ---------------------
+
+    def record_stage(self, stage: str, seconds: float,
+                     tag: str = "untagged") -> None:
+        """One observation in the per-stage latency breakdown."""
+        self.metrics.histogram(
+            STAGE_SECONDS,
+            "simulated seconds per pipeline stage").observe(
+                max(0.0, seconds), stage=stage, tag=tag)
+
+    def record_kernel(self, name: str, wall_seconds: float,
+                      stats: Any = None) -> None:
+        """Per-kernel-launch wall time + the KernelStats counters."""
+        self.metrics.histogram(
+            KERNEL_WALL_SECONDS,
+            "host wall seconds interpreting one kernel launch").observe(
+                wall_seconds, kernel=name)
+        if stats is None:
+            return
+        self.metrics.histogram(
+            KERNEL_SIM_SECONDS,
+            "simulated device seconds per kernel launch").observe(
+                getattr(stats, "elapsed_seconds", 0.0), kernel=name)
+        counters = self.metrics.counter(
+            "webgpu_kernel_counters_total",
+            "KernelStats counters summed over launches")
+        for field in ("instructions", "global_load_transactions",
+                      "global_store_transactions", "shared_accesses",
+                      "bank_conflicts", "atomic_ops", "barriers"):
+            value = getattr(stats, field, 0)
+            if value:
+                counters.inc(value, kernel=name, counter=field)
+        self.metrics.counter(
+            "webgpu_kernel_launches_total",
+            "kernel launches").inc(kernel=name)
+
+    def stage_summary(self, by_tag: bool = False) -> dict[str, dict]:
+        """p50/p95/p99 etc. per stage (optionally nested per tag)."""
+        family = self.metrics.get(STAGE_SECONDS)
+        out: dict[str, dict] = {}
+        if not isinstance(family, Histogram):
+            return out
+        for stage in family.label_values("stage"):
+            out[stage] = family.merged(stage=stage).summary()
+            if by_tag:
+                out[stage]["tags"] = {
+                    tag: series.summary()
+                    for tag in family.label_values("tag")
+                    if (series := family.series(stage=stage, tag=tag))
+                    is not None}
+        return out
+
+
+def disabled() -> Telemetry:
+    """A fresh all-default bundle (metrics registry + NullTracer)."""
+    return Telemetry()
+
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "merge_registries",
+    "Tracer", "NullTracer", "Span", "NullSpan", "TraceContext",
+    "NULL_SPAN", "INFO", "WARNING",
+    "Telemetry", "disabled", "requirement_tag", "STAGES", "STAGE_SECONDS",
+    "KERNEL_WALL_SECONDS", "KERNEL_SIM_SECONDS",
+    "dump_jsonl", "write_jsonl", "read_jsonl", "waterfall", "render_trace",
+]

@@ -1,0 +1,337 @@
+"""Telemetry threaded through the real pipeline: traces, stage
+latency, fault spans, and the dashboard satellites."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FaultInjector, ManualClock
+from repro.core import WebGPU, WebGPU2
+from repro.core.course import CourseOffering
+from repro.labs import get_lab
+from repro.simulate.metrics import HourlySeries
+from repro.telemetry import STAGES, Telemetry, waterfall
+
+VECADD = get_lab("vector-add")
+
+
+def make_traced_platform(cls=WebGPU2, num_workers=2, **kwargs):
+    clock = ManualClock()
+    telemetry = Telemetry(clock=clock, tracing=True)
+    platform = cls(clock=clock, num_workers=num_workers,
+                   telemetry=telemetry, **kwargs)
+    course = platform.create_course(
+        CourseOffering(code="HPP", year=2015, deadlines={}),
+        ["vector-add"])
+    student = platform.users.register("stu@x.com", "Stu", "pw")
+    course.enroll(student.user_id)
+    platform.save_code("HPP-2015", student, "vector-add", VECADD.solution)
+    return platform, clock, student
+
+
+def spans_by_name(spans):
+    out = {}
+    for span in spans:
+        out.setdefault(span.name, []).append(span)
+    return out
+
+
+class TestGradedAttemptTrace:
+    def test_one_trace_covers_the_whole_pipeline(self):
+        platform, clock, student = make_traced_platform()
+        clock.advance(30)
+        _, grade = platform.submit_for_grading("HPP-2015", student,
+                                               "vector-add")
+        assert grade.program_points > 0
+        tracer = platform.telemetry.tracer
+        assert len(tracer.trace_ids()) == 1
+        spans = tracer.for_trace(tracer.trace_ids()[0])
+        names = spans_by_name(spans)
+        for required in ("submit", "enqueue", "queue.wait", "lease",
+                         "container.acquire", "process", "compile",
+                         "exec", "grade", "ack"):
+            assert required in names, f"missing span {required!r}"
+        assert len(names["exec"]) == len(VECADD.dataset_sizes)
+        assert names["lease"][0].attrs["outcome"] == "acked"
+
+    def test_timestamps_nest_monotonically(self):
+        platform, clock, student = make_traced_platform()
+        clock.advance(30)
+        platform.submit_for_grading("HPP-2015", student, "vector-add")
+        tracer = platform.telemetry.tracer
+        spans = tracer.for_trace(tracer.trace_ids()[0])
+        assert all(s.finished for s in spans)
+        for span in spans:
+            assert span.end_time >= span.start
+            if span.parent_id is not None:
+                parent = tracer.find(span.parent_id)
+                assert parent.start <= span.start
+                assert span.end_time <= parent.end_time
+        root = next(s for s in spans if s.parent_id is None)
+        assert root.name == "submit"
+        assert root.duration > 0.0
+        # the process interval is tiled by compile then the exec spans
+        process = next(s for s in spans if s.name == "process")
+        compile_span = next(s for s in spans if s.name == "compile")
+        execs = sorted((s for s in spans if s.name == "exec"),
+                       key=lambda s: s.start)
+        assert compile_span.end_time <= execs[0].start
+        for left, right in zip(execs, execs[1:]):
+            assert left.end_time <= right.start
+        assert execs[-1].end_time <= process.end_time
+
+    def test_waterfall_renders_the_attempt(self):
+        platform, clock, student = make_traced_platform()
+        clock.advance(30)
+        platform.submit_for_grading("HPP-2015", student, "vector-add")
+        art = waterfall(platform.telemetry.tracer.spans)
+        assert "submit" in art and "lease" in art and "exec" in art
+
+    def test_v1_push_path_is_traced_too(self):
+        platform, clock, student = make_traced_platform(WebGPU)
+        clock.advance(30)
+        platform.submit_for_grading("HPP-2015", student, "vector-add")
+        tracer = platform.telemetry.tracer
+        spans = tracer.for_trace(tracer.trace_ids()[0])
+        names = spans_by_name(spans)
+        assert "submit" in names and "process" in names
+        assert "grade" in names and "compile" in names
+
+    def test_tracing_off_records_no_spans_but_metrics(self):
+        clock = ManualClock()
+        platform = WebGPU2(clock=clock, num_workers=2)
+        course = platform.create_course(
+            CourseOffering(code="HPP", year=2015, deadlines={}),
+            ["vector-add"])
+        student = platform.users.register("s@x.com", "S", "pw")
+        course.enroll(student.user_id)
+        platform.save_code("HPP-2015", student, "vector-add",
+                           VECADD.solution)
+        clock.advance(30)
+        platform.submit_for_grading("HPP-2015", student, "vector-add")
+        assert platform.telemetry.tracer.spans == []
+        metrics = platform.telemetry.metrics
+        assert metrics.counter("webgpu_queue_events_total") \
+                      .value(event="enqueued") == 1
+
+
+class TestStageLatencyBreakdown:
+    def test_dashboard_reports_percentiles_for_every_stage(self):
+        platform, clock, student = make_traced_platform()
+        clock.advance(30)
+        platform.submit_for_grading("HPP-2015", student, "vector-add")
+        latency = platform.dashboard.latency_summary()
+        assert set(STAGES) <= set(latency)
+        for stage in STAGES:
+            summary = latency[stage]
+            for key in ("count", "p50", "p95", "p99", "mean"):
+                assert key in summary
+            assert summary["p50"] <= summary["p95"] <= summary["p99"]
+            assert summary["count"] >= 1       # every stage observed
+        assert latency["exec"]["count"] == len(VECADD.dataset_sizes)
+        assert latency["compile"]["p50"] > 0.0
+
+    def test_breakdown_slices_by_requirement_tag(self):
+        platform, clock, student = make_traced_platform()
+        clock.advance(30)
+        platform.submit_for_grading("HPP-2015", student, "vector-add")
+        by_tag = platform.dashboard.latency_summary(by_tag=True)
+        assert by_tag["exec"]["tags"]["untagged"]["count"] == \
+            len(VECADD.dataset_sizes)
+
+    def test_latency_block_in_rendered_dashboard(self):
+        platform, clock, student = make_traced_platform()
+        clock.advance(30)
+        platform.submit_for_grading("HPP-2015", student, "vector-add")
+        text = platform.dashboard.render()
+        assert "stage latency (p50/p95/p99, seconds):" in text
+        for stage in STAGES:
+            assert stage in text
+
+    def test_empty_platform_reports_explicit_zeros(self):
+        clock = ManualClock()
+        platform = WebGPU2(clock=clock, num_workers=1)
+        latency = platform.dashboard.latency_summary()
+        for stage in STAGES:
+            assert latency[stage]["count"] == 0
+            assert latency[stage]["p99"] == 0.0
+
+
+class TestFaultSpans:
+    def test_crash_mid_job_yields_two_lease_spans_one_trace(self):
+        platform, clock, student = make_traced_platform()
+        FaultInjector().crash_mid_job(platform.drivers[0].worker)
+        clock.advance(30)
+        attempt = platform.run_attempt("HPP-2015", student, "vector-add")
+        assert attempt.correct
+        assert attempt.redeliveries == 1
+
+        tracer = platform.telemetry.tracer
+        assert len(tracer.trace_ids()) == 1
+        spans = tracer.for_trace(tracer.trace_ids()[0])
+        names = spans_by_name(spans)
+
+        leases = sorted(names["lease"], key=lambda s: s.start)
+        assert len(leases) == 2
+        assert leases[0].attrs["outcome"] == "expired"
+        assert leases[1].attrs["outcome"] == "acked"
+        assert leases[0].attrs["consumer"] != leases[1].attrs["consumer"]
+        expiry_events = [e for e in leases[0].events
+                         if e.name == "lease.expired"]
+        assert expiry_events and expiry_events[0].level == "warning"
+        assert "redelivery" in names
+        redelivery = names["redelivery"][0]
+        # attrs carry the *failed* delivery attempt's number
+        assert redelivery.attrs["attempt"] == 1
+        assert redelivery.attrs["backoff_s"] > 0.0
+        # the second delivery's spans stay inside the same trace
+        assert len(names["process"]) == 1
+        assert names["process"][0].attrs["worker"] == \
+            platform.drivers[1].worker.name
+
+    def test_dead_letter_parks_with_warning_event(self):
+        platform, clock, student = make_traced_platform(num_workers=3)
+        injector = FaultInjector()
+        for driver in platform.drivers:
+            injector.crash_mid_job(driver.worker)
+        clock.advance(30)
+        attempt = platform.run_attempt("HPP-2015", student, "vector-add")
+        assert attempt.status == "failed"
+        tracer = platform.telemetry.tracer
+        spans = tracer.for_trace(tracer.trace_ids()[0])
+        names = spans_by_name(spans)
+        parked = names["dlq.parked"][0]
+        assert parked.events[0].level == "warning"
+        assert len(names["lease"]) == 3
+        assert all(s.attrs["outcome"] == "expired" for s in names["lease"])
+        root = next(s for s in spans if s.parent_id is None)
+        assert root.attrs["status"] == "failed"
+
+
+class TestHealthEvictionTelemetry:
+    def test_v2_eviction_shows_in_trace_metrics_and_dashboard(self):
+        platform, clock, student = make_traced_platform()
+        platform.tick_health()
+        victim = platform.worker_pool.workers[0]
+        victim.drop_health_checks = True
+        clock.advance(120)
+        evicted = platform.tick_health()
+        assert victim.name in evicted
+
+        counter = platform.telemetry.metrics \
+            .counter("webgpu_health_evictions_total")
+        assert counter.value(worker=victim.name) == 1.0
+
+        events = [s for s in platform.telemetry.tracer.spans
+                  if s.name == "health.evicted"]
+        assert len(events) == 1
+        assert events[0].attrs["worker"] == victim.name
+        assert events[0].events[0].level == "warning"
+
+        # the evicted node no longer serves jobs; delivery gauges on the
+        # dashboard stay coherent for the surviving fleet
+        clock.advance(30)
+        attempt = platform.run_attempt("HPP-2015", student, "vector-add")
+        assert attempt.correct
+        delivery = platform.dashboard.delivery_summary()
+        assert delivery["acked"] == 1
+        assert delivery["in_flight"] == 0
+        assert delivery["dead_lettered"] == 0
+
+
+class TestDashboardWorkerSummaryGuards:
+    def make_dashboard(self):
+        clock = ManualClock()
+        platform = WebGPU2(clock=clock, num_workers=1)
+        return platform, platform.dashboard, platform.metrics.primary
+
+    def test_payload_none_rows_counted_as_malformed(self):
+        platform, dashboard, db = self.make_dashboard()
+        db.insert("worker_metrics", worker="ghost", timestamp=0.0,
+                  event="job", payload=None)
+        summary = dashboard.worker_summary()
+        ghost = summary["ghost"]
+        assert ghost["malformed"] == 1
+        assert ghost["jobs"] == 0
+        assert ghost["correct_rate"] == 0.0
+        assert ghost["cache_hit_rate"] == 0.0
+        assert ghost["mean_service_s"] == 0.0
+        assert ghost["mean_queue_wait_s"] == 0.0
+
+    def test_mixed_rows_skip_malformed_but_keep_real_ones(self):
+        platform, dashboard, db = self.make_dashboard()
+        db.insert("worker_metrics", worker="w", timestamp=0.0,
+                  event="job", payload=None)
+        db.insert("worker_metrics", worker="w", timestamp=1.0,
+                  event="job",
+                  payload={"correct": True, "cache_hit": False,
+                           "service_s": 2.0, "queue_wait_s": 4.0})
+        entry = dashboard.worker_summary()["w"]
+        assert entry["malformed"] == 1
+        assert entry["jobs"] == 1
+        assert entry["correct_rate"] == 1.0
+        assert entry["mean_service_s"] == 2.0
+        assert entry["mean_queue_wait_s"] == 4.0
+
+    def test_snapshot_and_render_survive_malformed_rows(self):
+        platform, dashboard, db = self.make_dashboard()
+        db.insert("worker_metrics", worker="ghost", timestamp=0.0,
+                  event="job", payload=None)
+        snap = dashboard.snapshot()
+        assert snap["workers"]["ghost"]["malformed"] == 1
+        assert "ghost" in dashboard.render()
+
+
+class TestHourlySeriesPartialBuckets:
+    def test_daily_max_truncates_by_default(self):
+        series = HourlySeries(30)           # one full day + 6 hours
+        series.add(3, 5)
+        series.add(27, 9)                   # in the partial tail
+        assert list(series.daily_max()) == [5]
+        assert list(series.daily_max(partial=True)) == [5, 9]
+
+    def test_daily_max_exact_multiple_unaffected(self):
+        series = HourlySeries(48)
+        series.add(0, 1)
+        series.add(47, 2)
+        assert list(series.daily_max()) == [1, 2]
+        assert list(series.daily_max(partial=True)) == [1, 2]
+
+    def test_weekly_totals_partial_bucket(self):
+        series = HourlySeries(168 + 12)
+        for hour in range(168):
+            series.add(hour, 1)
+        series.add(168 + 3, 7)
+        assert list(series.weekly_totals()) == [168]
+        assert list(series.weekly_totals(partial=True)) == [168, 7]
+
+    def test_weekly_totals_shorter_than_a_week(self):
+        series = HourlySeries(10)
+        series.add(2, 4)
+        assert list(series.weekly_totals()) == []
+        assert list(series.weekly_totals(partial=True)) == [4]
+
+    def test_partial_preserves_dtype_and_sum(self):
+        series = HourlySeries(30, counts=np.arange(30, dtype=np.int64))
+        totals = series.weekly_totals(partial=True)
+        assert totals.sum() == series.counts.sum()   # no hour dropped
+
+
+class TestKernelEngineMetrics:
+    def test_kernel_launch_records_wall_and_counters(self):
+        platform, clock, student = make_traced_platform(num_workers=1)
+        clock.advance(30)
+        platform.submit_for_grading("HPP-2015", student, "vector-add")
+        metrics = platform.telemetry.metrics
+        wall = metrics.get("webgpu_kernel_wall_seconds")
+        assert wall is not None
+        kernels = wall.label_values("kernel")
+        assert kernels, "no kernel launches recorded"
+        merged = wall.merged()
+        assert merged.count >= len(VECADD.dataset_sizes)
+        assert merged.sum > 0.0
+        launches = metrics.counter("webgpu_kernel_launches_total")
+        assert launches.total() == merged.count
+        counters = metrics.counter("webgpu_kernel_counters_total")
+        assert any(k == "instructions" for k in
+                   (dict(key).get("counter")
+                    for key in counters._series))
