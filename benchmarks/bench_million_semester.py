@@ -1,0 +1,426 @@
+"""Million-student semester: sharded fabric vs the single-queue broker.
+
+Scales the paper's deadline storm (Fig. 1: "the spikes correspond
+to the 5 lab deadlines") far past the original deployment: tens of
+thousands to a million simulated students all hitting the platform in
+the hour before a deadline. Two configurations replay the *same*
+arrival trace on the same simulated hardware budget:
+
+* **baseline** — the single zone-replicated ``MessageBroker``:
+  one RPC per publish/poll/ack, raw-depth additive autoscaling, every
+  job admitted no matter how far the queue has fallen behind;
+* **fabric** — the ``BrokerFabric``: consistent-hash shards keyed by
+  ``(course, lab)``, batched publish/poll/ack (one round-trip per pump
+  tick instead of per job), SLO-burn multiplicative autoscaling, and
+  deadline-aware admission (grading > runs > previews). Mid-storm,
+  every shard's primary replica is crashed once — replica failover
+  must hand the storm to the standbys without losing a job.
+
+The data plane is synthetic (queueing simulation on ``ManualClock``
+with an explicit per-round-trip cost, so the baseline's per-job
+chattiness spends real worker capacity) but the control plane is the
+real production code: ``JobQueue`` delivery state, ``BrokerFabric``
+routing/failover, ``SLOBurnMeter``, ``SLOBurnPolicy``, and
+``AdmissionController``.
+
+Acceptance (per size):
+* fabric loses **0 jobs** despite one primary-replica crash per shard;
+* fabric sheds **0 submit-for-grading jobs**;
+* fabric clears the semester at a **higher simulated jobs/sec** and a
+  **lower p95 queue wait** than the baseline.
+
+Results for every size land in ``BENCH_million_semester.json``.
+
+Direct use: ``python benchmarks/bench_million_semester.py [--smoke|--full]``
+(needs ``PYTHONPATH=src``). Under pytest, ``WEBGPU_BENCH_FAST=1`` is
+the smoke sizing and ``WEBGPU_BENCH_FULL=1`` adds the million-student
+point. ``WEBGPU_TRACE_OUT=path.jsonl`` writes the fabric run's spans
+(including every ``shard.failover`` event) as the CI trace artifact.
+"""
+
+import heapq
+import json
+import os
+import random
+import sys
+
+from repro.broker import DeliveryPolicy, MessageBroker
+from repro.cluster import ManualClock, SLOBurnPolicy
+from repro.cluster.job import Job, JobKind
+from repro.fabric import BrokerFabric, SLOBurnMeter, SLOPolicy
+from repro.labs import get_lab
+from repro.telemetry import QUEUE_WAIT_SECONDS, Telemetry, write_jsonl
+
+VECADD = get_lab("vector-add")
+CUDA = frozenset({"cuda"})
+FAST = bool(os.environ.get("WEBGPU_BENCH_FAST"))
+FULL = bool(os.environ.get("WEBGPU_BENCH_FULL"))
+TRACE_OUT = os.environ.get("WEBGPU_TRACE_OUT")
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..",
+                        "BENCH_million_semester.json")
+
+STUDENT_SIZES = ([2_000] if FAST else [10_000, 100_000])
+if FULL:
+    STUDENT_SIZES.append(1_000_000)
+
+JOBS_PER_STUDENT = 3
+TICK_S = 5.0                     # one pump tick of simulated time
+RPC_COST_S = 0.05                # simulated broker round-trip
+MEAN_SERVICE_S = 0.3             # simulated grading service time
+NUM_SHARDS = 4
+BATCH = 16
+COURSES = 20
+HOT_COURSES = 3                  # courses whose deadline is *now*
+MIN_WORKERS = 4
+KIND_MIX = ((JobKind.FULL_GRADING, 0.30), (JobKind.RUN_DATASET, 0.45),
+            (JobKind.COMPILE_ONLY, 0.25))
+POLICY = DeliveryPolicy(visibility_timeout_s=60.0, max_attempts=5,
+                        backoff_base_s=0.5, backoff_cap_s=10.0)
+SLO = SLOPolicy(queue_wait_p95_slo_s=30.0, sample_interval_s=TICK_S)
+
+
+def semester_params(students: int) -> tuple[float, int]:
+    """Size the storm so the deadline peak genuinely oversubscribes
+    the fleet: the window is chosen so *average* demand is ~60% of the
+    full fleet's zero-overhead capacity: ~85% at zero overhead, which
+    the baseline's two round-trips per job push past 100% — the linear
+    ramp's peak (2x average) oversubscribes both configurations, and
+    they differ in how fast they scale into the backlog, how cheaply
+    they serve it, and what they shed to protect the deadline class.
+    Returns ``(storm_seconds, max_workers)``."""
+    jobs = students * JOBS_PER_STUDENT
+    max_workers = max(MIN_WORKERS, min(256, jobs // 2000))
+    storm_s = jobs * MEAN_SERVICE_S / (0.85 * max_workers)
+    storm_s = max(storm_s, 40 * TICK_S)      # enough ticks to ramp
+    return storm_s, max_workers
+
+
+def arrival_trace(students: int, storm_s: float, seed: int = 42):
+    """The deadline storm: per-tick job batches, identical for both
+    configurations. ~70% of traffic is the hot courses' deadline rush,
+    ramping linearly into the deadline at the end of the window."""
+    rng = random.Random(seed)
+    total_jobs = students * JOBS_PER_STUDENT
+    ticks = int(storm_s / TICK_S)
+    # linear ramp: weight of tick i proportional to (i + 1)
+    weights = [i + 1 for i in range(ticks)]
+    scale = total_jobs / sum(weights)
+    kinds, cum = [], 0.0
+    thresholds = []
+    for kind, p in KIND_MIX:
+        cum += p
+        kinds.append(kind)
+        thresholds.append(cum)
+    trace = []
+    emitted = 0
+    for i in range(ticks):
+        n = int(weights[i] * scale)
+        if i == ticks - 1:
+            n = total_jobs - emitted
+        emitted += n
+        batch = []
+        for _ in range(n):
+            roll = rng.random()
+            kind = next(k for k, t in zip(kinds, thresholds) if roll <= t)
+            if rng.random() < 0.7:
+                course = f"course-{rng.randrange(HOT_COURSES)}"
+            else:
+                course = f"course-{rng.randrange(HOT_COURSES, COURSES)}"
+            batch.append((course, kind, rng.expovariate(1 / MEAN_SERVICE_S)))
+        trace.append(batch)
+    return trace
+
+
+def make_job(course, kind, now):
+    return Job(lab=VECADD, source="", kind=kind, course=course,
+               submitted_at=now)
+
+
+class SyntheticFleet:
+    """Workers as time budgets: each worker spends TICK_S simulated
+    seconds per tick on round-trips and service, so fewer round-trips
+    per job buys real throughput."""
+
+    def __init__(self, size: int, max_workers: int):
+        self.size = size
+        self.max_workers = max_workers
+        self.peak = size
+        self.rpcs = 0
+
+    def resize(self, target: int) -> None:
+        self.size = max(MIN_WORKERS, min(self.max_workers, target))
+        self.peak = max(self.peak, self.size)
+
+
+def run_baseline(students: int, trace, max_workers: int) -> dict:
+    """Single queue, per-job RPCs, additive depth scaling."""
+    clock = ManualClock()
+    telemetry = Telemetry(clock=clock)
+    broker = MessageBroker(policy=POLICY, telemetry=telemetry)
+    fleet = SyntheticFleet(MIN_WORKERS, max_workers)
+    service = {}
+    published = completed = 0
+    last_scale = -1e9
+
+    def worker_tick(now):
+        nonlocal completed
+        done = 0
+        budget = TICK_S
+        while budget > 0:
+            budget -= RPC_COST_S                 # the poll round-trip
+            fleet.rpcs += 1
+            polled = broker.poll(CUDA, 1, now)
+            if polled is None:
+                break
+            job, _wait = polled
+            budget -= service[job.job_id]
+            budget -= RPC_COST_S                 # the ack round-trip
+            fleet.rpcs += 1
+            broker.ack(job.job_id, now=now)
+            done += 1
+        return done
+
+    tick = 0
+    drain_ticks = 0
+    while True:
+        now = tick * TICK_S
+        clock.set(now)
+        arrivals = trace[tick] if tick < len(trace) else []
+        for course, kind, service_s in arrivals:
+            job = make_job(course, kind, now)
+            service[job.job_id] = service_s
+            broker.publish(job, now)             # one RPC per job
+            fleet.rpcs += 1
+            published += 1
+        for _ in range(fleet.size):
+            completed += worker_tick(now)
+        broker.expire_leases(now)
+        # legacy scaling: raw depth, one worker per cooldown
+        if now - last_scale >= 30.0:
+            if broker.depth() > 100 and fleet.size < fleet.max_workers:
+                fleet.resize(fleet.size + 1)
+                last_scale = now
+            elif broker.depth() == 0 and fleet.size > MIN_WORKERS:
+                fleet.resize(fleet.size - 1)
+                last_scale = now
+        tick += 1
+        if tick >= len(trace):
+            if broker.depth() == 0 and broker.in_flight_count == 0:
+                break
+            drain_ticks += 1
+            if drain_ticks > 20_000:
+                break
+    wait_hist = telemetry.metrics.get(QUEUE_WAIT_SECONDS)
+    sim_seconds = tick * TICK_S
+    return {
+        "mode": "baseline",
+        "students": students,
+        "published": published,
+        "completed": completed,
+        "shed_preview": 0, "shed_run": 0, "shed_grade": 0,
+        "dead_lettered": len(broker.dead_letters()),
+        "lost": published - completed - len(broker.dead_letters()),
+        "sim_seconds": sim_seconds,
+        "jobs_per_sec": round(completed / sim_seconds, 2),
+        "p95_queue_wait_s": round(wait_hist.merged().quantile(0.95), 2)
+        if wait_hist else 0.0,
+        "peak_workers": fleet.peak,
+        "rpcs": fleet.rpcs,
+        "rpcs_saved": 0,
+        "shard_failovers": 0,
+    }
+
+
+def run_fabric(students: int, trace, max_workers: int) -> dict:
+    """Sharded fabric: batched I/O, SLO-burn scaling, admission
+    control, and one primary-replica crash per shard mid-storm."""
+    clock = ManualClock()
+    telemetry = Telemetry(clock=clock, tracing=bool(TRACE_OUT))
+    fabric = BrokerFabric(num_shards=NUM_SHARDS, policy=POLICY,
+                          telemetry=telemetry, slo=SLO)
+    meter = SLOBurnMeter(telemetry, SLO)
+    burn_policy = SLOBurnPolicy(min_workers=MIN_WORKERS,
+                                max_workers=max_workers, cooldown_s=30.0)
+    admission = fabric.admission
+    fleet = SyntheticFleet(MIN_WORKERS, max_workers)
+    service = {}
+    published = completed = 0
+    shed = {"grade": 0, "run": 0, "preview": 0}
+    deferred: list = []           # (due_time, seq, job) heap
+    seq = 0
+    # one primary-replica loss per shard, spread across the worst of
+    # the storm (70%..85% of the way into the window)
+    crash_ticks = {int(len(trace) * (0.70 + 0.05 * i)): f"shard-{i}"
+                   for i in range(NUM_SHARDS)}
+
+    def worker_tick(now, crash_shard=None):
+        nonlocal completed
+        done = 0
+        budget = TICK_S
+        while budget > 0:
+            budget -= RPC_COST_S                 # one poll round-trip
+            fleet.rpcs += 1
+            polled = fabric.poll_batch(CUDA, 1, now, max_jobs=BATCH)
+            if not polled:
+                break
+            if crash_shard is not None:
+                # the node leased a batch, then the shard's primary
+                # died: failover re-seats the in-flight deliveries and
+                # this node's acks go stale — at-least-once redelivers
+                fabric.crash_shard(crash_shard, now)
+                crash_shard = None
+                continue
+            for job, _wait in polled:
+                budget -= service[job.job_id]
+            budget -= RPC_COST_S                 # one ack round-trip
+            fleet.rpcs += 1
+            fabric.ack_batch([j.job_id for j, _ in polled], now=now)
+            done += len(polled)
+        return done, crash_shard
+
+    tick = 0
+    drain_ticks = 0
+    while True:
+        now = tick * TICK_S
+        clock.set(now)
+        arrivals = trace[tick] if tick < len(trace) else []
+        batch = []
+        for course, kind, service_s in arrivals:
+            job = make_job(course, kind, now)
+            service[job.job_id] = service_s
+            decision = admission.decide(job, now)
+            if decision.action == "shed":
+                shed[decision.klass] += 1
+            elif decision.action == "defer":
+                # the web tier holds the job and retries after the
+                # decision's delay — deferred work is not queue depth
+                seq += 1
+                heapq.heappush(deferred,
+                               (now + decision.delay_s, seq, job))
+            else:
+                batch.append(job)
+        while deferred and deferred[0][0] <= now:
+            _, _, job = heapq.heappop(deferred)
+            batch.append(job)
+        if batch:
+            placed = fabric.publish_batch(batch, now)
+            fleet.rpcs += len(placed)            # one RPC per shard hit
+            published += len(batch)
+        crash = crash_ticks.get(tick)
+        for _ in range(fleet.size):
+            done, crash = worker_tick(now, crash_shard=crash)
+            completed += done
+        if crash is not None:                    # no worker polled it
+            fabric.crash_shard(crash, now)
+        fabric.expire_leases(now)
+        if meter.due(now):
+            sample = meter.sample(
+                now, stalled_wait_s=fabric.queue.oldest_wait(now))
+            admission.observe_burn(sample.burn, now)
+            decision = burn_policy.target_workers(now, sample.burn,
+                                                  fleet.size)
+            fleet.resize(decision.target)
+        tick += 1
+        if tick >= len(trace):
+            if (fabric.depth() == 0 and fabric.in_flight_count == 0
+                    and not deferred):
+                break
+            drain_ticks += 1
+            if drain_ticks > 20_000:
+                break
+    if TRACE_OUT:
+        count = write_jsonl(telemetry.tracer.spans, TRACE_OUT)
+        print(f"\nwrote {count} span(s) to {TRACE_OUT}")
+    wait_hist = telemetry.metrics.get(QUEUE_WAIT_SECONDS)
+    io = fabric.io_savings()
+    sim_seconds = tick * TICK_S
+    return {
+        "mode": "fabric",
+        "students": students,
+        "published": published,
+        "completed": completed,
+        "shed_preview": shed["preview"],
+        "shed_run": shed["run"],
+        "shed_grade": shed["grade"],
+        "dead_lettered": len(fabric.dead_letters()),
+        "lost": published - completed - len(fabric.dead_letters()),
+        "sim_seconds": sim_seconds,
+        "jobs_per_sec": round(completed / sim_seconds, 2),
+        "p95_queue_wait_s": round(wait_hist.merged().quantile(0.95), 2)
+        if wait_hist else 0.0,
+        "peak_workers": fleet.peak,
+        "rpcs": fleet.rpcs,
+        "rpcs_saved": int(sum(op["saved"] for op in io.values())),
+        "shard_failovers": len(fabric.failovers),
+    }
+
+
+def run_semester(students: int) -> dict:
+    storm_s, max_workers = semester_params(students)
+    trace = arrival_trace(students, storm_s)
+    baseline = run_baseline(students, trace, max_workers)
+    fabric = run_fabric(students, trace, max_workers)
+    return {"students": students, "storm_seconds": storm_s,
+            "max_workers": max_workers,
+            "baseline": baseline, "fabric": fabric}
+
+
+def check(result: dict) -> None:
+    baseline, fabric = result["baseline"], result["fabric"]
+    # nothing accepted is ever lost — not even across 4 shard crashes
+    assert fabric["lost"] == 0, fabric
+    assert fabric["shard_failovers"] == NUM_SHARDS
+    assert fabric["dead_lettered"] == 0, fabric
+    assert baseline["lost"] == 0, baseline
+    # grading submissions are never shed
+    assert fabric["shed_grade"] == 0, fabric
+    # the fabric beats the single queue on both headline numbers
+    assert fabric["jobs_per_sec"] > baseline["jobs_per_sec"], \
+        (fabric["jobs_per_sec"], baseline["jobs_per_sec"])
+    assert fabric["p95_queue_wait_s"] < baseline["p95_queue_wait_s"], \
+        (fabric["p95_queue_wait_s"], baseline["p95_queue_wait_s"])
+    assert fabric["rpcs_saved"] > 0
+
+
+def write_report(results: list[dict]) -> None:
+    with open(OUT_PATH, "w") as fh:
+        json.dump({"sizes": results}, fh, indent=2)
+        fh.write("\n")
+
+
+def main(sizes=None) -> list[dict]:
+    try:
+        from conftest import print_table
+    except ImportError:          # direct invocation from the repo root
+        sys.path.insert(0, os.path.dirname(__file__))
+        from conftest import print_table
+    results = []
+    order = ["mode", "published", "completed", "lost", "dead_lettered",
+             "shed_grade", "shed_run", "shed_preview", "jobs_per_sec",
+             "p95_queue_wait_s", "peak_workers", "rpcs", "rpcs_saved",
+             "shard_failovers", "sim_seconds"]
+    for students in sizes or STUDENT_SIZES:
+        result = run_semester(students)
+        check(result)
+        results.append(result)
+        print_table(
+            f"Deadline storm, {students:,} students "
+            f"({students * JOBS_PER_STUDENT:,} jobs, "
+            f"{NUM_SHARDS} shard crashes on the fabric run)",
+            [result["baseline"], result["fabric"]], order=order)
+    write_report(results)
+    print(f"\nwrote {OUT_PATH}")
+    return results
+
+
+def test_million_semester(benchmark):
+    benchmark.pedantic(main, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        main(sizes=[2_000])
+    elif "--full" in sys.argv:
+        main(sizes=[10_000, 100_000, 1_000_000])
+    else:
+        main()

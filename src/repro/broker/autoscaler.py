@@ -3,18 +3,34 @@
 "The worker nodes are automatically scaled" — possible precisely
 because workers *pull*: adding a node is just another poller, removing
 one is letting it finish and stop polling. The :class:`FleetManager`
-watches broker queue depth and oldest-job age and adds/retires drivers
-against min/max bounds with a cooldown.
+adds/retires drivers against min/max bounds with a cooldown, driven by
+one of two control signals:
+
+* **legacy depth mode** (default): broker queue depth and oldest-job
+  age against fixed thresholds — reactive, but blind to whether the
+  backlog is actually hurting students;
+* **SLO-burn mode** (pass ``slo=SLOPolicy(...)``): the observed p95
+  queue wait from the PR 4 telemetry divided by the SLO target,
+  multiplicative-increase while the SLO burns (a deadline storm can
+  double the fleet per cooldown, not inch up one node at a time) and
+  additive-decrease once it recovers. The same burn sample feeds the
+  optional admission controller, so scaling and load-shedding act on
+  one consistent view of the storm.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.broker.broker import MessageBroker
 from repro.broker.driver import WorkerDriver
 from repro.cluster.node import Clock
+from repro.cluster.scaling import SLOBurnPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.fabric.admission import AdmissionController
+    from repro.fabric.slo import SLOPolicy
 
 
 @dataclass
@@ -43,7 +59,10 @@ class FleetManager:
                  min_workers: int = 1, max_workers: int = 16,
                  scale_up_depth: int = 4, scale_up_wait_s: float = 30.0,
                  idle_polls_before_retire: int = 50,
-                 cooldown_s: float = 60.0):
+                 cooldown_s: float = 60.0,
+                 slo: "SLOPolicy | None" = None,
+                 burn_policy: SLOBurnPolicy | None = None,
+                 admission: "AdmissionController | None" = None):
         if min_workers < 1 or max_workers < min_workers:
             raise ValueError("need 1 <= min_workers <= max_workers")
         self.broker = broker
@@ -60,6 +79,21 @@ class FleetManager:
         self.events: list[ScaleEvent] = []
         self._last_change = float("-inf")
         self._idle_counts: dict[str, int] = {}
+        #: SLO-burn mode: meter over the broker's telemetry + the
+        #: MIMD sizing policy; None keeps the legacy depth thresholds
+        self.meter = None
+        self.burn_policy: SLOBurnPolicy | None = None
+        self.admission = admission
+        if slo is not None:
+            from repro.fabric.slo import SLOBurnMeter
+            self.meter = SLOBurnMeter(broker.telemetry, slo)
+            self.burn_policy = burn_policy or SLOBurnPolicy(
+                min_workers=min_workers, max_workers=max_workers,
+                cooldown_s=cooldown_s)
+            # admission control rides the same burn samples; prefer
+            # the broker fabric's own controller when it has one
+            if admission is None:
+                self.admission = getattr(broker, "admission", None)
 
     @property
     def size(self) -> int:
@@ -71,6 +105,8 @@ class FleetManager:
 
     def evaluate(self) -> ScaleEvent | None:
         """One scaling decision; call periodically (the admin loop)."""
+        if self.meter is not None:
+            return self._evaluate_slo()
         now = self.clock.now()
         if now - self._last_change < self.cooldown_s:
             return None
@@ -102,6 +138,41 @@ class FleetManager:
                 self.events.append(event)
                 return event
         return None
+
+    def _evaluate_slo(self) -> ScaleEvent | None:
+        """SLO-burn control step: sample the meter, feed admission,
+        and move the fleet toward the policy's target size. Unlike the
+        one-node-per-cooldown legacy path, a burning SLO may add
+        several drivers in one decision."""
+        now = self.clock.now()
+        sample = self.meter.sample(
+            now, stalled_wait_s=self.broker.queue.oldest_wait(now))
+        if self.admission is not None:
+            self.admission.observe_burn(sample.burn, now)
+        decision = self.burn_policy.target_workers(now, sample.burn,
+                                                   self.size)
+        event: ScaleEvent | None = None
+        while self.size < decision.target:
+            driver = self.spawn()
+            self.drivers.append(driver)
+            event = ScaleEvent(now, "add", driver.worker.name,
+                               decision.reason)
+            self.events.append(event)
+        if decision.target < self.size and self.broker.depth() == 0:
+            # shrink one at a time, idlest driver first
+            idle = sorted(self.drivers, key=lambda d: -self._idle_counts
+                          .get(d.worker.name, 0))
+            victim = idle[0]
+            if self._idle_counts.get(victim.worker.name, 0) \
+                    >= self.idle_polls_before_retire:
+                self.drivers.remove(victim)
+                self.retire(victim)
+                event = ScaleEvent(now, "remove", victim.worker.name,
+                                   decision.reason)
+                self.events.append(event)
+        if event is not None:
+            self._last_change = now
+        return event
 
     def pump(self) -> int:
         """Step every driver once, tracking idleness; returns jobs done."""

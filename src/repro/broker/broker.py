@@ -103,6 +103,11 @@ class MessageBroker:
              reason: str = "consumer nack") -> bool:
         return self._queue.nack(job_id, now, reason=reason)
 
+    def renew(self, job_ids: list[int], now: float) -> int:
+        """Batch lease renewal (one round-trip for a consumer's whole
+        held set); returns how many leases were extended."""
+        return self._queue.renew(job_ids, now)
+
     def expire_leases(self, now: float) -> list[Job]:
         return self._queue.expire_leases(now)
 

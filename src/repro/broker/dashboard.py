@@ -120,9 +120,36 @@ class Dashboard:
                                  for d in self.broker.dead_letters()],
         }
 
+    def fabric_summary(self) -> dict[str, object] | None:
+        """Per-shard depth/lease/DLQ gauges plus batched-I/O savings —
+        present only when the broker is a sharded fabric."""
+        shard_summary = getattr(self.broker, "shard_summary", None)
+        if shard_summary is None:
+            return None
+        return {
+            "shards": shard_summary(),
+            "io": self.broker.io_savings(),
+        }
+
+    def slo_summary(self) -> dict[str, object] | None:
+        """Current SLO burn and the admission controller's posture
+        (open / deferring / shedding with per-decision counts)."""
+        meter = getattr(self.broker, "slo", None)
+        admission = getattr(self.broker, "admission", None)
+        if meter is None and admission is None:
+            return None
+        out: dict[str, object] = {}
+        if meter is not None and meter.last is not None:
+            out["burn"] = meter.last.burn
+            out["p95_s"] = meter.last.p95_s
+            out["slo_s"] = meter.policy.queue_wait_p95_slo_s
+        if admission is not None:
+            out["admission"] = admission.snapshot()
+        return out
+
     def snapshot(self) -> dict[str, object]:
         queue_stats = self.broker.queue.stats
-        return {
+        snap: dict[str, object] = {
             "queue_depth": self.broker.depth(),
             "queue": queue_stats.snapshot(self.broker.depth(),
                                           self.broker.in_flight_count),
@@ -133,6 +160,13 @@ class Dashboard:
             "last_heartbeat": self.health_summary(),
             "latency": self.latency_summary(),
         }
+        fabric = self.fabric_summary()
+        if fabric is not None:
+            snap["fabric"] = fabric
+        slo = self.slo_summary()
+        if slo is not None:
+            snap["slo"] = slo
+        return snap
 
     def render(self) -> str:
         snap = self.snapshot()
@@ -144,6 +178,31 @@ class Dashboard:
             state = "up" if stats["alive"] else "DOWN"
             lines.append(f"  broker[{zone}]: {state} "
                          f"pub={stats['publishes']} poll={stats['polls']}")
+        fabric = snap.get("fabric")
+        if fabric is not None:
+            lines.append("  shards:")
+            for name, shard in fabric["shards"].items():
+                lines.append(
+                    f"    {name} [{shard['replica']}]: "
+                    f"depth={shard['depth']} "
+                    f"leased={shard['in_flight']} dlq={shard['dead_letters']} "
+                    f"failovers={shard['failovers']}")
+            saved = sum(op["saved"] for op in fabric["io"].values())
+            lines.append(f"  batched I/O: {saved} round-trips saved")
+        slo = snap.get("slo")
+        if slo is not None:
+            if "burn" in slo:
+                lines.append(
+                    f"  slo: p95 queue wait {slo['p95_s']:.1f}s "
+                    f"/ {slo['slo_s']:.0f}s target "
+                    f"= {slo['burn']:.2f}x burn")
+            admission = slo.get("admission")
+            if admission:
+                lines.append(
+                    f"  admission: {admission['state'].upper()} "
+                    f"(admitted={admission['admitted']} "
+                    f"deferred={admission['deferred']} "
+                    f"shed={admission['shed']})")
         delivery = snap["delivery"]
         lines.append(f"  delivery: {delivery['in_flight']} in-flight, "
                      f"{delivery['redelivered']} redelivered, "

@@ -46,6 +46,9 @@ class DriverStats:
     nacks: int = 0               # deliveries handed back for redelivery
     crashes: int = 0             # jobs the node died holding (lease expires)
     wedged: int = 0              # jobs the node wedged holding (lease expires)
+    batches: int = 0             # batched pump ticks that leased work
+    renew_rpcs: int = 0          # batched lease-renew round-trips made
+    renewed_leases: int = 0      # leases those round-trips covered
     container_seconds: float = 0.0
     queue_wait_total: float = 0.0
 
@@ -76,6 +79,9 @@ class WorkerDriver:
         #: before a container slot is even acquired
         self.result_cache = result_cache
         self._jobs_since_recycle = 0
+        #: leases this node currently holds (poll -> ack/nack window);
+        #: renewed in one batched round-trip per pump tick
+        self._held: dict[int, Any] = {}
         ensure_metrics_table(metrics_db)
         containers.prestart()
 
@@ -113,6 +119,28 @@ class WorkerDriver:
             "containers": self.containers.stats(),
         })
 
+    def renew_held_leases(self) -> int:
+        """One batched renew round-trip covering every lease this node
+        holds — instead of one round-trip per lease. The saved
+        round-trips are counted so the batching claim has receipts."""
+        if not self._held:
+            return 0
+        held = list(self._held)
+        renewed = self.broker.renew(held, self.clock.now())
+        self.stats.renew_rpcs += 1
+        self.stats.renewed_leases += renewed
+        metrics = self.telemetry.metrics
+        metrics.counter("webgpu_lease_renew_rpcs_total",
+                        "batched renew round-trips").inc()
+        metrics.counter("webgpu_lease_renewals_total",
+                        "leases covered by batched renewals").inc(len(held))
+        if len(held) > 1:
+            metrics.counter(
+                "webgpu_lease_renew_saved_round_trips_total",
+                "per-lease round-trips avoided by batching").inc(
+                    len(held) - 1)
+        return renewed
+
     def step(self) -> JobResult | None:
         """One pull-loop iteration: config check, poll, run, ack, report.
 
@@ -125,6 +153,7 @@ class WorkerDriver:
         if not self.worker.alive or self.worker.wedged:
             return None
         self.check_config()
+        self.renew_held_leases()
         self.stats.polls += 1
         polled = self.broker.poll(self.capabilities,
                                   self.worker.config.num_gpus,
@@ -134,6 +163,98 @@ class WorkerDriver:
             self.stats.empty_polls += 1
             return None
         job, queue_wait = polled
+        self._held[job.job_id] = job
+        outcome, result, reason = self._process_delivery(job, queue_wait)
+        self._held.pop(job.job_id, None)
+        if outcome == "ack":
+            self.broker.ack(job.job_id,
+                            now=max(self.clock.now(), result.finished_at))
+            self.stats.acks += 1
+            return result
+        if outcome == "nack":
+            self.stats.nacks += 1
+            self.broker.nack(job.job_id, self.clock.now(), reason=reason)
+        return None
+
+    def step_batch(self, max_jobs: int = 8) -> list[JobResult]:
+        """One *batched* pump tick: lease up to ``max_jobs`` jobs in a
+        single poll round-trip, process them, then flush all the acks
+        (and nacks) in one round-trip each — the chatty per-job I/O of
+        :meth:`step` coalesced per tick.
+
+        Crash semantics stay honest: a node that dies or wedges
+        mid-batch reports nothing — its pending acks die with it, the
+        held leases expire, and the broker redelivers (the grading
+        result cache makes the re-runs cheap)."""
+        if not self.worker.alive or self.worker.wedged:
+            return []
+        self.check_config()
+        self.renew_held_leases()
+        self.stats.polls += 1
+        now = self.clock.now()
+        if hasattr(self.broker, "poll_batch"):
+            polled = self.broker.poll_batch(
+                self.capabilities, self.worker.config.num_gpus, now,
+                consumer=self.worker.name, max_jobs=max_jobs)
+        else:
+            polled = []
+            while len(polled) < max_jobs:
+                one = self.broker.poll(self.capabilities,
+                                       self.worker.config.num_gpus,
+                                       now, zone=self.zone,
+                                       consumer=self.worker.name)
+                if one is None:
+                    break
+                polled.append(one)
+        if not polled:
+            self.stats.empty_polls += 1
+            return []
+        self.stats.batches += 1
+        for job, _ in polled:
+            self._held[job.job_id] = job
+        acks: list[int] = []
+        nacks: list[tuple[int, str]] = []
+        results: list[JobResult] = []
+        latest = now
+        for job, queue_wait in polled:
+            outcome, result, reason = self._process_delivery(job, queue_wait)
+            if outcome == "ack":
+                acks.append(job.job_id)
+                results.append(result)
+                latest = max(latest, result.finished_at)
+            elif outcome == "nack":
+                nacks.append((job.job_id, reason))
+            else:
+                # died/wedged holding this job: a dead process flushes
+                # nothing — earlier completions in the batch are lost
+                # too and will be redelivered (answered from the
+                # result cache by whoever picks them up)
+                self._held.clear()
+                return []
+        ack_time = max(self.clock.now(), latest)
+        if acks:
+            if hasattr(self.broker, "ack_batch"):
+                self.broker.ack_batch(acks, now=ack_time)
+            else:
+                for job_id in acks:
+                    self.broker.ack(job_id, now=ack_time)
+            self.stats.acks += len(acks)
+        if nacks:
+            self.stats.nacks += len(nacks)
+            if hasattr(self.broker, "nack_batch"):
+                self.broker.nack_batch(nacks, self.clock.now())
+            else:
+                for job_id, reason in nacks:
+                    self.broker.nack(job_id, self.clock.now(),
+                                     reason=reason)
+        self._held.clear()
+        return results
+
+    def _process_delivery(self, job, queue_wait: float,
+                          ) -> tuple[str, JobResult | None, str]:
+        """Run one leased job; returns ``(outcome, result, nack_reason)``
+        with outcome ``"ack"`` (completed), ``"nack"`` (hand back for
+        redelivery), or ``"lost"`` (node died/wedged — never ack)."""
         self.stats.queue_wait_total += queue_wait
         now = self.clock.now()
         tag = requirement_tag(job)
@@ -150,7 +271,7 @@ class WorkerDriver:
             self.stats.wedged += 1
             self._metric("job_wedged", {"job_id": job.job_id,
                                         "attempt": job.delivery.attempts})
-            return None
+            return "lost", None, ""
 
         cached = None
         if self.result_cache is not None:
@@ -191,20 +312,17 @@ class WorkerDriver:
                 self._metric("job_crashed", {
                     "job_id": job.job_id,
                     "attempt": job.delivery.attempts})
-                return None
+                return "lost", None, ""
             if self.result_cache is not None:
                 self.result_cache.complete(job, result)
             if result.status is JobStatus.FAILED:
                 # infrastructure failure with the node still up: hand
                 # the job back so another node gets a try
-                self.stats.nacks += 1
-                self.broker.nack(job.job_id, self.clock.now(),
-                                 reason=result.error or "worker failure")
                 self._metric("job_nacked", {
                     "job_id": job.job_id,
                     "attempt": job.delivery.attempts,
                     "error": result.error})
-                return None
+                return "nack", result, result.error or "worker failure"
             self.stats.container_seconds += acquire_cost + release_cost
             self.stats.jobs += 1
 
@@ -215,9 +333,6 @@ class WorkerDriver:
             result.extra["container"] = container.name
             result.extra["gpu_slot"] = container.gpu_slot
 
-        self.broker.ack(job.job_id,
-                        now=max(self.clock.now(), result.finished_at))
-        self.stats.acks += 1
         result.extra["queue_wait_s"] = queue_wait
         result.extra["container_s"] = acquire_cost + release_cost
         result.extra["attempts"] = job.delivery.attempts
@@ -233,7 +348,7 @@ class WorkerDriver:
             "service_s": result.service_seconds,
             "container_s": acquire_cost + release_cost,
         })
-        return result
+        return "ack", result, ""
 
     def _recycle(self) -> None:
         """Preventive hygiene: after max_jobs_before_recycle jobs, tear

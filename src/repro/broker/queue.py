@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.cluster.job import Job
-from repro.telemetry import Telemetry, WARNING
+from repro.telemetry import QUEUE_WAIT_SECONDS, Telemetry, WARNING, job_class
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,8 @@ class QueueStats:
     expired_leases: int = 0
     dead_lettered: int = 0
     cancelled: int = 0
+    renewed: int = 0            # lease deadlines extended
+    restored: int = 0           # jobs re-seated by failover/rebalance
 
     def snapshot(self, depth: int, in_flight: int = 0) -> dict[str, int]:
         return {"enqueued": self.enqueued, "dequeued": self.dequeued,
@@ -68,7 +70,17 @@ class QueueStats:
                 "redelivered": self.redelivered,
                 "expired_leases": self.expired_leases,
                 "dead_lettered": self.dead_lettered,
-                "cancelled": self.cancelled, "in_flight": in_flight}
+                "cancelled": self.cancelled, "renewed": self.renewed,
+                "restored": self.restored, "in_flight": in_flight}
+
+    def add(self, other: "QueueStats") -> None:
+        """Fold another queue's counters in (the fabric-wide view)."""
+        for field_ in ("enqueued", "dequeued", "rejected_polls", "acked",
+                       "nacked", "redelivered", "expired_leases",
+                       "dead_lettered", "cancelled", "renewed", "restored"):
+            setattr(self, field_,
+                    getattr(self, field_) + getattr(other, field_))
+        self.peak_depth = max(self.peak_depth, other.peak_depth)
 
 
 @dataclass
@@ -142,8 +154,11 @@ class JobQueue:
     def in_flight_count(self) -> int:
         return len(self._leases)
 
-    def publish(self, job: Job, now: float) -> None:
-        self._items.append(_Waiting(now, job))
+    def publish(self, job: Job, now: float, not_before: float = 0.0) -> None:
+        """Accept a job. ``not_before`` delays its first delivery (the
+        admission controller's deferral path); the queue wait the
+        student sees still starts at ``now``."""
+        self._items.append(_Waiting(now, job, not_before=not_before))
         self.stats.enqueued += 1
         self.stats.peak_depth = max(self.stats.peak_depth, len(self._items))
         self._count("enqueued")
@@ -177,6 +192,13 @@ class JobQueue:
                 self.stats.dequeued += 1
                 job.delivery.attempts += 1
                 self._count("dequeued")
+                # queue-level wait observation, sliced by admission
+                # class — the SLO burn meter's input signal
+                self.telemetry.metrics.histogram(
+                    QUEUE_WAIT_SECONDS,
+                    "queue wait per delivery by admission class").observe(
+                        max(0.0, now - item.enqueued_at),
+                        klass=job_class(job))
                 span = None
                 tracer = self.telemetry.tracer
                 if tracer.enabled:
@@ -204,6 +226,21 @@ class JobQueue:
         self.stats.rejected_polls += 1
         self._count("rejected_polls")
         return None
+
+    def poll_batch(self, capabilities: frozenset[str], num_gpus: int,
+                   now: float, consumer: str = "",
+                   max_jobs: int = 8) -> list[tuple[Job, float]]:
+        """Lease up to ``max_jobs`` satisfiable jobs in one round-trip —
+        the batched-I/O half of the deadline-storm fix (one RPC per
+        pump tick instead of one per job)."""
+        out: list[tuple[Job, float]] = []
+        while len(out) < max_jobs:
+            polled = self.poll(capabilities, num_gpus, now,
+                               consumer=consumer)
+            if polled is None:
+                break
+            out.append(polled)
+        return out
 
     # -- lease lifecycle ---------------------------------------------------
 
@@ -236,6 +273,33 @@ class JobQueue:
             lease.span.end(time=now, outcome="nacked")
         self._redeliver(lease, now, reason)
         return True
+
+    def ack_batch(self, job_ids: list[int],
+                  now: float | None = None) -> int:
+        """Retire many leases in one round-trip; returns acks landed."""
+        return sum(1 for job_id in job_ids if self.ack(job_id, now=now))
+
+    def nack_batch(self, failures: list[tuple[int, str]], now: float) -> int:
+        """Report many failed deliveries in one round-trip."""
+        return sum(1 for job_id, reason in failures
+                   if self.nack(job_id, now, reason=reason))
+
+    def renew(self, job_ids: list[int], now: float) -> int:
+        """Extend the lease deadline for every listed job still held —
+        one round-trip covering a consumer's whole working set. Unknown
+        or already-expired leases are skipped (the consumer finds out
+        at ack time, exactly as with a lost single renewal)."""
+        renewed = 0
+        for job_id in job_ids:
+            lease = self._leases.get(job_id)
+            if lease is None:
+                continue
+            lease.deadline = now + self.policy.visibility_timeout_s
+            renewed += 1
+        if renewed:
+            self.stats.renewed += renewed
+            self._count("renewed", renewed)
+        return renewed
 
     def expire_leases(self, now: float) -> list[Job]:
         """Redeliver every job whose lease deadline has passed — the
@@ -286,6 +350,37 @@ class JobQueue:
                _Waiting(lease.enqueued_at, job, not_before=now + delay),
                key=lambda w: w.enqueued_at)
         self.stats.peak_depth = max(self.stats.peak_depth, len(self._items))
+
+    # -- fabric failover / rebalancing hooks -------------------------------
+
+    def restore(self, job: Job, enqueued_at: float,
+                not_before: float = 0.0) -> None:
+        """Re-seat a job accepted by another (failed or resharded)
+        queue instance, preserving its original enqueue time so FIFO
+        order and the student-visible wait survive the move."""
+        insort(self._items, _Waiting(enqueued_at, job,
+                                     not_before=not_before),
+               key=lambda w: w.enqueued_at)
+        self.stats.enqueued += 1
+        self.stats.restored += 1
+        self.stats.peak_depth = max(self.stats.peak_depth, len(self._items))
+        self._count("restored")
+        self._gauge_depths()
+
+    def restore_dead(self, dead: DeadLetter) -> None:
+        """Re-park a dead letter carried over from a failed replica."""
+        self._dead[dead.job.job_id] = dead
+
+    def take(self, job_id: int) -> tuple[Job, float] | None:
+        """Remove a *waiting* job for migration to another shard;
+        returns ``(job, enqueued_at)`` or ``None`` (leased and dead
+        jobs are not migratable — leases drain in place)."""
+        for i, item in enumerate(self._items):
+            if item.job.job_id == job_id:
+                del self._items[i]
+                self._gauge_depths()
+                return item.job, item.enqueued_at
+        return None
 
     def cancel(self, job_id: int) -> bool:
         """Remove a waiting job nobody should run (e.g. its submitter

@@ -31,6 +31,7 @@ from repro.cluster.scaling import (
     DeadlineAwareScaler,
     ReactiveAutoscaler,
     ScalingDecision,
+    SLOBurnPolicy,
     StaticProvisioner,
 )
 from repro.cluster.faults import FaultInjector
@@ -52,6 +53,7 @@ __all__ = [
     "PushDispatcher",
     "ReactiveAutoscaler",
     "ScalingDecision",
+    "SLOBurnPolicy",
     "StaticProvisioner",
     "WorkerConfig",
     "WorkerPool",

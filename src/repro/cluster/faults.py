@@ -50,6 +50,19 @@ class FaultInjector:
         worker.wedged = False
         self.log.append(("heal", worker.name))
 
+    def crash_shard(self, fabric, name: str, now: float):
+        """Kill one broker-fabric shard's primary queue; the shard
+        promotes its synchronous replica (waiting jobs, leases, DLQ all
+        survive). Returns the shard's FailoverReport."""
+        report = fabric.crash_shard(name, now)
+        self.log.append(("crash_shard", name))
+        return report
+
+    def crash_random_shard(self, fabric, now: float):
+        """Crash one random shard (deterministic under the seed)."""
+        name = self._rng.choice(sorted(fabric.shards))
+        return self.crash_shard(fabric, name, now)
+
     def crash_random(self, workers: list[GpuWorker]) -> GpuWorker | None:
         """Crash one random alive worker; returns it (or None)."""
         alive = [w for w in workers if w.alive]

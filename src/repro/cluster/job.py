@@ -58,6 +58,9 @@ class Job:
     kind: JobKind = JobKind.RUN_DATASET
     dataset_index: int = 0
     user: str = ""
+    #: course key; with the lab slug it forms the fabric partition key
+    #: ``course/lab`` so one course's deadline storm lands on one shard
+    course: str = ""
     submission_id: int = 0
     submitted_at: float = 0.0
     job_id: int = field(default_factory=lambda: next(_job_ids))

@@ -12,7 +12,11 @@ Three policies cover the space the benchmarks sweep:
 * :class:`ReactiveAutoscaler` — utilisation-tracking scale up/down
   with a cooldown (the cloud-native answer);
 * :class:`DeadlineAwareScaler` — reactive plus a pre-deadline boost
-  window, modelling what the operators actually did.
+  window, modelling what the operators actually did;
+* :class:`SLOBurnPolicy` — sizes the fleet on the *observed* queue-wait
+  SLO burn rate (p95 / target) instead of raw depth or offered load —
+  multiplicative increase while the SLO burns, slow additive decrease
+  once it recovers (the fabric autoscaler's policy head).
 """
 
 from __future__ import annotations
@@ -79,6 +83,55 @@ class ReactiveAutoscaler:
             self.decisions.append(decision)
             return decision
         return ScalingDecision(now, self._current_target, "hold")
+
+
+@dataclass
+class SLOBurnPolicy:
+    """Multiplicative-increase / additive-decrease sizing on SLO burn.
+
+    ``burn`` is the control signal from the SLO meter: windowed p95
+    queue wait divided by the SLO target. Above 1.0 the fleet grows by
+    the burn factor (capped at ``max_step_factor`` per decision — a 4x
+    burn does not quadruple the fleet in one cooldown, it doubles it
+    twice); below ``scale_down_burn`` it shrinks by one worker at a
+    time, so recovery never flaps back into the storm.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 64
+    scale_down_burn: float = 0.5
+    max_step_factor: float = 2.0
+    cooldown_s: float = 60.0
+    _last_change: float = field(default=-math.inf)
+    decisions: list[ScalingDecision] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1 or self.max_workers < self.min_workers:
+            raise ValueError("need 1 <= min_workers <= max_workers")
+        if self.max_step_factor <= 1.0:
+            raise ValueError("max_step_factor must be > 1")
+
+    def target_workers(self, now: float, burn: float,
+                       current: int) -> ScalingDecision:
+        current = max(current, 1)
+        if now - self._last_change < self.cooldown_s:
+            return ScalingDecision(now, current, "hold (cooldown)")
+        if burn > 1.0:
+            factor = min(burn, self.max_step_factor)
+            desired = min(self.max_workers,
+                          max(current + 1, math.ceil(current * factor)))
+            reason = f"slo burn {burn:.2f}x"
+        elif burn < self.scale_down_burn:
+            desired = max(self.min_workers, current - 1)
+            reason = f"slo recovered (burn {burn:.2f}x)"
+        else:
+            return ScalingDecision(now, current, "hold")
+        if desired != current:
+            self._last_change = now
+            decision = ScalingDecision(now, desired, reason)
+            self.decisions.append(decision)
+            return decision
+        return ScalingDecision(now, current, "hold")
 
 
 @dataclass

@@ -37,6 +37,7 @@ from repro.core.gradebook import GradeEntry
 from repro.core.platform import PlatformError, WebGPU
 from repro.core.users import User
 from repro.db import Database, ReplicatedDatabase
+from repro.fabric import BrokerFabric, FabricConfig
 from repro.storage import ObjectStore
 from repro.telemetry import NULL_SPAN, Telemetry, requirement_tag
 
@@ -56,7 +57,8 @@ class WebGPU2(WebGPU):
                  images: tuple[ContainerImage, ...] = DEFAULT_IMAGES,
                  caches: "PlatformCaches | None" = None,
                  delivery: DeliveryPolicy | None = None,
-                 telemetry: "Telemetry | None" = None):
+                 telemetry: "Telemetry | None" = None,
+                 fabric: FabricConfig | None = None):
         self.zones = zones
         self.images = images
         # resolve clock + telemetry before the broker: the broker (and
@@ -64,8 +66,18 @@ class WebGPU2(WebGPU):
         clock = clock or ManualClock()
         telemetry = (telemetry if telemetry is not None
                      else Telemetry(clock=clock))
-        self.broker = MessageBroker(zones=zones, policy=delivery,
-                                    telemetry=telemetry)
+        self.fabric_config = fabric
+        if fabric is not None:
+            # sharded fabric: consistent-hash shards with replica
+            # failover, batched delivery I/O, and deadline-aware
+            # admission replacing the single zone-replicated queue
+            self.broker = BrokerFabric.from_config(
+                fabric, policy=delivery, telemetry=telemetry)
+            self._batch_size = fabric.batch_size
+        else:
+            self.broker = MessageBroker(zones=zones, policy=delivery,
+                                        telemetry=telemetry)
+            self._batch_size = 1
         self.config_server = ConfigServer()
         self.metrics = ReplicatedDatabase("metrics")
         for zone in zones:
@@ -130,15 +142,24 @@ class WebGPU2(WebGPU):
         delivery event so redelivery completes within one pump.
         """
         results: list[JobResult] = []
+        batched = self._batch_size > 1 and hasattr(self.broker,
+                                                   "poll_batch")
         steps = 0
         while steps < max_steps:
             progressed = False
             for driver in self.drivers:
-                result = driver.step()
-                steps += 1
-                if result is not None:
-                    results.append(result)
-                    progressed = True
+                if batched:
+                    batch = driver.step_batch(max_jobs=self._batch_size)
+                    steps += 1
+                    if batch:
+                        results.extend(batch)
+                        progressed = True
+                else:
+                    result = driver.step()
+                    steps += 1
+                    if result is not None:
+                        results.append(result)
+                        progressed = True
             if not progressed and not self._advance_delivery():
                 break
         return results
@@ -219,7 +240,7 @@ class WebGPU2(WebGPU):
 
         job = Job(lab=lab, source=revision.source, kind=kind,
                   dataset_index=dataset_index, user=user.email,
-                  submitted_at=now)
+                  course=course_key, submitted_at=now)
         tracer = self.telemetry.tracer
         root = NULL_SPAN
         if tracer.enabled:
@@ -228,7 +249,26 @@ class WebGPU2(WebGPU):
                                       lab=lab_slug, kind=kind.value)
             job.trace = root.context
         self._last_root = root
-        self.broker.publish(job, now)
+        delay_s = 0.0
+        if hasattr(self.broker, "admit"):
+            decision = self.broker.admit(job, now)
+            if decision.action == "shed":
+                # admission shed (never a grading job): an honest
+                # REJECTED attempt, no broker round-trip spent on it
+                root.end(time=now, status=JobStatus.REJECTED.value)
+                result = JobResult(
+                    job_id=job.job_id, status=JobStatus.REJECTED,
+                    error=f"shed by admission control: {decision.reason}")
+                result.extra["admission"] = decision.reason
+                attempt = self.attempts.record(
+                    user.user_id, lab_slug, self._kind_for(kind),
+                    revision.revision_id, dataset_index, now, result)
+                self._last_results[(user.user_id, lab_slug)] = result
+                return attempt, result
+            delay_s = decision.delay_s
+            self.broker.publish(job, now, delay_s=delay_s)
+        else:
+            self.broker.publish(job, now)
         results = self.pump()
         result = next((r for r in results if r.job_id == job.job_id), None)
         if result is None:

@@ -1,0 +1,153 @@
+"""Deadline-aware admission control for the broker fabric.
+
+The paper's Fig. 1 spike is not uniform traffic: in the hours before a
+Wednesday deadline the queue carries three very different classes of
+work. ``submit-for-grading`` is the student's deadline — it must never
+be shed. ``run-on-dataset`` is iteration; it tolerates a delay.
+Compile-only ``preview`` checks are editor traffic (the VSC-WebGPU
+workload) and are the first thing to sacrifice. The controller watches
+the SLO burn signal and walks a ladder::
+
+    burn < defer_burn                -> OPEN      admit everything
+    defer_burn <= burn < shed_burn   -> DEFERRING previews + runs wait
+    burn >= shed_burn                -> SHEDDING  previews rejected,
+                                                  runs deferred longer
+    burn >= shed_run_burn            -> runs rejected too
+
+Grading submissions are admitted in every state. Hysteresis: the state
+only relaxes once burn drops below ``recover_burn`` — a controller
+that flaps at the threshold sheds and admits alternate students, which
+is worse than either policy applied consistently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.telemetry import Telemetry, job_class
+
+
+class AdmissionState(enum.Enum):
+    OPEN = "open"
+    DEFERRING = "deferring"
+    SHEDDING = "shedding"
+
+
+#: Numeric severity used for the dashboard gauge and hysteresis.
+_SEVERITY = {AdmissionState.OPEN: 0, AdmissionState.DEFERRING: 1,
+             AdmissionState.SHEDDING: 2}
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Burn thresholds and deferral delays for the class ladder."""
+
+    defer_burn: float = 1.0       # above: low-priority classes wait
+    shed_burn: float = 2.0        # above: previews are rejected
+    shed_run_burn: float = 4.0    # above: runs are rejected too
+    recover_burn: float = 0.8     # below: relax one state per sample
+    run_defer_s: float = 30.0     # run-on-dataset deferral delay
+    preview_defer_s: float = 120.0  # preview deferral delay
+
+    def __post_init__(self) -> None:
+        if not (self.recover_burn <= self.defer_burn
+                <= self.shed_burn <= self.shed_run_burn):
+            raise ValueError("need recover_burn <= defer_burn <= "
+                             "shed_burn <= shed_run_burn")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """What to do with one submitted job."""
+
+    action: str                   # "admit" | "defer" | "shed"
+    klass: str                    # "grade" | "run" | "preview"
+    delay_s: float = 0.0          # > 0 only when action == "defer"
+    reason: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        return self.action != "shed"
+
+
+class AdmissionController:
+    """Classifies jobs and applies the burn-driven ladder."""
+
+    def __init__(self, policy: AdmissionPolicy | None = None,
+                 telemetry: Telemetry | None = None):
+        self.policy = policy or AdmissionPolicy()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.state = AdmissionState.OPEN
+        self.burn = 0.0
+        self.shed = 0
+        self.deferred = 0
+        self.admitted = 0
+
+    def _gauge_state(self) -> None:
+        self.telemetry.metrics.gauge(
+            "webgpu_admission_state",
+            "0=open 1=deferring 2=shedding").set(_SEVERITY[self.state])
+
+    def observe_burn(self, burn: float, now: float) -> AdmissionState:
+        """Feed one SLO burn sample; returns the (possibly new) state."""
+        self.burn = burn
+        policy = self.policy
+        if burn >= policy.shed_burn:
+            target = AdmissionState.SHEDDING
+        elif burn >= policy.defer_burn:
+            target = AdmissionState.DEFERRING
+        else:
+            target = AdmissionState.OPEN
+        if _SEVERITY[target] > _SEVERITY[self.state]:
+            self.state = target           # tighten immediately
+        elif _SEVERITY[target] < _SEVERITY[self.state]:
+            # relax only once the burn is clearly back under budget,
+            # and only one rung per sample
+            if burn <= policy.recover_burn:
+                self.state = AdmissionState(
+                    {2: "deferring", 1: "open", 0: "open"}[
+                        _SEVERITY[self.state]])
+        self._gauge_state()
+        return self.state
+
+    def decide(self, job: Any, now: float) -> AdmissionDecision:
+        """Admission decision for one job under the current state."""
+        klass = job_class(job)
+        decision = self._decide(klass)
+        counts = {"admit": "admitted", "defer": "deferred",
+                  "shed": "shed"}[decision.action]
+        setattr(self, counts, getattr(self, counts) + 1)
+        self.telemetry.metrics.counter(
+            "webgpu_admission_total",
+            "admission decisions by class").inc(
+                decision=decision.action, klass=klass)
+        return decision
+
+    def _decide(self, klass: str) -> AdmissionDecision:
+        state, policy = self.state, self.policy
+        if klass == "grade" or state is AdmissionState.OPEN:
+            return AdmissionDecision("admit", klass)
+        if state is AdmissionState.DEFERRING:
+            delay = (policy.preview_defer_s if klass == "preview"
+                     else policy.run_defer_s)
+            return AdmissionDecision(
+                "defer", klass, delay_s=delay,
+                reason=f"queue-wait SLO burning at {self.burn:.2f}x; "
+                       f"{klass} deferred {delay:.0f}s")
+        # SHEDDING
+        if klass == "preview" or self.burn >= policy.shed_run_burn:
+            return AdmissionDecision(
+                "shed", klass,
+                reason=f"queue-wait SLO burning at {self.burn:.2f}x; "
+                       f"{klass} jobs are shed until the storm drains")
+        return AdmissionDecision(
+            "defer", klass, delay_s=policy.run_defer_s * 2,
+            reason=f"queue-wait SLO burning at {self.burn:.2f}x; "
+                   f"run deferred {policy.run_defer_s * 2:.0f}s")
+
+    def snapshot(self) -> dict[str, object]:
+        return {"state": self.state.value, "burn": round(self.burn, 4),
+                "admitted": self.admitted, "deferred": self.deferred,
+                "shed": self.shed}

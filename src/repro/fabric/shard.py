@@ -1,0 +1,247 @@
+"""One broker shard: a primary ``JobQueue`` plus a standby replica.
+
+The replica is modelled as synchronously-replicated delivery state:
+every publish, lease, ack, nack, expiry, and dead-letter is mirrored
+into a compact per-job record before the caller sees the response —
+the same contract a zone-replicated queue service gives. When the
+primary is lost, :meth:`crash` promotes the mirror into a fresh
+``JobQueue``:
+
+* **waiting** jobs are restored with their original enqueue time, so
+  FIFO order and the student-visible wait survive the failover;
+* **leased** jobs are re-seated for redelivery *exactly once* — the
+  in-flight delivery died with the primary, so its attempt is voided
+  (a shard loss must not walk innocent jobs toward the dead-letter
+  queue) and the failover is recorded in the job's delivery history;
+* **dead letters** are carried over untouched.
+
+Acked jobs were terminal before the crash and are simply gone — which
+is precisely at-least-once: nothing accepted is ever lost, and the
+only duplication window is a delivery in flight at the moment of loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.broker.queue import DeadLetter, DeliveryPolicy, JobQueue
+from repro.cluster.job import Job
+from repro.telemetry import WARNING, Telemetry
+
+
+@dataclass
+class _Mirror:
+    """Replicated per-job delivery state (what the standby knows)."""
+
+    job: Job
+    enqueued_at: float
+    leased: bool = False
+    not_before: float = 0.0
+
+
+@dataclass
+class ShardStats:
+    failovers: int = 0
+    restored_waiting: int = 0
+    restored_in_flight: int = 0
+    restored_dead: int = 0
+    migrated_out: int = 0
+    migrated_in: int = 0
+
+
+@dataclass
+class FailoverReport:
+    """What one replica promotion recovered."""
+
+    shard: str
+    promoted_replica: str
+    waiting: int
+    in_flight: int
+    dead: int
+
+    @property
+    def recovered(self) -> int:
+        return self.waiting + self.in_flight
+
+
+class FabricShard:
+    """A named shard of the broker fabric."""
+
+    def __init__(self, name: str, policy: DeliveryPolicy | None = None,
+                 telemetry: Telemetry | None = None, replicas: int = 2):
+        if replicas < 1:
+            raise ValueError("a shard needs at least one replica")
+        self.name = name
+        self.policy = policy or DeliveryPolicy()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.replicas = replicas
+        self._generation = 0          # bumps on every promotion
+        self.queue = self._new_queue()
+        self._mirror: dict[int, _Mirror] = {}
+        self._dead_mirror: dict[int, DeadLetter] = {}
+        self.stats = ShardStats()
+        self.publishes = 0
+        self.polls = 0
+
+    def _new_queue(self) -> JobQueue:
+        return JobQueue(name=f"{self.name}/r{self._generation}",
+                        policy=self.policy, telemetry=self.telemetry)
+
+    @property
+    def primary_replica(self) -> str:
+        return f"{self.name}/r{self._generation}"
+
+    # -- replicated delivery operations ------------------------------------
+
+    def publish(self, job: Job, now: float, not_before: float = 0.0) -> None:
+        self._mirror[job.job_id] = _Mirror(job, now, not_before=not_before)
+        self.publishes += 1
+        self.queue.publish(job, now, not_before=not_before)
+
+    def poll(self, capabilities: frozenset[str], num_gpus: int, now: float,
+             consumer: str = "") -> tuple[Job, float] | None:
+        self.polls += 1
+        polled = self.queue.poll(capabilities, num_gpus, now,
+                                 consumer=consumer)
+        if polled is not None:
+            record = self._mirror.get(polled[0].job_id)
+            if record is not None:
+                record.leased = True
+        return polled
+
+    def poll_batch(self, capabilities: frozenset[str], num_gpus: int,
+                   now: float, consumer: str = "",
+                   max_jobs: int = 8) -> list[tuple[Job, float]]:
+        self.polls += 1
+        out = self.queue.poll_batch(capabilities, num_gpus, now,
+                                    consumer=consumer, max_jobs=max_jobs)
+        for job, _ in out:
+            record = self._mirror.get(job.job_id)
+            if record is not None:
+                record.leased = True
+        return out
+
+    def ack(self, job_id: int, now: float | None = None) -> bool:
+        ok = self.queue.ack(job_id, now=now)
+        if ok:
+            self._mirror.pop(job_id, None)
+        return ok
+
+    def nack(self, job_id: int, now: float,
+             reason: str = "consumer nack") -> bool:
+        ok = self.queue.nack(job_id, now, reason=reason)
+        if ok:
+            self._sync_after_failure(job_id)
+        return ok
+
+    def renew(self, job_ids: list[int], now: float) -> int:
+        return self.queue.renew(job_ids, now)
+
+    def expire_leases(self, now: float) -> list[Job]:
+        expired = self.queue.expire_leases(now)
+        for job in expired:
+            self._sync_after_failure(job.job_id)
+        return expired
+
+    def _sync_after_failure(self, job_id: int) -> None:
+        """After a nack/expiry the job is either waiting out a backoff
+        or dead-lettered; mirror whichever happened."""
+        dead = self.queue.dead_letter(job_id)
+        if dead is not None:
+            self._mirror.pop(job_id, None)
+            self._dead_mirror[job_id] = dead
+            return
+        record = self._mirror.get(job_id)
+        if record is not None:
+            record.leased = False
+
+    def cancel(self, job_id: int) -> bool:
+        ok = self.queue.cancel(job_id)
+        if ok:
+            self._mirror.pop(job_id, None)
+        return ok
+
+    # -- migration (ring rebalancing) --------------------------------------
+
+    def take(self, job_id: int) -> tuple[Job, float] | None:
+        taken = self.queue.take(job_id)
+        if taken is not None:
+            self._mirror.pop(job_id, None)
+            self.stats.migrated_out += 1
+        return taken
+
+    def restore(self, job: Job, enqueued_at: float,
+                not_before: float = 0.0) -> None:
+        self._mirror[job.job_id] = _Mirror(job, enqueued_at,
+                                           not_before=not_before)
+        self.stats.migrated_in += 1
+        self.queue.restore(job, enqueued_at, not_before=not_before)
+
+    # -- failover ----------------------------------------------------------
+
+    def crash(self, now: float) -> FailoverReport:
+        """Lose the primary replica; promote the standby's mirror."""
+        self._generation += 1
+        self.stats.failovers += 1
+        self.queue = self._new_queue()
+        waiting = in_flight = 0
+        for record in sorted(self._mirror.values(),
+                             key=lambda r: r.enqueued_at):
+            job = record.job
+            if record.leased:
+                # the delivery died with the primary: void its attempt
+                # (infrastructure loss, not consumer failure) and note
+                # the failover in the job's history
+                job.delivery.attempts = max(0, job.delivery.attempts - 1)
+                job.delivery.failures.append({
+                    "time": now, "consumer": "",
+                    "attempt": job.delivery.attempts,
+                    "reason": f"shard {self.name} failover",
+                    "counted": False})
+                record.leased = False
+                in_flight += 1
+            else:
+                waiting += 1
+            self.queue.restore(job, record.enqueued_at,
+                               not_before=record.not_before)
+        for dead in self._dead_mirror.values():
+            self.queue.restore_dead(dead)
+        self.stats.restored_waiting += waiting
+        self.stats.restored_in_flight += in_flight
+        self.stats.restored_dead += len(self._dead_mirror)
+        report = FailoverReport(shard=self.name,
+                                promoted_replica=self.primary_replica,
+                                waiting=waiting, in_flight=in_flight,
+                                dead=len(self._dead_mirror))
+        self.telemetry.metrics.counter(
+            "webgpu_shard_failovers_total",
+            "replica promotions per shard").inc(shard=self.name)
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            tracer.log_event("shard.failover", time=now, level=WARNING,
+                             shard=self.name,
+                             replica=self.primary_replica,
+                             waiting=waiting, in_flight=in_flight)
+        return report
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self.queue)
+
+    @property
+    def in_flight_count(self) -> int:
+        return self.queue.in_flight_count
+
+    def waiting_ids(self) -> list[int]:
+        return [job.job_id for job in self.queue.waiting()]
+
+    def snapshot(self) -> dict[str, object]:
+        return {"depth": self.depth,
+                "in_flight": self.in_flight_count,
+                "dead_letters": len(self.queue.dead_letters()),
+                "replica": self.primary_replica,
+                "failovers": self.stats.failovers,
+                "publishes": self.publishes,
+                "polls": self.polls}

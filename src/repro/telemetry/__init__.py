@@ -48,6 +48,30 @@ STAGES = ("queue_wait", "container_acquire", "compile", "exec",
 #: Histogram family name for the per-stage breakdown.
 STAGE_SECONDS = "webgpu_stage_seconds"
 
+#: Queue-level wait histogram, labeled by admission class — observed by
+#: the JobQueue itself at poll time so the SLO burn meter sees every
+#: delivery (batched or not, fabric or single queue).
+QUEUE_WAIT_SECONDS = "webgpu_queue_wait_seconds"
+
+#: Gauge the SLO controller publishes: observed p95 queue wait divided
+#: by the SLO target (1.0 = exactly on budget).
+SLO_BURN = "webgpu_slo_burn"
+
+#: Admission classes in shed order: ``preview`` goes first, ``run``
+#: may be deferred, ``grade`` (submit-for-grading) is never shed.
+ADMISSION_CLASSES = ("grade", "run", "preview")
+
+_KIND_TO_CLASS = {"grade": "grade", "run": "run", "compile": "preview"}
+
+
+def job_class(job: Any) -> str:
+    """The admission/priority class of a job: ``grade`` for
+    submit-for-grading, ``run`` for run-on-dataset, ``preview`` for
+    compile-only checks (the deferral order the paper's deadline storm
+    demands: never shed a grading submission)."""
+    kind = getattr(getattr(job, "kind", None), "value", "")
+    return _KIND_TO_CLASS.get(kind, "run")
+
 
 def requirement_tag(job: Any) -> str:
     """The label the per-stage latency breakdown is sliced by: the
@@ -147,6 +171,7 @@ __all__ = [
     "Tracer", "NullTracer", "Span", "NullSpan", "TraceContext",
     "NULL_SPAN", "INFO", "WARNING",
     "Telemetry", "disabled", "requirement_tag", "STAGES", "STAGE_SECONDS",
+    "QUEUE_WAIT_SECONDS", "SLO_BURN", "ADMISSION_CLASSES", "job_class",
     "KERNEL_WALL_SECONDS", "KERNEL_SIM_SECONDS",
     "dump_jsonl", "write_jsonl", "read_jsonl", "waterfall", "render_trace",
 ]

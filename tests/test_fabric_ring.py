@@ -1,0 +1,100 @@
+"""Consistent-hash ring: balance, minimal remapping, determinism."""
+
+import pytest
+
+from repro.fabric import HashRing, stable_hash
+
+KEYS = [f"course-{c}/lab-{l}" for c in range(40) for l in range(25)]
+
+
+class TestStableHash:
+    def test_stable_across_calls(self):
+        assert stable_hash("ece408/vector-add") == \
+            stable_hash("ece408/vector-add")
+
+    def test_64_bit_range(self):
+        for key in KEYS[:50]:
+            assert 0 <= stable_hash(key) < 2 ** 64
+
+    def test_distinct_keys_distinct_hashes(self):
+        hashes = {stable_hash(k) for k in KEYS}
+        assert len(hashes) == len(KEYS)
+
+
+class TestHashRing:
+    def test_empty_ring_refuses_lookup(self):
+        with pytest.raises(RuntimeError):
+            HashRing().shard_for("k")
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(("a",), vnodes=0)
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(("a",))
+        with pytest.raises(ValueError):
+            ring.add("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            HashRing(("a",)).remove("b")
+
+    def test_deterministic_assignment(self):
+        one = HashRing(tuple(f"s{i}" for i in range(8)))
+        two = HashRing(tuple(f"s{i}" for i in range(8)))
+        assert one.assignments(KEYS) == two.assignments(KEYS)
+
+    def test_insertion_order_irrelevant(self):
+        names = [f"s{i}" for i in range(6)]
+        fwd = HashRing(tuple(names))
+        rev = HashRing(tuple(reversed(names)))
+        assert fwd.assignments(KEYS) == rev.assignments(KEYS)
+
+    def test_reasonable_balance(self):
+        ring = HashRing(tuple(f"s{i}" for i in range(8)))
+        load = ring.load(KEYS)
+        expected = len(KEYS) / 8
+        assert all(count > 0 for count in load.values())
+        # vnode hashing is not perfect, but no shard should carry more
+        # than ~2.5x or less than ~0.3x its fair share
+        assert max(load.values()) < expected * 2.5
+        assert min(load.values()) > expected * 0.3
+
+    def test_add_remaps_about_one_nth(self):
+        ring = HashRing(tuple(f"s{i}" for i in range(8)))
+        before = ring.assignments(KEYS)
+        ring.add("s8")
+        after = ring.assignments(KEYS)
+        moved = [k for k in KEYS if before[k] != after[k]]
+        # ~K/9 keys should move; allow generous slack for hash variance
+        assert len(moved) < len(KEYS) / 9 * 2.5
+        # and every moved key moves TO the new shard, never laterally
+        assert all(after[k] == "s8" for k in moved)
+
+    def test_remove_remaps_only_lost_shard(self):
+        ring = HashRing(tuple(f"s{i}" for i in range(8)))
+        before = ring.assignments(KEYS)
+        ring.remove("s3")
+        after = ring.assignments(KEYS)
+        moved = [k for k in KEYS if before[k] != after[k]]
+        # exactly the removed shard's keys move, nothing else
+        assert set(moved) == {k for k in KEYS if before[k] == "s3"}
+        assert all(after[k] != "s3" for k in KEYS)
+
+    def test_membership_and_len(self):
+        ring = HashRing(("a", "b"))
+        assert len(ring) == 2 and "a" in ring and "c" not in ring
+        ring.remove("a")
+        assert len(ring) == 1 and "a" not in ring
+
+    def test_preference_lists_distinct_shards(self):
+        ring = HashRing(tuple(f"s{i}" for i in range(5)))
+        for key in KEYS[:100]:
+            pref = ring.preference(key, n=3)
+            assert len(pref) == 3
+            assert len(set(pref)) == 3
+            assert pref[0] == ring.shard_for(key)
+
+    def test_preference_capped_by_ring_size(self):
+        ring = HashRing(("a", "b"))
+        assert sorted(ring.preference("k", n=10)) == ["a", "b"]
