@@ -1,20 +1,24 @@
-"""Kernel execution engines: closure compilation vs tree-walking.
+"""Kernel execution engines: compiled backends vs tree-walking.
 
 The grading path spends most of its simulated-GPU time inside
-``repro.minicuda``'s kernel interpreter. The ``closure`` engine
-(:mod:`repro.minicuda.codegen`) lowers each kernel's checked AST once
-per program into nested Python closures — no per-node dispatch at
-runtime, compile-time variable slots instead of chained dict lookups,
-and plain function calls (no generators) for barrier-free kernels.
+``repro.minicuda``'s kernel interpreter. Two compiled engines lower
+each kernel's checked AST once per program: ``closure``
+(:mod:`repro.minicuda.codegen`) into nested Python closures, and
+``codegen`` (:mod:`repro.minicuda.srcgen`) into generated Python
+source compiled with :func:`compile` — straight-line bytecode, flat
+2-D shared indexing, hoisted builtins, and a warp-vectorized fast
+path for divergence-free kernels.
 
 This benchmark runs four canonical course kernels (vector add, tiled
 matrix multiply, histogram with shared-memory privatization, and a
-block reduction) under both engines, requires every profiling counter
+block reduction) under all engines, requires every profiling counter
 to be bit-identical, and records the speedups in
 ``BENCH_kernel_engine.json``.
 
-Acceptance: closure >= 3x over the tree-walker on tiled matmul at full
-sizing (>= 2x at the ``WEBGPU_BENCH_FAST=1`` CI smoke sizing).
+Acceptance at full sizing: closure >= 3x over the tree-walker on
+tiled matmul; codegen >= 10x on tiled matmul AND reduction. The
+``WEBGPU_BENCH_FAST=1`` CI smoke sizing uses conservative floors
+(compile time is a bigger share of the tiny runs).
 """
 
 from __future__ import annotations
@@ -34,6 +38,8 @@ from repro.minicuda import ENGINES, compile_source
 
 FAST = bool(os.environ.get("WEBGPU_BENCH_FAST"))
 MATMUL_FLOOR = 2.0 if FAST else 3.0
+#: codegen floors on (tiled_matmul, reduction)
+CODEGEN_FLOOR = 3.0 if FAST else 10.0
 
 #: problem sizes: (vecadd n, matmul n, histogram n, reduction n)
 SIZES = (2_048, 24, 2_048, 2_048) if FAST else (16_384, 64, 16_384, 16_384)
@@ -112,19 +118,32 @@ int main() { return 0; }
 
 
 def _run_case(source, kernel, grid, block, buf_specs, scalars, engine):
-    """One launch; returns (wall seconds, KernelStats, output arrays)."""
-    program = compile_source(source)
-    rt = GpuRuntime(Device())
-    bufs = []
-    for n, dtype, init in buf_specs:
-        buf = rt.malloc(n, dtype)
-        if init is not None:
-            rt.memcpy_htod(buf, init)
-        bufs.append(buf)
-    args = [b.ptr() for b in bufs] + list(scalars)
-    t0 = time.perf_counter()
-    stats = program.launch(rt, kernel, grid, block, *args, engine=engine)
-    wall = time.perf_counter() - t0
+    """Best-of-reps launch; returns (wall s, KernelStats, outputs).
+
+    Launches are deterministic, so repeats exist only to tame wall
+    clock noise: short runs repeat (up to 3x) until ~1s of total
+    measurement, long runs pay a single rep. The reported wall is the
+    minimum — the run least disturbed by the host.
+    """
+    wall = float("inf")
+    elapsed = 0.0
+    for _ in range(3):
+        program = compile_source(source)
+        rt = GpuRuntime(Device())
+        bufs = []
+        for n, dtype, init in buf_specs:
+            buf = rt.malloc(n, dtype)
+            if init is not None:
+                rt.memcpy_htod(buf, init)
+            bufs.append(buf)
+        args = [b.ptr() for b in bufs] + list(scalars)
+        t0 = time.perf_counter()
+        stats = program.launch(rt, kernel, grid, block, *args, engine=engine)
+        rep = time.perf_counter() - t0
+        wall = min(wall, rep)
+        elapsed += rep
+        if elapsed >= 1.0:
+            break
     return wall, stats, [rt.memcpy_dtoh(b) for b in bufs]
 
 
@@ -163,32 +182,44 @@ def test_kernel_engine_speedup():
                                           bufs, scalars, engine)
             per_engine[engine] = (wall, stats, outs)
         wall_ast, stats_ast, outs_ast = per_engine["ast"]
-        wall_cl, stats_cl, outs_cl = per_engine["closure"]
-        # the closure engine must be a perfect stand-in: every profiled
-        # counter identical, every output array identical
-        for fld in STAT_FIELDS:
-            assert getattr(stats_ast, fld) == getattr(stats_cl, fld), \
-                f"{name}: {fld} diverged"
-        for arr_ast, arr_cl in zip(outs_ast, outs_cl):
-            assert np.array_equal(arr_ast, arr_cl), f"{name}: output diverged"
+        # every compiled engine must be a perfect stand-in for the
+        # tree-walker: every profiled counter identical, every output
+        # array identical
+        for engine in ENGINES:
+            if engine == "ast":
+                continue
+            _, stats_eng, outs_eng = per_engine[engine]
+            for fld in STAT_FIELDS:
+                assert getattr(stats_ast, fld) == getattr(stats_eng, fld), \
+                    f"{name}/{engine}: {fld} diverged"
+            for arr_ast, arr_eng in zip(outs_ast, outs_eng):
+                assert np.array_equal(arr_ast, arr_eng), \
+                    f"{name}/{engine}: output diverged"
+        wall_cl = per_engine["closure"][0]
+        wall_cg = per_engine["codegen"][0]
         speedup = wall_ast / wall_cl
+        cg_speedup = wall_ast / wall_cg
         rows.append({
             "kernel": name,
             "ast_s": f"{wall_ast:.3f}",
             "closure_s": f"{wall_cl:.3f}",
-            "speedup": f"{speedup:.2f}x",
+            "codegen_s": f"{wall_cg:.3f}",
+            "closure_x": f"{speedup:.2f}x",
+            "codegen_x": f"{cg_speedup:.2f}x",
             "instructions": stats_ast.instructions,
             "stats": "identical",
         })
         record["kernels"][name] = {
             "ast_seconds": wall_ast,
             "closure_seconds": wall_cl,
+            "codegen_seconds": wall_cg,
             "speedup": speedup,
+            "codegen_speedup": cg_speedup,
             "instructions": stats_ast.instructions,
             "stats_identical": True,
         }
 
-    print_table("Kernel engine: tree-walker vs closure compilation", rows)
+    print_table("Kernel engines: tree-walker vs closure vs codegen", rows)
     out_path = Path(__file__).resolve().parent.parent / \
         "BENCH_kernel_engine.json"
     out_path.write_text(json.dumps(record, indent=2) + "\n")
@@ -197,9 +228,16 @@ def test_kernel_engine_speedup():
     assert matmul_speedup >= MATMUL_FLOOR, (
         f"closure engine only {matmul_speedup:.2f}x on tiled matmul "
         f"(floor {MATMUL_FLOOR}x)")
-    # every kernel must at least not regress
+    for kernel in ("tiled_matmul", "reduction"):
+        cg = record["kernels"][kernel]["codegen_speedup"]
+        assert cg >= CODEGEN_FLOOR, (
+            f"codegen engine only {cg:.2f}x on {kernel} "
+            f"(floor {CODEGEN_FLOOR}x)")
+    # every kernel must at least not regress under either engine
     for name, entry in record["kernels"].items():
         assert entry["speedup"] > 1.0, f"{name} slower under closure engine"
+        assert entry["codegen_speedup"] > 1.0, \
+            f"{name} slower under codegen engine"
 
 
 if __name__ == "__main__":

@@ -82,6 +82,11 @@ class WorkerDriver:
         #: leases this node currently holds (poll -> ack/nack window);
         #: renewed in one batched round-trip per pump tick
         self._held: dict[int, Any] = {}
+        #: pump-cycle counter + the cycle that last renewed: coalesces
+        #: renew_held_leases to at most one round-trip per cycle no
+        #: matter how many call sites run in that cycle
+        self._pump_tick = 0
+        self._renewed_tick = -1
         ensure_metrics_table(metrics_db)
         containers.prestart()
 
@@ -122,7 +127,19 @@ class WorkerDriver:
     def renew_held_leases(self) -> int:
         """One batched renew round-trip covering every lease this node
         holds — instead of one round-trip per lease. The saved
-        round-trips are counted so the batching claim has receipts."""
+        round-trips are counted so the batching claim has receipts.
+
+        At most one renewal runs per pump cycle: both ``step`` and
+        ``step_batch`` historically called this at the top of the
+        cycle, where ``_held`` is always empty (leases are seated only
+        after the poll), so the renewal covered nothing — and a second
+        call site in the same cycle would double the RPC accounting.
+        The tick guard coalesces duplicate sites; ``step_batch`` now
+        renews right after seating its leases, when the batch is
+        actually held."""
+        if self._renewed_tick == self._pump_tick:
+            return 0
+        self._renewed_tick = self._pump_tick
         if not self._held:
             return 0
         held = list(self._held)
@@ -152,8 +169,8 @@ class WorkerDriver:
         """
         if not self.worker.alive or self.worker.wedged:
             return None
+        self._pump_tick += 1
         self.check_config()
-        self.renew_held_leases()
         self.stats.polls += 1
         polled = self.broker.poll(self.capabilities,
                                   self.worker.config.num_gpus,
@@ -188,8 +205,8 @@ class WorkerDriver:
         result cache makes the re-runs cheap)."""
         if not self.worker.alive or self.worker.wedged:
             return []
+        self._pump_tick += 1
         self.check_config()
-        self.renew_held_leases()
         self.stats.polls += 1
         now = self.clock.now()
         if hasattr(self.broker, "poll_batch"):
@@ -212,6 +229,9 @@ class WorkerDriver:
         self.stats.batches += 1
         for job, _ in polled:
             self._held[job.job_id] = job
+        # renew once per cycle while the batch is actually held (the
+        # old top-of-cycle call always saw an empty held set)
+        self.renew_held_leases()
         acks: list[int] = []
         nacks: list[tuple[int, str]] = []
         results: list[JobResult] = []

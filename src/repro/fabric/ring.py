@@ -82,17 +82,26 @@ class HashRing:
 
     def preference(self, key: str, n: int = 2) -> list[str]:
         """The first ``n`` *distinct* shards walking the ring from the
-        key's hash — the primary plus failover candidates."""
+        key's hash — the primary plus failover candidates.
+
+        Returns at most ``min(n, len(self))`` names: once every
+        physical shard has been collected the walk stops instead of
+        scanning the remaining ``vnodes * shards`` points (asking for
+        more failovers than shards used to cost a full ring sweep).
+        """
         if not self._points:
             raise RuntimeError("ring has no shards")
+        want = min(n, len(self._shards))
         out: list[str] = []
+        seen: set[str] = set()
         start = bisect_right(self._points, stable_hash(key))
-        for step in range(len(self._points)):
-            owner = self._owner[self._points[(start + step)
-                                             % len(self._points)]]
-            if owner not in out:
+        npoints = len(self._points)
+        for step in range(npoints):
+            owner = self._owner[self._points[(start + step) % npoints]]
+            if owner not in seen:
+                seen.add(owner)
                 out.append(owner)
-                if len(out) >= n:
+                if len(out) >= want:
                     break
         return out
 

@@ -80,6 +80,7 @@ class SLOBurnMeter:
         self.policy = policy or SLOPolicy()
         self._snapshot: dict[int, int] = {}
         self._last_sample_at = -math.inf
+        self._stall_proxy = 0.0
         self.samples: list[BurnSample] = []
 
     def _current_buckets(self) -> dict[int, int]:
@@ -101,9 +102,10 @@ class SLOBurnMeter:
         """Take one burn observation.
 
         ``stalled_wait_s`` is the caller's oldest-queued-job age: it is
-        the p95 stand-in when no delivery completed in the window, and
-        a floor on the signal when deliveries *are* flowing but the
-        backlog is aging faster than they drain.
+        the p95 stand-in when no delivery completed in the window.
+        Once deliveries flow again its influence halves per sample (it
+        never exceeds the live backlog age), so a recovering fleet
+        walks burn back down instead of latching at storm level.
         """
         current = self._current_buckets()
         window = {idx: n - self._snapshot.get(idx, 0)
@@ -113,7 +115,20 @@ class SLOBurnMeter:
         self._last_sample_at = now
         observations = sum(window.values())
         p95 = _window_p95(window)
-        effective = max(p95, stalled_wait_s)
+        if observations == 0:
+            # nothing delivered: the backlog age IS the signal
+            self._stall_proxy = stalled_wait_s
+        else:
+            # deliveries are flowing again. The oldest queued job
+            # stays old for the whole drain, so taking the raw
+            # backlog age as a floor would latch burn at storm level
+            # long after recovery and admission would never reopen.
+            # Halve the stall signal per delivering sample instead
+            # (still capped by the live backlog age — a *growing*
+            # backlog under load keeps its floor).
+            self._stall_proxy = min(self._stall_proxy / 2.0,
+                                    stalled_wait_s)
+        effective = max(p95, self._stall_proxy)
         burn = effective / self.policy.queue_wait_p95_slo_s
         sample = BurnSample(time=now, p95_s=effective, burn=burn,
                             observations=observations)

@@ -20,6 +20,7 @@ from repro.gpusim.grid import dim3
 from repro.gpusim.memory import DeviceBuffer, DevicePtr
 from repro.gpusim.scheduler import run_grid
 from repro.gpusim.timing import KernelStats, TimingModel
+from repro.telemetry import KERNEL_EXEC_SECONDS
 
 #: Host<->device transfer bandwidth (PCIe gen2 x16-ish), bytes/second.
 PCIE_BANDWIDTH = 6e9
@@ -116,8 +117,13 @@ class GpuRuntime:
     # -- kernel launch --------------------------------------------------------
 
     def launch(self, kernel: Callable[..., Any], grid: Any, block: Any,
-               *args: Any, kernel_name: str | None = None) -> KernelStats:
-        """``kernel<<<grid, block>>>(*args)``; returns the launch stats."""
+               *args: Any, kernel_name: str | None = None,
+               engine: str | None = None) -> KernelStats:
+        """``kernel<<<grid, block>>>(*args)``; returns the launch stats.
+
+        ``engine`` tags the per-engine exec-time histogram when
+        telemetry is attached (the interpreter passes its active
+        kernel engine through here)."""
         grid_d = dim3(grid)
         block_d = dim3(block)
         self.device.validate_launch(grid_d, block_d)
@@ -138,6 +144,11 @@ class GpuRuntime:
         if self.telemetry is not None:
             name = kernel_name or getattr(kernel, "__name__", "kernel")
             self.telemetry.record_kernel(name, wall, stats)
+            if engine is not None:
+                self.telemetry.metrics.histogram(
+                    KERNEL_EXEC_SECONDS,
+                    "Kernel exec wall time by engine",
+                ).observe(wall, engine=engine, kernel=name)
         if self.io_hook is not None:
             for line in output:
                 self.io_hook(line)

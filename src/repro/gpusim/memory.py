@@ -48,6 +48,11 @@ class DeviceBuffer:
         self.read_only = read_only
         self.label = label or f"alloc{self.alloc_id}"
         self.freed = False
+        # hot-path precomputes (read/byte_address run per simulated
+        # memory access; dtype comparisons and property hops add up)
+        self._itemsize = int(self.dtype.itemsize)
+        self._is_bool = self.dtype == np.bool_
+        self._base = self.alloc_id << 40
 
     @property
     def num_elements(self) -> int:
@@ -67,19 +72,21 @@ class DeviceBuffer:
             )
 
     def read(self, index: int) -> Any:
-        self._check(index)
+        if self.freed or not 0 <= index < self.data.size:
+            self._check(index)
         value = self.data[index]
-        return value.item() if self.dtype != np.bool_ else bool(value)
+        return bool(value) if self._is_bool else value.item()
 
     def write(self, index: int, value: Any) -> None:
-        self._check(index)
+        if self.freed or not 0 <= index < self.data.size:
+            self._check(index)
         if self.read_only:
             raise OutOfBoundsError(f"write to read-only memory {self.label}")
         self.data[index] = value
 
     def byte_address(self, index: int) -> int:
         """A synthetic flat byte address used by the coalescing model."""
-        return (self.alloc_id << 40) + index * self.dtype.itemsize
+        return self._base + index * self._itemsize
 
     def ptr(self, offset: int = 0) -> "DevicePtr":
         return DevicePtr(self, offset)
@@ -131,7 +138,7 @@ class SharedArray:
     bank conflicts when threads of a warp hit the same bank.
     """
 
-    __slots__ = ("name", "data", "dtype")
+    __slots__ = ("name", "data", "dtype", "_itemsize", "_cache")
 
     NUM_BANKS = 32
 
@@ -142,6 +149,13 @@ class SharedArray:
         self.name = name
         self.dtype = np.dtype(dtype)
         self.data = np.zeros(num_elements, dtype=self.dtype)
+        self._itemsize = int(self.dtype.itemsize)
+        # Python-scalar mirror of ``data``, refreshed on every write():
+        # shared reads dominate simulated kernels (tile loops hit each
+        # element many times) and a list index is ~20x cheaper than a
+        # numpy scalar read + .item(). All writes go through write(),
+        # so the mirror cannot go stale.
+        self._cache: list[Any] = self.data.tolist()
 
     @property
     def num_elements(self) -> int:
@@ -159,15 +173,18 @@ class SharedArray:
             )
 
     def read(self, index: int) -> Any:
-        self._check(index)
-        value = self.data[index]
-        return value.item() if self.dtype != np.bool_ else bool(value)
+        if not 0 <= index < self.data.size:
+            self._check(index)
+        return self._cache[index]
 
     def write(self, index: int, value: Any) -> None:
-        self._check(index)
-        self.data[index] = value
+        if not 0 <= index < self.data.size:
+            self._check(index)
+        data = self.data
+        data[index] = value  # numpy applies the dtype conversion
+        self._cache[index] = data[index].item()
 
     def bank(self, index: int) -> int:
         """Which of the 32 banks a 4-byte word at ``index`` maps to."""
-        byte = index * self.dtype.itemsize
+        byte = index * self._itemsize
         return (byte // 4) % self.NUM_BANKS

@@ -41,6 +41,10 @@ from repro.gpusim.timing import SEGMENT_BYTES, KernelStats
 #: Sentinel yielded by kernel generators at ``__syncthreads()``.
 SYNC = object()
 
+#: Local alias of :data:`SharedArray.NUM_BANKS` for the per-access
+#: bank computation in the thread-context hot path.
+_NUM_BANKS = SharedArray.NUM_BANKS
+
 #: Bits reserved for the per-thread access sequence number when packing
 #: a (warp, seq) warp-request key into one int64. The interpreter step
 #: budget (default 5e7) bounds seq far below 2**40.
@@ -181,7 +185,7 @@ class ThreadContext:
     """
 
     __slots__ = ("threadIdx", "blockIdx", "blockDim", "gridDim",
-                 "_block", "_warp", "_seq", "_linear_tid",
+                 "_block", "_warp", "_seq", "_linear_tid", "_stats",
                  "_loads", "_stores", "_shared_trace")
 
     def __init__(self, threadIdx: Idx3, blockIdx: Idx3, blockDim: Dim3,
@@ -191,6 +195,7 @@ class ThreadContext:
         self.blockDim = blockDim
         self.gridDim = gridDim
         self._block = block_state
+        self._stats = block_state.stats
         self._linear_tid = blockDim.linear_index(
             threadIdx.x, threadIdx.y, threadIdx.z)
         self._warp = self._linear_tid // block_state.device.spec.warp_size
@@ -221,26 +226,42 @@ class ThreadContext:
 
     def count_instr(self, n: int = 1) -> None:
         """Charge ``n`` dynamic instructions to this thread."""
-        self._block.stats.instructions += n
+        self._stats.instructions += n
 
     # -- global memory -----------------------------------------------------
 
     def load(self, ptr: DevicePtr, index: int = 0) -> Any:
         """Profiled, bounds-checked global load."""
-        value = ptr.read(index)
-        self._loads += (self._seq, ptr.byte_address(index),
-                        ptr.dtype.itemsize)
+        if type(ptr) is DevicePtr:
+            # fast path: resolve the buffer index once instead of
+            # paying read + byte_address + dtype wrapper hops
+            buf = ptr.buffer
+            i = ptr.offset + int(index)
+            value = buf.read(i)
+            nbytes = buf._itemsize
+            self._loads += (self._seq, buf._base + i * nbytes, nbytes)
+        else:
+            value = ptr.read(index)
+            self._loads += (self._seq, ptr.byte_address(index),
+                            ptr.dtype.itemsize)
         self._seq += 1
-        self._block.stats.instructions += 1
+        self._stats.instructions += 1
         return value
 
     def store(self, ptr: DevicePtr, index: int, value: Any) -> None:
         """Profiled, bounds-checked global store."""
-        ptr.write(index, value)
-        self._stores += (self._seq, ptr.byte_address(index),
-                         ptr.dtype.itemsize)
+        if type(ptr) is DevicePtr:
+            buf = ptr.buffer
+            i = ptr.offset + int(index)
+            buf.write(i, value)
+            nbytes = buf._itemsize
+            self._stores += (self._seq, buf._base + i * nbytes, nbytes)
+        else:
+            ptr.write(index, value)
+            self._stores += (self._seq, ptr.byte_address(index),
+                             ptr.dtype.itemsize)
         self._seq += 1
-        self._block.stats.instructions += 1
+        self._stats.instructions += 1
 
     # -- shared memory -------------------------------------------------------
 
@@ -262,18 +283,27 @@ class ThreadContext:
 
     def shared_load(self, arr: SharedArray, index: int) -> Any:
         index = int(index)
-        self._shared_trace += (self._seq, arr.bank(index),
-                               index * arr.dtype.itemsize // 4)
+        if type(arr) is SharedArray:
+            # bank == word % NUM_BANKS: compute the word index once
+            word = index * arr._itemsize // 4
+            self._shared_trace += (self._seq, word % _NUM_BANKS, word)
+        else:
+            self._shared_trace += (self._seq, arr.bank(index),
+                                   index * arr.dtype.itemsize // 4)
         self._seq += 1
-        self._block.stats.instructions += 1
+        self._stats.instructions += 1
         return arr.read(index)
 
     def shared_store(self, arr: SharedArray, index: int, value: Any) -> None:
         index = int(index)
-        self._shared_trace += (self._seq, arr.bank(index),
-                               index * arr.dtype.itemsize // 4)
+        if type(arr) is SharedArray:
+            word = index * arr._itemsize // 4
+            self._shared_trace += (self._seq, word % _NUM_BANKS, word)
+        else:
+            self._shared_trace += (self._seq, arr.bank(index),
+                                   index * arr.dtype.itemsize // 4)
         self._seq += 1
-        self._block.stats.instructions += 1
+        self._stats.instructions += 1
         arr.write(index, value)
 
     # -- atomics ---------------------------------------------------------------
@@ -351,6 +381,20 @@ def run_block(device: Device, kernel: Callable[..., Any], grid: Dim3,
     state.stats.warps = (block.count + warp_size - 1) // warp_size
 
     if not is_generator:
+        # Warp-vectorized fast path: an engine may attach a vector_run
+        # executor that runs a whole warp's lanes as batched operations
+        # (per-thread access order is preserved, and the coalescing /
+        # bank-conflict model keys on per-thread sequence numbers, so
+        # cross-lane interleaving is unobservable in the stats).
+        vector_run = getattr(kernel, "vector_run", None)
+        if vector_run is not None:
+            ctxs = [ThreadContext(Idx3(x, y, z), block_idx, block, grid,
+                                  state)
+                    for (x, y, z) in block.iter_points()]
+            for start in range(0, len(ctxs), warp_size):
+                vector_run(ctxs[start:start + warp_size])
+            state.finalize()
+            return BlockResult(stats=state.stats, output=state.output)
         # Barrier-free fast path: plain calls in linear-thread order —
         # no generator allocation, no next() driving, no barrier checks.
         for (x, y, z) in block.iter_points():

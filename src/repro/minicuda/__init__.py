@@ -23,7 +23,12 @@ course (Table II):
 * :mod:`repro.minicuda.codegen` — the ``closure`` kernel execution
   engine (the default): lowers each checked kernel AST once into nested
   Python closures, memoized per program fingerprint, with the
-  tree-walker kept as the ``ast`` reference oracle.
+  tree-walker kept as the ``ast`` reference oracle;
+* :mod:`repro.minicuda.srcgen` — the ``codegen`` engine: lowers each
+  checked kernel to generated Python source compiled once per program
+  fingerprint, with a warp-vectorized fast path for divergence-free
+  kernels (fastest; shares the closure engine's memo table under
+  versioned keys).
 
 The facade is :func:`repro.minicuda.compiler.compile_source`.
 """

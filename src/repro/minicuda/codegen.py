@@ -1349,9 +1349,28 @@ class _FunctionCompiler:
 
 # -- memoized program → kernel compilation ---------------------------------
 
-#: Cross-program memo table: (program fingerprint, kernel name) →
-#: CompiledKernel (or None for memoized unsupported-construct verdicts).
+#: Cross-program memo table: (engine, codegen version, program
+#: fingerprint, kernel name) → compiled kernel (or None for memoized
+#: unsupported-construct verdicts). Shared by the closure and codegen
+#: engines under distinct :func:`memo_key` prefixes.
 KERNEL_CACHE = MemoTable(policy=LRUPolicy(1024))
+
+#: Bump when the closure engine's lowering or supported-construct set
+#: changes. The version is part of the memo key, so a table that
+#: outlives an engine upgrade (long-running worker, persisted CAS)
+#: can never replay a stale artifact or — worse — a stale ``None``
+#: unsupported verdict from the previous compiler.
+CLOSURE_CODEGEN_VERSION = 2
+
+
+def memo_key(engine: str, version: int, fingerprint: str,
+             name: str) -> str:
+    """Cross-program kernel memo key, namespaced by engine + codegen
+    version so verdicts from one engine generation never leak into
+    another (regression: the key used to be
+    ``kernelcode:{fingerprint}:{name}``, which pinned pre-upgrade
+    unsupported verdicts forever)."""
+    return f"kernelcode:{engine}:v{version}:{fingerprint}:{name}"
 
 
 def _artifact_for(info: ProgramInfo) -> _ProgramArtifact:
@@ -1374,7 +1393,8 @@ def compile_kernel(info: ProgramInfo, name: str) -> CompiledKernel | None:
     """
     art = _artifact_for(info)
     if info.fingerprint:
-        key = f"kernelcode:{info.fingerprint}:{name}"
+        key = memo_key("closure", CLOSURE_CODEGEN_VERSION,
+                       info.fingerprint, name)
         value, _ = KERNEL_CACHE.get_or_compute(
             key, lambda: art.get_kernel(name))
         return value

@@ -67,8 +67,9 @@ class CompiledProgram:
                  engine: str | None = None) -> HostRunResult:
         """Execute ``main`` (the usual lab entry point).
 
-        ``engine`` picks the kernel execution engine (``"closure"`` or
-        ``"ast"``); None defers to ``WEBGPU_KERNEL_ENGINE`` / default.
+        ``engine`` picks the kernel execution engine (``"closure"``,
+        ``"codegen"`` or ``"ast"``); None defers to
+        ``WEBGPU_KERNEL_ENGINE`` / default.
         """
         if not self.info.has_main:
             raise CompileError("program has no main() function")

@@ -15,10 +15,12 @@ through arbitrarily nested statements and device-function calls via
 from __future__ import annotations
 
 import math
+import time
 from typing import Any, Callable, Iterator
 
 from repro.gpusim.grid import Dim3
 from repro.gpusim.host import GpuRuntime
+from repro.telemetry import KERNEL_COMPILE_SECONDS
 from repro.gpusim.memory import DevicePtr, SharedArray
 from repro.gpusim.scheduler import SYNC, ThreadContext
 from repro.minicuda import ast_nodes as ast
@@ -218,9 +220,10 @@ def write_indexed(base: Any, index: Any, value: Any,
         f"value of type {type(base).__name__} is not indexable", pos)
 
 
-#: Kernel execution engines: ``closure`` (compiled, default) and
-#: ``ast`` (the tree-walking reference oracle).
-ENGINES = ("closure", "ast")
+#: Kernel execution engines: ``closure`` (compiled, default),
+#: ``ast`` (the tree-walking reference oracle), and ``codegen``
+#: (generated Python source with a warp-vectorized fast path).
+ENGINES = ("closure", "ast", "codegen")
 
 
 def resolve_engine(engine: str | None) -> str:
@@ -339,17 +342,34 @@ class Interpreter:
         lowered once into nested Python closures (memoized per
         program+kernel); barrier-free kernels come back as plain
         functions so the scheduler skips generator machinery entirely.
-        The ``ast`` engine — and any construct the closure compiler
-        does not support — takes the tree-walking path below.
+        The ``codegen`` engine goes one step further and emits real
+        Python source per kernel (flat locals, ``compile()``-d once
+        per program fingerprint), attaching a warp-vectorized executor
+        to divergence-free kernels. The ``ast`` engine — and any
+        construct the compilers do not support — takes the
+        tree-walking path below.
         """
         fn = self.info.kernels.get(name)
         if fn is None:
             raise InterpreterError(f"no kernel {name!r}")
         coerced = self._coerce_args(fn, args)
 
-        if self.engine == "closure":
-            from repro.minicuda import codegen
-            compiled = codegen.compile_kernel(self.info, name)
+        if self.engine in ("closure", "codegen"):
+            if self.engine == "closure":
+                from repro.minicuda import codegen as backend
+            else:
+                from repro.minicuda import srcgen as backend
+            telemetry = getattr(self.runtime, "telemetry", None)
+            if telemetry is not None:
+                start = time.perf_counter()
+                compiled = backend.compile_kernel(self.info, name)
+                telemetry.metrics.histogram(
+                    KERNEL_COMPILE_SECONDS,
+                    "Kernel compile wall time by engine",
+                ).observe(time.perf_counter() - start,
+                          engine=self.engine, kernel=name)
+            else:
+                compiled = backend.compile_kernel(self.info, name)
             if compiled is not None:
                 return compiled.bind(self, coerced)
 
@@ -363,7 +383,7 @@ class Interpreter:
         """Host-side kernel launch helper (used by KernelLaunch)."""
         kernel = self.make_kernel(name, args)
         return self.runtime.launch(kernel, _as_dim3(grid), _as_dim3(block),
-                                   kernel_name=name)
+                                   kernel_name=name, engine=self.engine)
 
     def _coerce_args(self, fn: ast.FuncDef, args: tuple[Any, ...]) -> tuple:
         if len(args) != len(fn.params):

@@ -86,6 +86,12 @@ def requirement_tag(job: Any) -> str:
 KERNEL_WALL_SECONDS = "webgpu_kernel_wall_seconds"
 KERNEL_SIM_SECONDS = "webgpu_kernel_sim_seconds"
 
+#: Per-engine kernel compile/exec breakdown (labeled ``engine=`` and
+#: ``kernel=``) — lets the dashboard compare the ast / closure /
+#: codegen backends launch-for-launch.
+KERNEL_COMPILE_SECONDS = "webgpu_kernel_engine_compile_seconds"
+KERNEL_EXEC_SECONDS = "webgpu_kernel_engine_exec_seconds"
+
 
 class Telemetry:
     """The metrics registry + tracer bundle one platform shares."""
@@ -173,5 +179,6 @@ __all__ = [
     "Telemetry", "disabled", "requirement_tag", "STAGES", "STAGE_SECONDS",
     "QUEUE_WAIT_SECONDS", "SLO_BURN", "ADMISSION_CLASSES", "job_class",
     "KERNEL_WALL_SECONDS", "KERNEL_SIM_SECONDS",
+    "KERNEL_COMPILE_SECONDS", "KERNEL_EXEC_SECONDS",
     "dump_jsonl", "write_jsonl", "read_jsonl", "waterfall", "render_trace",
 ]

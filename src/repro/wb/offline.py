@@ -40,7 +40,8 @@ def run_offline(source: str, data: GeneratedData,
     Raises :class:`repro.minicuda.CompileError` on compile errors and
     lets runtime faults propagate — offline development shows the raw
     toolchain behaviour, unlike the worker which wraps everything.
-    ``engine`` selects the kernel execution engine (closure/ast).
+    ``engine`` selects the kernel execution engine
+    (closure/codegen/ast).
     """
     program = compile_source(source)
     runtime = GpuRuntime(Device(spec))

@@ -352,6 +352,53 @@ class TestSLOBurnMeter:
         assert not meter.due(4.0)
         assert meter.due(5.0)
 
+    def test_stall_proxy_decays_once_deliveries_resume(self):
+        # regression: the raw oldest-job age used to floor the burn
+        # signal for the entire drain (the oldest queued job stays old
+        # until it is delivered), latching burn at storm level after
+        # the fleet had already recovered
+        telemetry = Telemetry()
+        meter = SLOBurnMeter(telemetry,
+                             SLOPolicy(queue_wait_p95_slo_s=30.0))
+        stalled = meter.sample(0.0, stalled_wait_s=90.0)
+        assert stalled.burn == pytest.approx(3.0)
+        burns = []
+        for t in (5.0, 10.0, 15.0):
+            self._observe(telemetry, 1.0, n=5)
+            # the backlog head is still ~as old as during the stall
+            burns.append(meter.sample(t, stalled_wait_s=85.0).burn)
+        # halves per delivering sample: 45 -> 22.5 -> 11.25 seconds
+        assert burns == sorted(burns, reverse=True)
+        assert burns[0] == pytest.approx(1.5)
+        assert burns[-1] < 0.8  # under the admission recover threshold
+
+    def test_stall_proxy_capped_by_live_backlog_age(self):
+        telemetry = Telemetry()
+        meter = SLOBurnMeter(telemetry,
+                             SLOPolicy(queue_wait_p95_slo_s=30.0))
+        meter.sample(0.0, stalled_wait_s=90.0)
+        self._observe(telemetry, 1.0, n=5)
+        # the old head already drained: only a 6s-old job remains, so
+        # the decayed proxy (45s) must not outlive the real backlog
+        sample = meter.sample(5.0, stalled_wait_s=6.0)
+        assert sample.p95_s == pytest.approx(6.0)
+
+    def test_recovery_reopens_admission(self):
+        telemetry = Telemetry()
+        meter = SLOBurnMeter(telemetry,
+                             SLOPolicy(queue_wait_p95_slo_s=30.0))
+        ctl = AdmissionController(AdmissionPolicy(), telemetry)
+        burn = meter.sample(0.0, stalled_wait_s=120.0).burn
+        assert ctl.observe_burn(burn, 0.0) is AdmissionState.SHEDDING
+        # deliveries resume while the backlog head is still ancient;
+        # the decaying proxy walks the ladder back down to OPEN
+        state = ctl.state
+        for t in (5.0, 10.0, 15.0, 20.0, 25.0, 30.0):
+            self._observe(telemetry, 1.0, n=5)
+            burn = meter.sample(t, stalled_wait_s=119.0).burn
+            state = ctl.observe_burn(burn, t)
+        assert state is AdmissionState.OPEN
+
     def test_burn_gauge_exported(self):
         telemetry = Telemetry()
         meter = SLOBurnMeter(telemetry,

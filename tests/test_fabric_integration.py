@@ -179,6 +179,54 @@ class TestBatchedDriver:
             "webgpu_lease_renew_saved_round_trips_total").value() == 3
         assert metrics.counter("webgpu_lease_renewals_total").value() == 4
 
+    def test_step_batch_renews_while_leases_are_held(self):
+        # regression: the renewal used to run at the *top* of the pump
+        # cycle, before any leases were polled, so _held was always
+        # empty and no renewal ever reached the broker
+        from repro.fabric import BrokerFabric
+        clock = ManualClock()
+        fabric = BrokerFabric(num_shards=3)
+        driver = self.make_fabric_driver(clock, fabric)
+        self._publish(fabric, clock, 4)
+        results = driver.step_batch(max_jobs=4)
+        assert len(results) == 4
+        assert driver.stats.renew_rpcs == 1
+        assert driver.stats.renewed_leases == 4
+        metrics = fabric.telemetry.metrics
+        assert metrics.counter(
+            "webgpu_lease_renew_saved_round_trips_total").value() == 3
+
+    def test_single_job_step_makes_no_renew_rpc(self):
+        # step() holds its one lease only inside the cycle; with the
+        # dead top-of-cycle call gone it must not issue renew RPCs
+        from repro.fabric import BrokerFabric
+        clock = ManualClock()
+        fabric = BrokerFabric(num_shards=1)
+        driver = self.make_fabric_driver(clock, fabric)
+        self._publish(fabric, clock, 2)
+        assert driver.step() is not None
+        assert driver.step() is not None
+        assert driver.stats.renew_rpcs == 0
+
+    def test_renew_coalesced_to_one_rpc_per_pump_cycle(self):
+        from repro.fabric import BrokerFabric
+        clock = ManualClock()
+        fabric = BrokerFabric(num_shards=1)
+        driver = self.make_fabric_driver(clock, fabric)
+        self._publish(fabric, clock, 2)
+        polled = fabric.poll_batch(frozenset({"cuda"}), 1, clock.now(),
+                                   consumer=driver.worker.name, max_jobs=2)
+        for job, _ in polled:
+            driver._held[job.job_id] = job
+        driver._pump_tick += 1
+        assert driver.renew_held_leases() == 2
+        # a second call in the same cycle is a no-op
+        assert driver.renew_held_leases() == 0
+        assert driver.stats.renew_rpcs == 1
+        driver._pump_tick += 1
+        assert driver.renew_held_leases() == 2
+        assert driver.stats.renew_rpcs == 2
+
     def test_renew_extends_lease_deadline(self):
         from repro.broker import DeliveryPolicy
         from repro.fabric import BrokerFabric

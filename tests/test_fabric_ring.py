@@ -1,6 +1,8 @@
 """Consistent-hash ring: balance, minimal remapping, determinism."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.fabric import HashRing, stable_hash
 
@@ -98,3 +100,39 @@ class TestHashRing:
     def test_preference_capped_by_ring_size(self):
         ring = HashRing(("a", "b"))
         assert sorted(ring.preference("k", n=10)) == ["a", "b"]
+
+
+_shard_sets = st.sets(
+    st.text(alphabet="abcdefgh0123456789", min_size=1, max_size=8),
+    min_size=1, max_size=6)
+
+
+class TestPreferenceProperties:
+    """Hypothesis sweep over small rings: ``preference`` must always
+    return distinct shards, lead with the key's owner, and cap at the
+    physical shard count no matter how many failovers are asked for."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(shards=_shard_sets, key=st.text(max_size=16),
+           n=st.integers(min_value=1, max_value=12))
+    def test_distinct_primary_first_and_capped(self, shards, key, n):
+        ring = HashRing(tuple(sorted(shards)), vnodes=4)
+        pref = ring.preference(key, n=n)
+        assert len(pref) == len(set(pref)) == min(n, len(shards))
+        assert pref[0] == ring.shard_for(key)
+        assert set(pref) <= set(shards)
+
+    @settings(max_examples=40, deadline=None)
+    @given(shards=_shard_sets, key=st.text(max_size=16))
+    def test_oversized_n_returns_every_shard(self, shards, key):
+        ring = HashRing(tuple(sorted(shards)), vnodes=4)
+        assert sorted(ring.preference(key, n=len(shards) + 5)) == \
+            sorted(shards)
+
+    @settings(max_examples=40, deadline=None)
+    @given(shards=_shard_sets, key=st.text(max_size=16),
+           n=st.integers(min_value=1, max_value=12))
+    def test_stable_across_equivalent_rings(self, shards, key, n):
+        fwd = HashRing(tuple(sorted(shards)), vnodes=4)
+        rev = HashRing(tuple(reversed(sorted(shards))), vnodes=4)
+        assert fwd.preference(key, n=n) == rev.preference(key, n=n)

@@ -205,14 +205,15 @@ class TestDifferential:
     @given(expressions())
     @settings(max_examples=60, deadline=None)
     def test_engines_agree_on_device(self, node):
-        """Both kernel engines must produce the same value AND
+        """Every kernel engine must produce the same value AND
         bit-identical profiling counters for any expression."""
         ok_ast, stats_ast = run_expression_in_kernel(node, "ast")
-        ok_closure, stats_closure = run_expression_in_kernel(node, "closure")
-        assert ok_ast == 1, node.render()
-        assert ok_closure == 1, node.render()
-        assert stats_ast.instructions == stats_closure.instructions, \
-            node.render()
+        for engine in ("closure", "codegen"):
+            ok_eng, stats_eng = run_expression_in_kernel(node, engine)
+            assert ok_ast == 1, node.render()
+            assert ok_eng == 1, (engine, node.render())
+            assert stats_ast.instructions == stats_eng.instructions, \
+                (engine, node.render())
 
     @given(st.integers(-100, 100), st.integers(-100, 100))
     @settings(max_examples=40, deadline=None)

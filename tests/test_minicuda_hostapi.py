@@ -205,8 +205,8 @@ class TestSecurityHooks:
 
 
 class TestKernelLaunchEngines:
-    """The full host path (cudaMalloc/Memcpy + <<<>>>) under both
-    kernel execution engines must produce the same solution and the
+    """The full host path (cudaMalloc/Memcpy + <<<>>>) under every
+    kernel execution engine must produce the same solution and the
     same profiled launch stats."""
 
     SOURCE = """
@@ -259,5 +259,6 @@ int main() {
                     "global_store_transactions", "bytes_read",
                     "bytes_written", "shared_accesses", "bank_conflicts",
                     "barriers", "atomic_ops"):
-            assert getattr(stats["closure"], fld) == \
-                getattr(stats["ast"], fld), fld
+            for engine in ENGINES:
+                assert getattr(stats[engine], fld) == \
+                    getattr(stats["ast"], fld), (engine, fld)
