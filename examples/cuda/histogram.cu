@@ -1,0 +1,34 @@
+// Golden-corpus: atomics, hex masks with integer suffixes, char literals.
+#define NUM_BINS 128
+#define MASK 0x7Fu
+
+__constant__ unsigned int saturation = 0xFFUL;
+
+__global__ void histo(char *input, unsigned int *bins, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    int stride = blockDim.x * gridDim.x;
+    while (i < n) {
+        char c = input[i];
+        if (c >= 'a' && c <= 'z')
+            atomicAdd(&bins[c & MASK], 1);
+        i += stride;
+    }
+}
+
+__global__ void saturate(unsigned int *bins) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NUM_BINS && bins[i] > saturation)
+        bins[i] = saturation;
+}
+
+int main() {
+    int n = 1 << 16;
+    char *dInput;
+    unsigned int *dBins;
+    cudaMalloc((void **)&dInput, n * sizeof(char));
+    cudaMalloc((void **)&dBins, NUM_BINS * sizeof(unsigned int));
+    cudaMemset(dBins, 0, NUM_BINS * sizeof(unsigned int));
+    histo<<<64, 256>>>(dInput, dBins, n);
+    saturate<<<(NUM_BINS + 255) / 256, 256>>>(dBins);
+    return 0;
+}

@@ -1,0 +1,33 @@
+// Golden-corpus: tree reduction with a dynamic-shared-memory launch.
+__global__ void reduceSum(float *in, float *out, int n) {
+    __shared__ float sdata[256];
+    unsigned int tid = threadIdx.x;
+    unsigned int i = blockIdx.x * blockDim.x * 2 + threadIdx.x;
+    sdata[tid] = (i < n ? in[i] : 0.0f) +
+                 (i + blockDim.x < n ? in[i + blockDim.x] : 0.0f);
+    __syncthreads();
+    for (unsigned int s = blockDim.x / 2; s > 0; s >>= 1) {
+        if (tid < s)
+            sdata[tid] += sdata[tid + s];
+        __syncthreads();
+    }
+    if (tid == 0)
+        out[blockIdx.x] = sdata[0];
+}
+
+int main() {
+    int n = 4096;
+    int threads = 128;
+    int blocks = (n + threads * 2 - 1) / (threads * 2);
+    float *dIn, *dOut;
+    cudaMalloc((void **)&dIn, n * sizeof(float));
+    cudaMalloc((void **)&dOut, blocks * sizeof(float));
+    reduceSum<<<blocks, threads, threads * sizeof(float)>>>(dIn, dOut, n);
+    while (blocks > 1) {
+        int next = (blocks + threads * 2 - 1) / (threads * 2);
+        reduceSum<<<next, threads, threads * sizeof(float)>>>(dOut, dOut,
+                                                              blocks);
+        blocks = next;
+    }
+    return 0;
+}

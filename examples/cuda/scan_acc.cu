@@ -1,0 +1,36 @@
+// Golden-corpus: OpenACC pragmas, prototypes, multi-declarator lines,
+// pointer-to-pointer parameters, ternaries, prefix/postfix mixes.
+#include <stdio.h>
+
+#define N 1024
+
+void initData(float *data, int n);
+
+#pragma acc routine
+float scale(float v) { return v * 0.5f; }
+
+void hostScan(float *data, float *out, int n) {
+    float running = 0.0f;
+    #pragma acc parallel loop
+    for (int i = 0; i < n; i++) {
+        out[i] = scale(data[i]);
+    }
+    for (int i = 0; i < n; ++i) {
+        running += out[i];
+        out[i] = running;
+    }
+}
+
+void initData(float *data, int n) {
+    for (int i = 0; i < n; i++)
+        data[i] = (i % 2 == 0) ? 1.0f : -1.0f;
+}
+
+int main() {
+    float hostIn[N], hostOut[N];
+    float *pIn = hostIn, *pOut = hostOut, **indirect = &pIn;
+    initData(*indirect, N);
+    hostScan(pIn, pOut, N);
+    printf("scan[%d] = %f\n", N - 1, hostOut[N - 1]);
+    return hostOut[N - 1] < 0.0f ? 1 : 0;
+}

@@ -1,0 +1,49 @@
+// Golden-corpus: 1D stencil — casts, sizeof, init lists, do/while, switch.
+#define RADIUS 3
+#define WIDTH 512
+
+__constant__ float weights[2 * RADIUS + 1] = {0.05f, 0.1f, 0.2f, 0.3f,
+                                              0.2f, 0.1f, 0.05f};
+
+__global__ void stencil1d(const float *in, float *out, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n)
+        return;
+    float acc = 0.0f;
+    for (int off = -RADIUS; off <= RADIUS; off++) {
+        int j = i + off;
+        if (j < 0)
+            j = 0;
+        else if (j >= n)
+            j = n - 1;
+        acc += weights[off + RADIUS] * in[j];
+    }
+    out[i] = acc;
+}
+
+int classify(int width) {
+    switch (width) {
+        case 256:
+            return 1;
+        case WIDTH:
+            return 2;
+        default:
+            return 0;
+    }
+}
+
+int main() {
+    float *dIn, *dOut;
+    int n = WIDTH;
+    int pass = 0;
+    cudaMalloc((void **)&dIn, (size_t)n * sizeof(float));
+    cudaMalloc((void **)&dOut, (size_t)n * sizeof(float));
+    do {
+        stencil1d<<<(n + 127) / 128, 128>>>(dIn, dOut, n);
+        float *tmp = dIn;
+        dIn = dOut;
+        dOut = tmp;
+        pass++;
+    } while (pass < 2);
+    return classify(n) == 2 ? 0 : 1;
+}

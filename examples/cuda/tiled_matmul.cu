@@ -1,0 +1,38 @@
+// Golden-corpus: shared-memory tiled matrix multiply (MP3-style).
+#define TILE 16
+
+__global__ void matMul(float *A, float *B, float *C, int m, int k, int n) {
+    __shared__ float tileA[TILE][TILE];
+    __shared__ float tileB[TILE][TILE];
+    int row = blockIdx.y * TILE + threadIdx.y;
+    int col = blockIdx.x * TILE + threadIdx.x;
+    float acc = 0.0f;
+    for (int t = 0; t < (k + TILE - 1) / TILE; ++t) {
+        tileA[threadIdx.y][threadIdx.x] =
+            (row < m && t * TILE + threadIdx.x < k)
+                ? A[row * k + t * TILE + threadIdx.x]
+                : 0.0f;
+        tileB[threadIdx.y][threadIdx.x] =
+            (col < n && t * TILE + threadIdx.y < k)
+                ? B[(t * TILE + threadIdx.y) * n + col]
+                : 0.0f;
+        __syncthreads();
+        for (int i = 0; i < TILE; ++i)
+            acc += tileA[threadIdx.y][i] * tileB[i][threadIdx.x];
+        __syncthreads();
+    }
+    if (row < m && col < n)
+        C[row * n + col] = acc;
+}
+
+int main() {
+    int m = 64, k = 32, n = 64;
+    float *dA, *dB, *dC;
+    cudaMalloc((void **)&dA, m * k * sizeof(float));
+    cudaMalloc((void **)&dB, k * n * sizeof(float));
+    cudaMalloc((void **)&dC, m * n * sizeof(float));
+    dim3 grid((n + TILE - 1) / TILE, (m + TILE - 1) / TILE);
+    dim3 block(TILE, TILE);
+    matMul<<<grid, block>>>(dA, dB, dC, m, k, n);
+    return 0;
+}

@@ -1,0 +1,29 @@
+// Golden-corpus: the canonical first lab (MP1-style vector addition).
+#include <wb.h>
+
+#define BLOCK_SIZE 256
+
+__global__ void vecAdd(float *a, float *b, float *c, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        c[i] = a[i] + b[i];
+    }
+}
+
+int main(int argc, char **argv) {
+    wbArg_t args;
+    int n = 1024;
+    float *dA, *dB, *dC;
+    args = wbArg_read(argc, argv);
+    cudaMalloc((void **)&dA, n * sizeof(float));
+    cudaMalloc((void **)&dB, n * sizeof(float));
+    cudaMalloc((void **)&dC, n * sizeof(float));
+    dim3 grid((n + BLOCK_SIZE - 1) / BLOCK_SIZE, 1, 1);
+    dim3 block(BLOCK_SIZE, 1, 1);
+    vecAdd<<<grid, block>>>(dA, dB, dC, n);
+    cudaDeviceSynchronize();
+    cudaFree(dA);
+    cudaFree(dB);
+    cudaFree(dC);
+    return 0;
+}

@@ -264,7 +264,8 @@ class GpuWorker(Node):
     def _compile_fn(self, lab: LabDefinition):
         def compile_fn(source: str, limiter: Any):
             try:
-                program = compile_source(source, cache=self.compile_cache)
+                program = compile_source(source, cache=self.compile_cache,
+                                         telemetry=self.telemetry)
             except CompileError as exc:
                 limiter.charge(0.2)  # front-end bails early
                 raise CompileFailure(str(exc)) from None

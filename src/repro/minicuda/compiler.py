@@ -101,7 +101,8 @@ class CompiledProgram:
 def compile_source(source: str,
                    headers: Mapping[str, str] | None = None,
                    defines: Mapping[str, str] | None = None,
-                   cache: "CompileCache | None" = None) -> CompiledProgram:
+                   cache: "CompileCache | None" = None,
+                   telemetry: Any = None) -> CompiledProgram:
     """Preprocess, parse, and check a CUDA-C source file.
 
     Raises :class:`CompileError` carrying every diagnostic on failure,
@@ -111,10 +112,12 @@ def compile_source(source: str,
     preprocessed form has not been seen before.
     """
     if cache is not None:
-        return cache.compile(source, headers=headers, defines=defines)
+        return cache.compile(source, headers=headers, defines=defines,
+                             telemetry=telemetry)
     preprocessed = preprocess(source, headers=headers, predefined=defines)
     unit = parse(preprocessed,
-                 typedef_names=frozenset(DEFAULT_TYPEDEFS) | EXTRA_TYPEDEFS)
+                 typedef_names=frozenset(DEFAULT_TYPEDEFS) | EXTRA_TYPEDEFS,
+                 telemetry=telemetry)
     info = analyze(unit)
     info.fingerprint = hash_text(preprocessed)
     return CompiledProgram(source=source, preprocessed=preprocessed, info=info)
@@ -156,13 +159,15 @@ class CompileCache:
 
     def compile(self, source: str,
                 headers: Mapping[str, str] | None = None,
-                defines: Mapping[str, str] | None = None) -> CompiledProgram:
+                defines: Mapping[str, str] | None = None,
+                telemetry: Any = None) -> CompiledProgram:
         preprocessed = preprocess(source, headers=headers, predefined=defines)
         key = self.key_for(preprocessed)
 
         def front_end() -> CompiledProgram:
             unit = parse(preprocessed, typedef_names=(
-                frozenset(DEFAULT_TYPEDEFS) | EXTRA_TYPEDEFS))
+                frozenset(DEFAULT_TYPEDEFS) | EXTRA_TYPEDEFS),
+                telemetry=telemetry)
             info = analyze(unit)
             info.fingerprint = key
             return CompiledProgram(source=source, preprocessed=preprocessed,

@@ -53,7 +53,7 @@ _FLOAT_RE = re.compile(
     r"(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)[fF]?"
     r"|\d+[fF]"
 )
-_INT_RE = re.compile(r"0[xX][0-9a-fA-F]+|\d+[uUlL]*")
+_INT_RE = re.compile(r"0[xX][0-9a-fA-F]+[uUlL]*|\d+[uUlL]*")
 _IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
 _ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",

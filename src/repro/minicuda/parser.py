@@ -1,8 +1,23 @@
-"""Recursive-descent parser for the CUDA-C subset."""
+"""Parser front end for the CUDA-C subset.
+
+Two interchangeable backends produce identical :mod:`ast_nodes` trees
+and identical :class:`CompileError` diagnostics:
+
+* ``pegen`` (default) — the packrat parser generated from
+  ``minicuda.gram`` by :mod:`repro.minicuda.pegen` (checked in as
+  ``parser_gen.py``; regenerate with ``python -m repro.minicuda.pegen``).
+* ``legacy`` — the hand-written recursive-descent :class:`Parser` below,
+  kept as the differential-testing oracle.
+
+Select with the ``WEBGPU_PARSER`` environment variable or the
+``backend=`` argument to :func:`parse`.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable
+import os
+import time
+from typing import Any, Iterable
 
 from repro.minicuda import ast_nodes as ast
 from repro.minicuda.diagnostics import CompileError, SourcePos
@@ -686,7 +701,46 @@ def _fold(expr: ast.Expr) -> int | None:
     return None
 
 
+#: Parser backends: ``pegen`` (generated packrat parser, default) and
+#: ``legacy`` (the hand-written descent oracle above).
+BACKENDS = ("pegen", "legacy")
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve a parser choice: explicit argument, then the
+    ``WEBGPU_PARSER`` environment variable, then ``pegen``."""
+    if backend is None:
+        backend = os.environ.get("WEBGPU_PARSER") or "pegen"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown parser backend {backend!r} (expected one of {BACKENDS})")
+    return backend
+
+
 def parse(source: str,
-          typedef_names: Iterable[str] = DEFAULT_TYPEDEFS) -> ast.TranslationUnit:
-    """Tokenize and parse preprocessed source."""
-    return Parser(tokenize(source), typedef_names).parse_translation_unit()
+          typedef_names: Iterable[str] = DEFAULT_TYPEDEFS,
+          backend: str | None = None,
+          telemetry: Any = None) -> ast.TranslationUnit:
+    """Tokenize and parse preprocessed source.
+
+    ``backend`` picks the parser (``"pegen"`` or ``"legacy"``); None
+    defers to ``WEBGPU_PARSER`` / default. When a
+    :class:`repro.telemetry.Telemetry` bundle is passed, the parse is
+    timed into ``webgpu_parse_seconds{backend=}`` and the packrat memo
+    hit/miss counts land in ``webgpu_parser_memo_total``.
+    """
+    backend = resolve_backend(backend)
+    tokens = tokenize(source)
+    if backend == "legacy":
+        parser: Any = Parser(tokens, typedef_names)
+    else:
+        from repro.minicuda.parser_gen import MiniCudaParser
+        parser = MiniCudaParser(tokens, typedef_names)
+    start = time.perf_counter()
+    unit = parser.parse_translation_unit()
+    if telemetry is not None:
+        telemetry.record_parse(
+            backend, time.perf_counter() - start,
+            memo_hits=getattr(parser, "memo_hits", 0),
+            memo_misses=getattr(parser, "memo_misses", 0))
+    return unit

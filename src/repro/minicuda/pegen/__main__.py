@@ -1,0 +1,45 @@
+"""Regenerate (or verify) the checked-in generated parser.
+
+    python -m repro.minicuda.pegen            # rewrite parser_gen.py
+    python -m repro.minicuda.pegen --check    # exit 1 if stale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.minicuda.pegen.generator import generate_parser_source
+
+_PKG_DIR = Path(__file__).resolve().parent.parent
+GRAMMAR_PATH = _PKG_DIR / "minicuda.gram"
+OUTPUT_PATH = _PKG_DIR / "parser_gen.py"
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.minicuda.pegen",
+        description="Regenerate parser_gen.py from minicuda.gram.")
+    ap.add_argument("--check", action="store_true",
+                    help="verify the checked-in parser_gen.py is fresh "
+                         "instead of rewriting it")
+    args = ap.parse_args(argv)
+
+    source = generate_parser_source(GRAMMAR_PATH.read_text())
+    if args.check:
+        current = OUTPUT_PATH.read_text() if OUTPUT_PATH.exists() else ""
+        if current != source:
+            print("parser_gen.py is STALE: regenerate with "
+                  "'python -m repro.minicuda.pegen' and commit the diff",
+                  file=sys.stderr)
+            return 1
+        print("parser_gen.py is up to date")
+        return 0
+    OUTPUT_PATH.write_text(source)
+    print(f"wrote {OUTPUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,387 @@
+"""Grammar model for the pegen-style parser generator.
+
+A grammar is an ordered set of :class:`Rule`\\ s, each holding ordered
+:class:`Alt`\\ ernatives of :class:`NamedItem`\\ s. The model also owns
+the static analyses the generator needs:
+
+* **nullable** computation (can a rule succeed consuming no tokens?),
+  iterated to a fixpoint exactly like pegen's visitor;
+* **initial names** (which rules can appear at the *leftmost* edge of
+  a rule, taking nullable prefixes into account);
+* **left-recursion detection** over the initial-names graph, marking
+  every rule on a cycle and electing one **leader** per strongly
+  connected component (the first rule of the SCC in grammar order).
+  Leaders are generated with ``@memoize_left_rec`` (the seed-growing
+  fixpoint); non-leader cycle members are generated plain, and plain
+  rules flagged ``(memo)`` get ``@memoize``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class GrammarError(Exception):
+    """A malformed grammar file or an inconsistent rule set."""
+
+
+# ------------------------------------------------------------------ items
+
+class Item:
+    """Base class for everything that can appear in an alternative."""
+
+    def initial_names(self, grammar: "Grammar") -> set[str]:
+        """Rule names reachable at the leftmost edge of this item."""
+        return set()
+
+    def nullable(self, grammar: "Grammar") -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class StringLeaf(Item):
+    """A punctuation terminal: ``';'`` in the grammar."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f"'{self.value}'"
+
+
+@dataclass(frozen=True)
+class KeywordLeaf(Item):
+    """A keyword terminal: ``"if"`` in the grammar."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class TokenLeaf(Item):
+    """A token-kind terminal: ``IDENT``, ``INT``, ``PRAGMA``, ``EOF``,
+    or the typedef-sensitive ``TYPEDEF``."""
+
+    kind: str
+
+    def __str__(self) -> str:
+        return self.kind
+
+
+@dataclass(frozen=True)
+class RuleRef(Item):
+    """A reference to another rule by name."""
+
+    name: str
+
+    def initial_names(self, grammar: "Grammar") -> set[str]:
+        return {self.name}
+
+    def nullable(self, grammar: "Grammar") -> bool:
+        rule = grammar.rules.get(self.name)
+        return rule.nullable if rule is not None else False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Opt(Item):
+    """``item?`` — always succeeds, value may be None."""
+
+    item: Item
+
+    def initial_names(self, grammar: "Grammar") -> set[str]:
+        return self.item.initial_names(grammar)
+
+    def nullable(self, grammar: "Grammar") -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.item}?"
+
+
+@dataclass(frozen=True)
+class Repeat(Item):
+    """``item*`` (min=0, always succeeds) or ``item+`` (min=1)."""
+
+    item: Item
+    min: int = 0
+
+    def initial_names(self, grammar: "Grammar") -> set[str]:
+        return self.item.initial_names(grammar)
+
+    def nullable(self, grammar: "Grammar") -> bool:
+        return self.min == 0
+
+    def __str__(self) -> str:
+        return f"{self.item}{'*' if self.min == 0 else '+'}"
+
+
+@dataclass(frozen=True)
+class Gather(Item):
+    """``sep.item+`` — one or more ``item`` separated by ``sep``."""
+
+    separator: Item
+    item: Item
+
+    def initial_names(self, grammar: "Grammar") -> set[str]:
+        return self.item.initial_names(grammar)
+
+    def __str__(self) -> str:
+        return f"{self.separator}.{self.item}+"
+
+
+@dataclass(frozen=True)
+class Lookahead(Item):
+    """``&item`` (positive) / ``!item`` (negative): match, consume
+    nothing."""
+
+    item: Item
+    positive: bool
+
+    def initial_names(self, grammar: "Grammar") -> set[str]:
+        return self.item.initial_names(grammar) if self.positive else set()
+
+    def nullable(self, grammar: "Grammar") -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{'&' if self.positive else '!'}{self.item}"
+
+
+@dataclass(frozen=True)
+class Forced(Item):
+    """``&&item`` — commit: match ``item`` or raise the committed
+    CompileError (``expected X, found Y``) instead of soft-failing."""
+
+    item: Item
+
+    def initial_names(self, grammar: "Grammar") -> set[str]:
+        return self.item.initial_names(grammar)
+
+    def __str__(self) -> str:
+        return f"&&{self.item}"
+
+
+@dataclass(frozen=True)
+class Group(Item):
+    """A parenthesized group of alternatives."""
+
+    alts: tuple["Alt", ...]
+
+    def initial_names(self, grammar: "Grammar") -> set[str]:
+        names: set[str] = set()
+        for alt in self.alts:
+            names |= alt.initial_names(grammar)
+        return names
+
+    def nullable(self, grammar: "Grammar") -> bool:
+        return any(alt.is_nullable(grammar) for alt in self.alts)
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(a) for a in self.alts) + ")"
+
+
+@dataclass(frozen=True)
+class NamedItem:
+    """``name=item`` or a bare item (name None)."""
+
+    name: str | None
+    item: Item
+
+    def __str__(self) -> str:
+        return f"{self.name}={self.item}" if self.name else str(self.item)
+
+
+@dataclass(frozen=True)
+class Alt:
+    """One alternative: a sequence of items plus an optional action.
+
+    An alternative with no items and an action is an *action-only*
+    alternative: it always "matches" by evaluating the action (the
+    action usually raises a committed diagnostic — the analogue of
+    pegen's ``invalid_`` rules).
+    """
+
+    items: tuple[NamedItem, ...]
+    action: str | None = None
+
+    def initial_names(self, grammar: "Grammar") -> set[str]:
+        names: set[str] = set()
+        for named in self.items:
+            names |= named.item.initial_names(grammar)
+            if not named.item.nullable(grammar):
+                break
+        return names
+
+    def is_nullable(self, grammar: "Grammar") -> bool:
+        return all(named.item.nullable(grammar) for named in self.items)
+
+    def __str__(self) -> str:
+        body = " ".join(str(i) for i in self.items)
+        if self.action is not None:
+            body = f"{body} {{ {self.action} }}".strip()
+        return body
+
+
+@dataclass
+class Rule:
+    name: str
+    alts: tuple[Alt, ...]
+    memo: bool = False
+    # filled in by Grammar.analyze():
+    nullable: bool = False
+    left_recursive: bool = False
+    leader: bool = False
+
+    def __str__(self) -> str:
+        flags = " (memo)" if self.memo else ""
+        body = "\n    | ".join(str(a) for a in self.alts)
+        return f"{self.name}{flags}:\n    | {body}"
+
+
+# ---------------------------------------------------------------- grammar
+
+#: Token kinds a grammar may reference directly.
+TOKEN_KINDS = frozenset({
+    "IDENT", "INT", "FLOAT", "STRING", "CHAR", "PRAGMA", "EOF", "TYPEDEF",
+})
+
+
+class Grammar:
+    """An ordered rule set with the generator's static analyses run."""
+
+    def __init__(self, rules: list[Rule], start: str = "start",
+                 class_name: str = "GeneratedParser"):
+        self.rules: dict[str, Rule] = {}
+        for rule in rules:
+            if rule.name in self.rules:
+                raise GrammarError(f"duplicate rule {rule.name!r}")
+            self.rules[rule.name] = rule
+        self.start = start
+        self.class_name = class_name
+        if start not in self.rules:
+            raise GrammarError(f"missing start rule {start!r}")
+        self._validate_refs()
+        self._compute_nullable()
+        self._compute_left_recursion()
+
+    # -- validation --------------------------------------------------------
+
+    def _validate_refs(self) -> None:
+        for rule in self.rules.values():
+            for ref in _iter_rule_refs(rule):
+                if ref.name not in self.rules:
+                    raise GrammarError(
+                        f"rule {rule.name!r} references undefined rule "
+                        f"{ref.name!r}")
+
+    # -- nullable fixpoint -------------------------------------------------
+
+    def _compute_nullable(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.rules.values():
+                if rule.nullable:
+                    continue
+                if any(alt.is_nullable(self) for alt in rule.alts):
+                    rule.nullable = True
+                    changed = True
+
+    # -- left recursion ----------------------------------------------------
+
+    def initial_names(self, rule: Rule) -> set[str]:
+        names: set[str] = set()
+        for alt in rule.alts:
+            names |= alt.initial_names(self)
+        return names
+
+    def _compute_left_recursion(self) -> None:
+        """Mark rules on leftmost-position cycles; elect SCC leaders."""
+        graph = {name: sorted(self.initial_names(rule) & self.rules.keys())
+                 for name, rule in self.rules.items()}
+        order = list(self.rules)
+        for scc in _strongly_connected_components(order, graph):
+            if len(scc) > 1 or scc[0] in graph[scc[0]]:
+                members = sorted(scc, key=order.index)
+                for name in members:
+                    self.rules[name].left_recursive = True
+                self.rules[members[0]].leader = True
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(rule) for rule in self.rules.values())
+
+
+def _iter_items(item: Item) -> Iterator[Item]:
+    yield item
+    if isinstance(item, (Opt, Repeat, Lookahead, Forced)):
+        yield from _iter_items(item.item)
+    elif isinstance(item, Gather):
+        yield from _iter_items(item.separator)
+        yield from _iter_items(item.item)
+    elif isinstance(item, Group):
+        for alt in item.alts:
+            for named in alt.items:
+                yield from _iter_items(named.item)
+
+
+def _iter_rule_refs(rule: Rule) -> Iterator[RuleRef]:
+    for alt in rule.alts:
+        for named in alt.items:
+            for item in _iter_items(named.item):
+                if isinstance(item, RuleRef):
+                    yield item
+
+
+def _strongly_connected_components(
+        order: list[str], graph: dict[str, list[str]]) -> list[list[str]]:
+    """Tarjan's SCC algorithm, iterative, deterministic in rule order."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for root in order:
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_i = work.pop()
+            if child_i == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            children = graph[node]
+            while child_i < len(children):
+                child = children[child_i]
+                child_i += 1
+                if child not in index:
+                    work.append((node, child_i))
+                    work.append((child, 0))
+                    recurse = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if recurse:
+                continue
+            if lowlink[node] == index[node]:
+                scc: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs

@@ -96,6 +96,8 @@ class Preprocessor:
         out_lines: list[str] = []
         # stack of booleans: is the current conditional branch active?
         cond_stack: list[bool] = []
+        # parallel stack: has this level already consumed its #else?
+        else_stack: list[bool] = []
         for lineno, line in enumerate(text.splitlines(), start=1):
             stripped = line.strip()
             active = all(cond_stack)
@@ -105,12 +107,17 @@ class Preprocessor:
                     defined = m.group(2) in self.macros
                     want = defined if m.group(1) == "ifdef" else not defined
                     cond_stack.append(want)
+                    else_stack.append(False)
                     out_lines.append("")
                     continue
                 if re.match(r"#\s*else\b", stripped):
                     if not cond_stack:
                         raise CompileError("#else without #ifdef",
                                            SourcePos(lineno, 1))
+                    if else_stack[-1]:
+                        raise CompileError("duplicate #else",
+                                           SourcePos(lineno, 1))
+                    else_stack[-1] = True
                     cond_stack[-1] = not cond_stack[-1]
                     out_lines.append("")
                     continue
@@ -119,6 +126,7 @@ class Preprocessor:
                         raise CompileError("#endif without #ifdef",
                                            SourcePos(lineno, 1))
                     cond_stack.pop()
+                    else_stack.pop()
                     out_lines.append("")
                     continue
                 if not active:
@@ -179,13 +187,14 @@ class Preprocessor:
         i, n = 0, len(text)
         while i < n:
             ch = text[i]
-            if ch == '"':
+            if ch in ('"', "'"):
+                # never expand inside string or character literals
                 j = i + 1
                 while j < n:
                     if text[j] == "\\":
                         j += 2
                         continue
-                    if text[j] == '"':
+                    if text[j] == ch:
                         j += 1
                         break
                     j += 1
@@ -247,7 +256,13 @@ class Preprocessor:
                 depth -= 1
                 if depth == 0:
                     args.append("".join(current).strip())
-                    return ([a for a in args if a or len(args) > 1], i + 1)
+                    if len(args) == 1 and not args[0]:
+                        return ([], i + 1)  # F() passes zero arguments
+                    if any(not a for a in args):
+                        raise CompileError(
+                            "empty macro argument",
+                            SourcePos(lineno, open_paren + 1))
+                    return (args, i + 1)
                 current.append(ch)
             elif ch == "," and depth == 1:
                 args.append("".join(current).strip())

@@ -202,3 +202,27 @@ void host() { k<<<1, 2, 1024>>>(); }
         with pytest.raises(CompileError) as exc:
             parse("void f() { int x = 1 int y; }")
         assert "1:" in str(exc.value)
+
+
+class TestIntegerSuffixes:
+    """Regression: hex literals used to leave their u/l suffix behind
+    as a stray identifier token."""
+
+    def test_hex_with_unsigned_suffix(self):
+        toks = tokenize("0xFFu")
+        assert len(toks) == 2  # INT, EOF
+        assert toks[0].value == 255
+
+    def test_hex_with_ul_suffix(self):
+        toks = tokenize("0x10UL")
+        assert len(toks) == 2
+        assert toks[0].value == 16
+
+    def test_decimal_suffixes_still_work(self):
+        assert tokenize("42u")[0].value == 42
+        assert tokenize("7ULL")[0].value == 7
+
+    def test_suffixed_hex_in_expression(self):
+        unit = parse("unsigned int mask = 0x7Fu & 0xFFUL;")
+        decl = unit.globals[0]
+        assert decl is not None

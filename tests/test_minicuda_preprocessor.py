@@ -118,3 +118,56 @@ class TestIncludesAndConditionals:
     def test_unknown_directive_rejected(self):
         with pytest.raises(CompileError, match="unsupported"):
             preprocess("#error nope")
+
+
+class TestLiteralBoundaries:
+    """Regression: macro expansion must not recurse into literals."""
+
+    def test_string_literals_never_expanded(self):
+        out = preprocess('#define X 5\nchar *s = "X marks";')
+        assert '"X marks"' in out
+
+    def test_char_literals_never_expanded(self):
+        out = preprocess("#define X 5\nchar c = 'X'; int y = X;")
+        assert "'X'" in out
+        assert "int y = 5" in out
+
+    def test_escaped_quote_inside_char_literal(self):
+        out = preprocess("#define Q 1\nchar c = '\\''; int y = Q;")
+        assert "'\\''" in out
+        assert "int y = 1" in out
+
+
+class TestMacroArgumentValidation:
+    """Regression: a trailing empty argument is an error, not an
+    empty-string substitution."""
+
+    def test_trailing_empty_argument_rejected(self):
+        with pytest.raises(CompileError, match="empty macro argument"):
+            preprocess("#define F(a, b) a + b\nint x = F(1,);")
+
+    def test_leading_empty_argument_rejected(self):
+        with pytest.raises(CompileError, match="empty macro argument"):
+            preprocess("#define F(a, b) a + b\nint x = F(, 2);")
+
+    def test_zero_argument_call_still_fine(self):
+        out = preprocess("#define G() 7\nint x = G();")
+        assert "int x = 7;" in out
+
+    def test_nested_parens_still_one_argument(self):
+        out = preprocess("#define ID(v) v\nint x = ID(f(1, 2));")
+        assert "int x = f(1, 2);" in out
+
+
+class TestDuplicateElse:
+    """Regression: a second #else used to silently re-toggle."""
+
+    def test_second_else_rejected(self):
+        with pytest.raises(CompileError, match="duplicate #else"):
+            preprocess("#ifdef A\n#else\n#else\n#endif\n")
+
+    def test_else_in_nested_ifdef_tracked_per_level(self):
+        out = preprocess("#define A 1\n#ifdef A\n#ifdef B\n#else\nint x;\n"
+                         "#endif\n#else\nint y;\n#endif\n")
+        assert "int x;" in out
+        assert "int y;" not in out

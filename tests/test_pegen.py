@@ -1,0 +1,171 @@
+"""Unit tests for the pegen-style parser generator pipeline."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.minicuda.lexer import TokenKind, tokenize
+from repro.minicuda.parser_gen import MiniCudaParser
+from repro.minicuda.pegen import (
+    FAIL,
+    GrammarError,
+    ParserBase,
+    generate_parser_source,
+    memoize,
+    memoize_left_rec,
+    parse_grammar,
+)
+
+PKG_DIR = Path(__file__).parent.parent / "src" / "repro" / "minicuda"
+
+
+def _build(grammar_text: str):
+    """Generate, exec, and return the parser class for a grammar."""
+    source = generate_parser_source(grammar_text)
+    namespace: dict = {}
+    exec(compile(source, "<generated>", "exec"), namespace)
+    return namespace[parse_grammar(grammar_text).class_name]
+
+
+class TestMetaparser:
+    def test_parses_the_real_grammar(self):
+        grammar = parse_grammar((PKG_DIR / "minicuda.gram").read_text())
+        assert grammar.class_name == "MiniCudaParser"
+        assert grammar.start == "start"
+        assert "statement" in grammar.rules
+        assert len(grammar.rules) > 50
+
+    def test_memo_flag(self):
+        grammar = parse_grammar((PKG_DIR / "minicuda.gram").read_text())
+        assert grammar.rules["primary"].memo
+        assert not grammar.rules["statement"].memo
+
+    def test_undefined_rule_reference_rejected(self):
+        with pytest.raises(GrammarError):
+            parse_grammar("@start start\nstart: nonesuch EOF\n")
+
+    def test_duplicate_rule_rejected(self):
+        with pytest.raises(GrammarError):
+            parse_grammar("@start a\na: INT\na: IDENT\n")
+
+
+class TestLeftRecursion:
+    def test_real_grammar_postfix_is_the_only_leader(self):
+        grammar = parse_grammar((PKG_DIR / "minicuda.gram").read_text())
+        leaders = [r.name for r in grammar.rules.values() if r.leader]
+        assert leaders == ["postfix"]
+        assert grammar.rules["postfix"].left_recursive
+        assert not grammar.rules["statement"].left_recursive
+
+    def test_indirect_cycle_detected(self):
+        grammar = parse_grammar(
+            "@start a\n"
+            "a: b '+' INT | INT\n"
+            "b: a\n")
+        assert grammar.rules["a"].left_recursive
+        assert grammar.rules["b"].left_recursive
+        # first rule of the cycle in grammar order gets the seed-grower
+        assert grammar.rules["a"].leader
+        assert not grammar.rules["b"].leader
+
+    def test_nullable_prefix_extends_initial_names(self):
+        # c is nullable, so "a: c a ..." is still left-recursive on a
+        grammar = parse_grammar(
+            "@start a\n"
+            "a: c a '+' INT | INT\n"
+            "c: ';'?\n")
+        assert grammar.rules["a"].left_recursive
+        assert grammar.rules["c"].nullable
+
+
+class TestGeneratedParsers:
+    def test_tiny_calculator_round_trip(self):
+        parser_cls = _build(
+            "@class TinyParser\n"
+            "@start start\n"
+            "start: e=expr EOF { e }\n"
+            "expr: f=term rest=(op='+' r=term)* "
+            "{ ('sum', f, [r for _, r in rest]) if rest else f }\n"
+            "term:\n"
+            "    | t=INT { t.value }\n"
+            "    | '(' e=expr &&')' { e }\n")
+        parser = parser_cls(tokenize("1 + (2 + 3) + 4"))
+        assert parser.parse_translation_unit() == \
+            ("sum", 1, [("sum", 2, [3]), 4])
+
+    def test_left_recursive_rule_associates_left(self):
+        parser_cls = _build(
+            "@class LeftParser\n"
+            "@start start\n"
+            "start: e=x EOF { e }\n"
+            "x:\n"
+            "    | a=x '-' b=INT { (a, b.value) }\n"
+            "    | b=INT { b.value }\n")
+        parser = parser_cls(tokenize("1 - 2 - 3"))
+        assert parser.parse_translation_unit() == ((1, 2), 3)
+
+    def test_generated_source_records_grammar_hash(self):
+        source = generate_parser_source("@start a\na: INT EOF\n")
+        assert "GRAMMAR_HASH" in source
+
+
+class TestPackratMemo:
+    def test_memo_decorator_caches_by_position(self):
+        calls = []
+
+        class P(ParserBase):
+            START_RULE = "num"
+
+            @memoize
+            def num(self):
+                calls.append(self._i)
+                t = self.match_kind(TokenKind.INT)
+                return t.value if t is not FAIL else FAIL
+
+        parser = P(tokenize("7"))
+        assert parser.num() == 7
+        parser._i = 0
+        assert parser.num() == 7
+        assert calls == [0]
+        assert parser.memo_hits == 1 and parser.memo_misses == 1
+
+    def test_memoize_left_rec_grows_the_seed(self):
+        class P(ParserBase):
+            START_RULE = "x"
+
+            @memoize_left_rec
+            def x(self):
+                mark = self._i
+                left = self.x()
+                if left is not FAIL and self.punct("+") is not FAIL:
+                    right = self.match_kind(TokenKind.INT)
+                    if right is not FAIL:
+                        return (left, right.value)
+                self._i = mark
+                t = self.match_kind(TokenKind.INT)
+                return t.value if t is not FAIL else FAIL
+
+        parser = P(tokenize("1 + 2 + 3"))
+        assert parser.parse_translation_unit() == ((1, 2), 3)
+
+    def test_real_parser_reports_memo_stats(self):
+        parser = MiniCudaParser(tokenize("int main() { return a[0] + b.x; }"))
+        parser.parse_translation_unit()
+        assert parser.memo_misses > 0
+        assert parser.memo_hits > 0
+
+
+class TestFreshness:
+    def test_checked_in_parser_gen_is_fresh(self):
+        """CI invariant: parser_gen.py == generator(minicuda.gram)."""
+        expected = generate_parser_source(
+            (PKG_DIR / "minicuda.gram").read_text())
+        assert (PKG_DIR / "parser_gen.py").read_text() == expected
+
+    def test_check_cli_reports_fresh(self, capsys):
+        from repro.minicuda.pegen.__main__ import main
+
+        assert main(["--check"]) == 0
+        assert "up to date" in capsys.readouterr().out
