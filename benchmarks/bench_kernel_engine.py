@@ -1,13 +1,15 @@
 """Kernel execution engines: compiled backends vs tree-walking.
 
 The grading path spends most of its simulated-GPU time inside
-``repro.minicuda``'s kernel interpreter. Two compiled engines lower
+``repro.minicuda``'s kernel interpreter. Three compiled engines lower
 each kernel's checked AST once per program: ``closure``
-(:mod:`repro.minicuda.codegen`) into nested Python closures, and
+(:mod:`repro.minicuda.codegen`) into nested Python closures,
 ``codegen`` (:mod:`repro.minicuda.srcgen`) into generated Python
 source compiled with :func:`compile` — straight-line bytecode, flat
-2-D shared indexing, hoisted builtins, and a warp-vectorized fast
-path for divergence-free kernels.
+2-D shared indexing, hoisted builtins — and ``simd``
+(:mod:`repro.minicuda.simd`) into warp-wide numpy array programs
+where each instruction executes over the warp's active-lane vector
+and divergent branches run both arms under lane masks.
 
 This benchmark runs four canonical course kernels (vector add, tiled
 matrix multiply, histogram with shared-memory privatization, and a
@@ -16,9 +18,11 @@ to be bit-identical, and records the speedups in
 ``BENCH_kernel_engine.json``.
 
 Acceptance at full sizing: closure >= 3x over the tree-walker on
-tiled matmul; codegen >= 10x on tiled matmul AND reduction. The
-``WEBGPU_BENCH_FAST=1`` CI smoke sizing uses conservative floors
-(compile time is a bigger share of the tiny runs).
+tiled matmul; codegen >= 10x on tiled matmul AND reduction; simd
+>= 25x over the tree-walker and >= 2x over codegen on tiled matmul
+AND reduction. The ``WEBGPU_BENCH_FAST=1`` CI smoke sizing uses
+conservative floors (compile time is a bigger share of the tiny
+runs).
 """
 
 from __future__ import annotations
@@ -40,6 +44,10 @@ FAST = bool(os.environ.get("WEBGPU_BENCH_FAST"))
 MATMUL_FLOOR = 2.0 if FAST else 3.0
 #: codegen floors on (tiled_matmul, reduction)
 CODEGEN_FLOOR = 3.0 if FAST else 10.0
+#: simd-vs-ast floors on (tiled_matmul, reduction)
+SIMD_FLOOR = 20.0 if FAST else 25.0
+#: simd-vs-codegen floors on (tiled_matmul, reduction)
+SIMD_VS_CODEGEN_FLOOR = 2.0
 
 #: problem sizes: (vecadd n, matmul n, histogram n, reduction n)
 SIZES = (2_048, 24, 2_048, 2_048) if FAST else (16_384, 64, 16_384, 16_384)
@@ -197,15 +205,19 @@ def test_kernel_engine_speedup():
                     f"{name}/{engine}: output diverged"
         wall_cl = per_engine["closure"][0]
         wall_cg = per_engine["codegen"][0]
+        wall_sd = per_engine["simd"][0]
         speedup = wall_ast / wall_cl
         cg_speedup = wall_ast / wall_cg
+        sd_speedup = wall_ast / wall_sd
         rows.append({
             "kernel": name,
             "ast_s": f"{wall_ast:.3f}",
             "closure_s": f"{wall_cl:.3f}",
             "codegen_s": f"{wall_cg:.3f}",
+            "simd_s": f"{wall_sd:.3f}",
             "closure_x": f"{speedup:.2f}x",
             "codegen_x": f"{cg_speedup:.2f}x",
+            "simd_x": f"{sd_speedup:.2f}x",
             "instructions": stats_ast.instructions,
             "stats": "identical",
         })
@@ -213,13 +225,17 @@ def test_kernel_engine_speedup():
             "ast_seconds": wall_ast,
             "closure_seconds": wall_cl,
             "codegen_seconds": wall_cg,
+            "simd_seconds": wall_sd,
             "speedup": speedup,
             "codegen_speedup": cg_speedup,
+            "simd_speedup": sd_speedup,
+            "simd_vs_codegen": wall_cg / wall_sd,
             "instructions": stats_ast.instructions,
             "stats_identical": True,
         }
 
-    print_table("Kernel engines: tree-walker vs closure vs codegen", rows)
+    print_table("Kernel engines: tree-walker vs closure vs codegen vs simd",
+                rows)
     out_path = Path(__file__).resolve().parent.parent / \
         "BENCH_kernel_engine.json"
     out_path.write_text(json.dumps(record, indent=2) + "\n")
@@ -233,11 +249,21 @@ def test_kernel_engine_speedup():
         assert cg >= CODEGEN_FLOOR, (
             f"codegen engine only {cg:.2f}x on {kernel} "
             f"(floor {CODEGEN_FLOOR}x)")
-    # every kernel must at least not regress under either engine
+        sd = record["kernels"][kernel]["simd_speedup"]
+        assert sd >= SIMD_FLOOR, (
+            f"simd engine only {sd:.2f}x on {kernel} "
+            f"(floor {SIMD_FLOOR}x)")
+        sd_cg = record["kernels"][kernel]["simd_vs_codegen"]
+        assert sd_cg >= SIMD_VS_CODEGEN_FLOOR, (
+            f"simd engine only {sd_cg:.2f}x over codegen on {kernel} "
+            f"(floor {SIMD_VS_CODEGEN_FLOOR}x)")
+    # every kernel must at least not regress under any compiled engine
     for name, entry in record["kernels"].items():
         assert entry["speedup"] > 1.0, f"{name} slower under closure engine"
         assert entry["codegen_speedup"] > 1.0, \
             f"{name} slower under codegen engine"
+        assert entry["simd_speedup"] > 1.0, \
+            f"{name} slower under simd engine"
 
 
 if __name__ == "__main__":

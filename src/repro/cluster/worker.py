@@ -45,7 +45,7 @@ class WorkerConfig:
     health_interval_s: float = 10.0
     policy: SeccompPolicy = field(default_factory=SeccompPolicy.baseline)
     scanner: BlacklistScanner = field(default_factory=BlacklistScanner)
-    #: kernel execution engine ("closure"/"codegen"/"ast");
+    #: kernel execution engine ("closure"/"codegen"/"simd"/"ast");
     #: None → env var/default
     kernel_engine: str | None = None
 

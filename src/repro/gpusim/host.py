@@ -20,7 +20,7 @@ from repro.gpusim.grid import dim3
 from repro.gpusim.memory import DeviceBuffer, DevicePtr
 from repro.gpusim.scheduler import run_grid
 from repro.gpusim.timing import KernelStats, TimingModel
-from repro.telemetry import KERNEL_EXEC_SECONDS
+from repro.telemetry import KERNEL_EXEC_SECONDS, WARP_ACTIVE_LANE_RATIO
 
 #: Host<->device transfer bandwidth (PCIe gen2 x16-ish), bytes/second.
 PCIE_BANDWIDTH = 6e9
@@ -75,7 +75,7 @@ class GpuRuntime:
         """Allocate read-only (``__constant__``) memory from a host array."""
         buf = self.device.malloc(int(array.size), array.dtype,
                                  label=label, read_only=True)
-        buf.data[:] = array.ravel()
+        buf.as_ndarray()[:] = array.ravel()
         self._advance_transfer(buf.nbytes)
         return buf
 
@@ -107,8 +107,9 @@ class GpuRuntime:
         return view.copy()
 
     def memset(self, buf: DeviceBuffer, value: Any = 0) -> None:
-        """cudaMemset (element-wise, not byte-wise, for convenience)."""
-        buf.data[:] = value
+        """cudaMemset (element-wise, not byte-wise, for convenience).
+        Goes through the zero-copy view so a freed buffer faults."""
+        buf.as_ndarray()[:] = value
         self._advance_transfer(buf.nbytes)
 
     def _advance_transfer(self, nbytes: int) -> None:
@@ -149,6 +150,13 @@ class GpuRuntime:
                     KERNEL_EXEC_SECONDS,
                     "Kernel exec wall time by engine",
                 ).observe(wall, engine=engine, kernel=name)
+            occ = getattr(kernel, "lane_occupancy", None)
+            if occ is not None and occ[1]:
+                # simd engine: active lanes / lane slots this launch
+                self.telemetry.metrics.gauge(
+                    WARP_ACTIVE_LANE_RATIO,
+                    "Active-lane fraction of simd warp execution",
+                ).set(occ[0] / occ[1], kernel=name)
         if self.io_hook is not None:
             for line in output:
                 self.io_hook(line)

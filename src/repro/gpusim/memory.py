@@ -88,6 +88,46 @@ class DeviceBuffer:
         """A synthetic flat byte address used by the coalescing model."""
         return self._base + index * self._itemsize
 
+    # -- lane-vector access (warp-SIMD engine) -------------------------------
+
+    def as_ndarray(self) -> np.ndarray:
+        """Zero-copy numpy view of the whole allocation."""
+        if self.freed:
+            raise InvalidPointerError(f"use after free of {self.label}")
+        return self.data
+
+    def _check_lanes(self, indices: np.ndarray) -> None:
+        """Vectorized bounds check: one unsigned-max reduction on the
+        fast path (negatives wrap to huge values), then the exact
+        per-index fault of :meth:`_check` for the first offending lane."""
+        if self.freed:
+            raise InvalidPointerError(f"use after free of {self.label}")
+        size = self.data.size
+        if len(indices) == 0:
+            return
+        u = (indices.view(np.uint64) if indices.dtype == np.int64
+             else indices.astype(np.uint64))
+        if int(u.max()) >= size:
+            bad = (indices < 0) | (indices >= size)
+            index = int(indices[int(np.argmax(bad))])
+            raise OutOfBoundsError(
+                f"index {index} out of bounds for {self.label} "
+                f"[{size} x {self.dtype.name}]"
+            )
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Bounds-checked vector load of ``data[indices]``."""
+        self._check_lanes(indices)
+        return self.data[indices]
+
+    def scatter(self, indices: np.ndarray, values: Any) -> None:
+        """Bounds-checked vector store (duplicate indices: last lane
+        wins, matching serial per-lane execution order)."""
+        self._check_lanes(indices)
+        if self.read_only:
+            raise OutOfBoundsError(f"write to read-only memory {self.label}")
+        self.data[indices] = values
+
     def ptr(self, offset: int = 0) -> "DevicePtr":
         return DevicePtr(self, offset)
 
@@ -183,6 +223,38 @@ class SharedArray:
         data = self.data
         data[index] = value  # numpy applies the dtype conversion
         self._cache[index] = data[index].item()
+
+    # -- lane-vector access (warp-SIMD engine) -------------------------------
+
+    def _check_lanes(self, indices: np.ndarray) -> None:
+        size = self.data.size
+        if len(indices) == 0:
+            return
+        u = (indices.view(np.uint64) if indices.dtype == np.int64
+             else indices.astype(np.uint64))
+        if int(u.max()) >= size:
+            bad = (indices < 0) | (indices >= size)
+            index = int(indices[int(np.argmax(bad))])
+            raise OutOfBoundsError(
+                f"index {index} out of bounds for __shared__ {self.name} "
+                f"[{size} x {self.dtype.name}]"
+            )
+
+    def read_lanes(self, indices: np.ndarray) -> np.ndarray:
+        """Bounds-checked vector read of ``data[indices]``."""
+        self._check_lanes(indices)
+        return self.data[indices]
+
+    def write_lanes(self, indices: np.ndarray, values: Any) -> None:
+        """Bounds-checked vector write keeping the Python-scalar
+        ``_cache`` mirror coherent (duplicate indices: last lane wins,
+        like serial per-lane order; numpy fancy assignment matches)."""
+        self._check_lanes(indices)
+        data = self.data
+        data[indices] = values
+        cache = self._cache
+        for i, v in zip(indices.tolist(), data[indices].tolist()):
+            cache[i] = v
 
     def bank(self, index: int) -> int:
         """Which of the 32 banks a 4-byte word at ``index`` maps to."""

@@ -59,22 +59,55 @@ class BlockResult:
     output: list[str] = field(default_factory=list)
 
 
-def _packed_rows(traces: list[tuple[int, list[int]]]) -> np.ndarray | None:
+def _packed_rows(traces: list[tuple[int, list[int]]],
+                 chunks: list[tuple] = (),
+                 banks_from_words: bool = False) -> np.ndarray | None:
     """Concatenate per-thread flat traces into an (n, 3) int64 array
     whose first column is the packed ``(warp << _SEQ_BITS) | seq``
-    warp-request key. Returns None when no thread recorded anything."""
-    chunks = []
+    warp-request key. Returns None when no thread recorded anything.
+
+    ``chunks`` carries whole-warp access batches recorded by the SIMD
+    engine: ``(count, warp, seqs, col1, col2)`` where ``seqs`` /
+    ``col1`` / ``col2`` are scalars or length-``count`` arrays (scalars
+    broadcast — e.g. one uniform seq for a full-mask access). The row
+    multiset is identical to per-thread recording, so the downstream
+    coalescing / bank grouping is unaffected by who recorded the rows.
+
+    With ``banks_from_words`` the chunks' col1 is ignored and the bank
+    column is derived from the word column in one vectorized pass —
+    shared-access recorders then skip a ``% NUM_BANKS`` per access.
+    (Per-thread traces always carry their bank already.)
+    """
+    rows_list = []
     for warp, flat in traces:
         if not flat:
             continue
         rows = np.asarray(flat, dtype=np.int64).reshape(-1, 3)
         rows[:, 0] |= warp << _SEQ_BITS
-        chunks.append(rows)
-    if not chunks:
+        rows_list.append(rows)
+    if chunks:
+        total = sum(c[0] for c in chunks)
+        # (3, total) C-contiguous fill; the transposed view has the
+        # same (n, 3) layout downstream consumers index by column
+        buf = np.empty((3, total), dtype=np.int64)
+        pos = 0
+        for count, warp, seqs, col1, col2 in chunks:
+            end = pos + count
+            key = buf[0, pos:end]
+            key[...] = seqs
+            key |= warp << _SEQ_BITS
+            if not banks_from_words:
+                buf[1, pos:end] = col1
+            buf[2, pos:end] = col2
+            pos = end
+        if banks_from_words:
+            np.mod(buf[2], _NUM_BANKS, out=buf[1])
+        rows_list.append(buf.T)
+    if not rows_list:
         return None
-    if len(chunks) == 1:
-        return chunks[0]
-    return np.concatenate(chunks)
+    if len(rows_list) == 1:
+        return rows_list[0]
+    return np.concatenate(rows_list)
 
 
 def _first_of_group(*columns: np.ndarray) -> np.ndarray:
@@ -110,6 +143,14 @@ class _BlockState:
         self.load_traces: list[tuple[int, list[int]]] = []
         self.store_traces: list[tuple[int, list[int]]] = []
         self.shared_traces: list[tuple[int, list[int]]] = []
+        # whole-warp access batches from the SIMD engine:
+        # (count, warp, seqs, col1, col2); for loads/stores col1 is the
+        # byte address and col2 the access width; for shared hits col2
+        # is the word index and col1 is unused (banks are derived from
+        # words in one vectorized pass at finalize).
+        self.load_chunks: list[tuple] = []
+        self.store_chunks: list[tuple] = []
+        self.shared_chunks: list[tuple] = []
         self.output: list[str] = []
 
     def register_thread(self, warp: int) -> tuple[list[int], list[int], list[int]]:
@@ -125,19 +166,20 @@ class _BlockState:
     def finalize(self) -> None:
         """Convert raw access records into transaction/conflict counts."""
         st = self.stats
-        loads = _packed_rows(self.load_traces)
+        loads = _packed_rows(self.load_traces, self.load_chunks)
         if loads is not None:
             requests, transactions = self._coalesce(loads)
             st.global_load_requests += requests
             st.global_load_transactions += transactions
             st.bytes_read += int(loads[:, 2].sum())
-        stores = _packed_rows(self.store_traces)
+        stores = _packed_rows(self.store_traces, self.store_chunks)
         if stores is not None:
             requests, transactions = self._coalesce(stores)
             st.global_store_requests += requests
             st.global_store_transactions += transactions
             st.bytes_written += int(stores[:, 2].sum())
-        hits = _packed_rows(self.shared_traces)
+        hits = _packed_rows(self.shared_traces, self.shared_chunks,
+                            banks_from_words=True)
         if hits is not None:
             st.shared_accesses += len(hits)
             st.bank_conflicts += self._bank_replays(hits)
@@ -400,6 +442,45 @@ def run_block(device: Device, kernel: Callable[..., Any], grid: Dim3,
         for (x, y, z) in block.iter_points():
             ctx = ThreadContext(Idx3(x, y, z), block_idx, block, grid, state)
             kernel(ctx, *args)
+        state.finalize()
+        return BlockResult(stats=state.stats, output=state.output)
+
+    # Whole-warp lockstep path for barrier kernels: an engine may
+    # attach a warp_run executor — a generator factory taking a warp's
+    # contexts and yielding at each __syncthreads(). Warps advance in
+    # rounds exactly like threads do below, so the barrier counter and
+    # the per-round access ordering match the per-thread path.
+    warp_run = getattr(kernel, "warp_run", None)
+    if warp_run is not None:
+        ctxs = [ThreadContext(Idx3(x, y, z), block_idx, block, grid, state)
+                for (x, y, z) in block.iter_points()]
+        spans = list(range(0, len(ctxs), warp_size))
+        gens = [warp_run(ctxs[start:start + warp_size]) for start in spans]
+        lanes = [len(ctxs[start:start + warp_size]) for start in spans]
+        live_warps = list(range(len(gens)))
+        while live_warps:
+            arrived_w: list[int] = []
+            finished_w: list[int] = []
+            for i in live_warps:
+                try:
+                    next(gens[i])
+                except StopIteration:
+                    finished_w.append(i)
+                    continue
+                arrived_w.append(i)
+            if arrived_w and finished_w:
+                # report thread counts so the message is byte-identical
+                # to the per-thread lockstep path below
+                n_wait = sum(lanes[i] for i in arrived_w)
+                n_done = sum(lanes[i] for i in finished_w)
+                raise BarrierDivergenceError(
+                    f"{n_wait} thread(s) waiting at __syncthreads() while "
+                    f"{n_done} thread(s) exited the kernel in block "
+                    f"({block_idx.x},{block_idx.y},{block_idx.z})"
+                )
+            if arrived_w:
+                state.stats.barriers += 1
+            live_warps = arrived_w
         state.finalize()
         return BlockResult(stats=state.stats, output=state.output)
 

@@ -99,7 +99,7 @@ def execute_lab_source(lab: LabDefinition, source: str, data: GeneratedData,
     :class:`repro.minicuda.CompileError`; runtime faults propagate as
     their interpreter/simulator exceptions (the sandbox layer catches
     and classifies them). ``engine`` selects the kernel execution
-    engine (``"closure"``/``"codegen"``/``"ast"``; None → env var /
+    engine (``"closure"``/``"codegen"``/``"simd"``/``"ast"``; None → env var /
     default).
     ``telemetry`` (a :class:`repro.telemetry.Telemetry`) is handed to
     the :class:`GpuRuntime` so per-kernel wall time and KernelStats

@@ -43,8 +43,6 @@ from __future__ import annotations
 from operator import attrgetter
 from typing import Any, Callable
 
-import numpy as np
-
 from repro.cache import LRUPolicy, MemoTable
 from repro.gpusim.grid import Dim3
 from repro.gpusim.memory import DevicePtr, SharedArray
@@ -76,6 +74,7 @@ from repro.minicuda.values import (
     VarRef,
     _INT_BASES,
     coerce,
+    f32,
     sizeof_ctype,
 )
 
@@ -129,7 +128,7 @@ def _coerce_int(v: Any) -> Any:
 
 
 def _coerce_f32(v: Any) -> Any:
-    return float(np.float32(v)) if isinstance(v, _NUMS) else v
+    return f32(v) if isinstance(v, _NUMS) else v
 
 
 def _coerce_f64(v: Any) -> Any:

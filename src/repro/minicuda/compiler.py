@@ -68,7 +68,7 @@ class CompiledProgram:
         """Execute ``main`` (the usual lab entry point).
 
         ``engine`` picks the kernel execution engine (``"closure"``,
-        ``"codegen"`` or ``"ast"``); None defers to
+        ``"codegen"``, ``"simd"`` or ``"ast"``); None defers to
         ``WEBGPU_KERNEL_ENGINE`` / default.
         """
         if not self.info.has_main:

@@ -221,9 +221,11 @@ def write_indexed(base: Any, index: Any, value: Any,
 
 
 #: Kernel execution engines: ``closure`` (compiled, default),
-#: ``ast`` (the tree-walking reference oracle), and ``codegen``
-#: (generated Python source with a warp-vectorized fast path).
-ENGINES = ("closure", "ast", "codegen")
+#: ``ast`` (the tree-walking reference oracle), ``codegen``
+#: (generated Python source with a warp-vectorized fast path), and
+#: ``simd`` (warp-SIMD numpy batching with masked lane predication;
+#: falls back to ``codegen`` per kernel when ineligible).
+ENGINES = ("closure", "ast", "codegen", "simd")
 
 
 def resolve_engine(engine: str | None) -> str:
@@ -301,12 +303,13 @@ class Interpreter:
             else:
                 target = LocalArray(decl.name, total, decl.type.base)
             if decl.init is not None:
-                values = _flatten_init(decl.init)
-                for i, item in enumerate(values[:total]):
-                    if isinstance(target, DevicePtr):
-                        target.buffer.data[i] = item
-                    else:
-                        target.write(i, item)
+                values = _flatten_init(decl.init)[:total]
+                # bulk init through the zero-copy ndarray view: one
+                # vectorized assignment instead of a per-element loop
+                dest = (target.buffer.as_ndarray()
+                        if isinstance(target, DevicePtr)
+                        else target.as_array())
+                dest[:len(values)] = values
             if len(decl.type.array_dims) > 1:
                 return MDView(target, decl.type.array_dims)
             return target
@@ -345,18 +348,22 @@ class Interpreter:
         The ``codegen`` engine goes one step further and emits real
         Python source per kernel (flat locals, ``compile()``-d once
         per program fingerprint), attaching a warp-vectorized executor
-        to divergence-free kernels. The ``ast`` engine — and any
-        construct the compilers do not support — takes the
-        tree-walking path below.
+        to divergence-free kernels. The ``simd`` engine lowers eligible
+        kernels to whole-warp numpy array programs with masked lane
+        predication, falling back to ``codegen`` per kernel otherwise.
+        The ``ast`` engine — and any construct the compilers do not
+        support — takes the tree-walking path below.
         """
         fn = self.info.kernels.get(name)
         if fn is None:
             raise InterpreterError(f"no kernel {name!r}")
         coerced = self._coerce_args(fn, args)
 
-        if self.engine in ("closure", "codegen"):
+        if self.engine in ("closure", "codegen", "simd"):
             if self.engine == "closure":
                 from repro.minicuda import codegen as backend
+            elif self.engine == "simd":
+                from repro.minicuda import simd as backend
             else:
                 from repro.minicuda import srcgen as backend
             telemetry = getattr(self.runtime, "telemetry", None)

@@ -51,7 +51,6 @@ under engine- and version-tagged keys (see :func:`codegen.memo_key`).
 
 from __future__ import annotations
 
-import ctypes
 from typing import Any, Callable
 
 import numpy as np
@@ -102,6 +101,7 @@ from repro.minicuda.values import (
     coerce,
     sizeof_ctype,
 )
+from repro.minicuda.values import f32 as _f32_shared
 
 #: Bump when generated-source semantics change; part of the memo key so
 #: stale artifacts and unsupported verdicts are never recalled across
@@ -150,11 +150,10 @@ def _addr_of(base: Any, index: Any, pos: Any) -> Any:
     raise InterpreterError("cannot take the address of this element", pos)
 
 
-def _f32_round(v: Any, _c: Any = ctypes.c_float) -> float:
-    """``float(np.float32(v))`` via ctypes: the identical IEEE binary32
-    round-trip (round-to-nearest-even, inf on overflow) at a fraction
-    of the numpy scalar-construction cost."""
-    return _c(v).value
+#: The shared binary32 rounding helper (``values.f32``): every engine
+#: routes ``float``-typed coercion through this one function so the
+#: scalar and SIMD tiers provably round identically.
+_f32_round = _f32_shared
 
 
 def _md_oob(i: int, d0: int, j: int, d1: int) -> None:

@@ -2,12 +2,23 @@
 
 from __future__ import annotations
 
+import ctypes
 from typing import Any
 
 import numpy as np
 
 from repro.gpusim.memory import CTYPE_TO_DTYPE, DevicePtr, SharedArray
 from repro.minicuda.ast_nodes import CType
+
+
+def f32(value: Any, _c: Any = ctypes.c_float) -> float:
+    """Round a Python number through IEEE binary32 — the single source
+    of truth for ``float``-typed coercion across every execution engine
+    (tree-walker, closure, codegen, simd). The ctypes round-trip is
+    bit-identical to ``float(np.float32(value))`` (round-to-nearest-
+    even, overflow to inf, subnormal flush per IEEE) at a fraction of
+    the numpy scalar-construction cost."""
+    return _c(value).value
 
 #: sizeof() in bytes for scalar base types.
 SCALAR_SIZES = {
@@ -304,8 +315,8 @@ def coerce(value: Any, ctype: CType | None) -> Any:
             return int(value)
         if ctype.base in _FLOAT_BASES:
             if ctype.base == "float":
-                # round-trip through float32 to model single precision
-                return float(np.float32(value))
+                # round-trip through binary32 to model single precision
+                return f32(value)
             return float(value)
         if ctype.base == "bool":
             return bool(value)

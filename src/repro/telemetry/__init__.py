@@ -100,6 +100,11 @@ KERNEL_SIM_SECONDS = "webgpu_kernel_sim_seconds"
 KERNEL_COMPILE_SECONDS = "webgpu_kernel_engine_compile_seconds"
 KERNEL_EXEC_SECONDS = "webgpu_kernel_engine_exec_seconds"
 
+#: Gauge: fraction of warp lane slots that were active in the last
+#: simd-engine launch (1.0 = divergence-free; lower means masked-off
+#: lanes rode along while both branch arms executed).
+WARP_ACTIVE_LANE_RATIO = "webgpu_warp_active_lane_ratio"
+
 
 class Telemetry:
     """The metrics registry + tracer bundle one platform shares."""
