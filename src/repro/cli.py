@@ -12,8 +12,13 @@ Subcommands:
 * ``occupancy THREADS``     — the occupancy calculator;
 * ``trace-attempt SLUG``    — run one graded attempt through the v2
   broker path with tracing on, print the ASCII waterfall and the
-  per-stage latency breakdown, and optionally write the spans as
-  JSONL (``--trace-out traces.jsonl``).
+  per-stage latency breakdown (``--tag`` slices it by requirement tag
+  with explicit zero rows for stages the tag never hit), and
+  optionally write the spans as JSONL (``--trace-out traces.jsonl``);
+* ``profile-attempt SLUG``  — run one attempt with the per-source-line
+  kernel profiler on and print the annotated listing (per-line
+  instruction/memory/divergence counters, heat bar, hottest lines)
+  plus any lab line-budget violations.
 """
 
 from __future__ import annotations
@@ -152,7 +157,8 @@ def cmd_trace_attempt(args: argparse.Namespace) -> int:
         print("(no --source given: tracing the reference solution)")
 
     clock = ManualClock()
-    telemetry = Telemetry(clock=clock, tracing=True)
+    telemetry = Telemetry(clock=clock, tracing=True,
+                          exemplar_percentile=args.exemplar_percentile)
     platform = WebGPU2(clock=clock, num_workers=args.workers,
                        telemetry=telemetry)
     offering = CourseOffering(code="TRACE", year=2016, deadlines={})
@@ -167,14 +173,73 @@ def cmd_trace_attempt(args: argparse.Namespace) -> int:
     tracer = telemetry.tracer
     for trace_id in tracer.trace_ids():
         print(waterfall(tracer.for_trace(trace_id)))
-    print("\nstage latency (p50/p95/p99, seconds):")
-    for stage, summary in platform.dashboard.latency_summary().items():
-        print(f"  {stage:<18} {summary['p50']:.4f} / {summary['p95']:.4f}"
-              f" / {summary['p99']:.4f} (n={int(summary['count'])})")
+
+    by_tag = args.tag is not None
+    summaries = platform.dashboard.latency_summary(by_tag=by_tag)
+    slice_name = f" for tag {args.tag!r}" if by_tag else ""
+    print(f"\nstage latency{slice_name} (p50/p95/p99, seconds):")
+    zero = {"count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+    for stage, summary in summaries.items():
+        # a stage never observed for the selected tag still gets an
+        # explicit zero row (the dashboard's convention): the table
+        # always covers the whole pipeline
+        row = (summary.get("tags", {}).get(args.tag) or zero
+               if by_tag else summary)
+        print(f"  {stage:<18} {row['p50']:.4f} / {row['p95']:.4f}"
+              f" / {row['p99']:.4f} (n={int(row['count'])})")
+
+    exemplars = telemetry.exemplars.snapshot()
+    if args.tag is not None:
+        exemplars = [rec for rec in exemplars if rec["tag"] == args.tag]
+    if exemplars:
+        print("\ntail-sampled exemplars (histogram bucket -> trace):")
+        for rec in exemplars:
+            print(f"  {rec['stage']:<18} tag={rec['tag']} "
+                  f"le={rec['le']:.4g}s observed={rec['seconds']:.4f}s "
+                  f"trace={rec['trace_id']}")
     if args.trace_out:
         count = write_jsonl(tracer.spans, args.trace_out)
         print(f"\nwrote {count} span(s) to {args.trace_out}")
     return 0
+
+
+def cmd_profile_attempt(args: argparse.Namespace) -> int:
+    from repro.profiler import check_line_budgets, render_annotated
+
+    lab = get_lab(args.slug)
+    if args.source:
+        source = Path(args.source).read_text()
+    else:
+        source = lab.solution
+        print("(no --source given: profiling the reference solution)")
+    data = lab.dataset(args.dataset)
+    try:
+        result = execute_lab_source(lab, source, data, engine=args.engine,
+                                    profile=True)
+    except CompileError as exc:
+        print(f"COMPILE ERROR\n{exc}")
+        return 2
+    verdict = "PASS" if result.passed else "FAIL"
+    print(f"dataset {args.dataset}: {verdict} "
+          f"(kernel {result.kernel_seconds * 1e6:.1f} us simulated, "
+          f"engine {args.engine or 'default'})")
+    profile = result.line_profile
+    if profile is None or not profile.lines:
+        print("no profiled kernel launches — nothing to attribute")
+        return 0
+    if result.fingerprint:
+        print(f"profile key: {result.fingerprint[:16]}")
+    print()
+    print(render_annotated(source, profile, top=args.top))
+    if lab.line_budgets:
+        violations = check_line_budgets(lab.line_budgets, profile, source)
+        if violations:
+            print("\nline-budget violations:")
+            for violation in violations:
+                print(f"  {violation.describe()}")
+            return 1
+        print(f"\nall {len(lab.line_budgets)} line budget(s) satisfied")
+    return 0 if result.passed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -226,7 +291,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker fleet size (default 2)")
     trace.add_argument("--trace-out", default=None,
                        help="write the trace spans to this JSONL file")
+    trace.add_argument("--tag", default=None,
+                       help="slice the stage breakdown by one "
+                            "requirement tag (e.g. mpi+multi-gpu); "
+                            "stages the tag never hit print explicit "
+                            "zero rows")
+    trace.add_argument("--exemplar-percentile", type=float, default=0.95,
+                       help="tail-sampling knob: keep a trace exemplar "
+                            "only when the stage latency is at or above "
+                            "this percentile of its series (default "
+                            "0.95)")
     trace.set_defaults(fn=cmd_trace_attempt)
+
+    prof = sub.add_parser(
+        "profile-attempt",
+        help="run one attempt with the line profiler on and print the "
+             "annotated hot-line listing")
+    prof.add_argument("slug")
+    prof.add_argument("--source", help="path to a CUDA-C file "
+                                       "(default: reference solution)")
+    prof.add_argument("--dataset", type=int, default=0,
+                      help="dataset index to profile (default 0)")
+    prof.add_argument("--engine", default=None,
+                      help="kernel engine (ast|closure|codegen|simd; "
+                           "the ledger is engine-invariant)")
+    prof.add_argument("--top", type=int, default=5,
+                      help="hot lines to summarize (default 5)")
+    prof.set_defaults(fn=cmd_profile_attempt)
     return parser
 
 

@@ -94,6 +94,15 @@ class DatasetOutcome:
     kernel_seconds: float = 0.0
     #: aggregated kernel profile for this dataset (feedback engine input)
     profile: dict[str, float] = field(default_factory=dict)
+    #: per-source-line ledger (repro.profiler.LineProfile) when the
+    #: worker ran with line profiling on; None otherwise
+    line_profile: Any = None
+    #: CAS address of the serialized ledger (when a profile CAS is
+    #: attached to the worker); "" otherwise
+    profile_address: str = ""
+    #: per-line budget violations (repro.profiler.BudgetViolation)
+    #: asserted from the lab's ``line_budgets``
+    budget_violations: tuple[Any, ...] = ()
 
 
 @dataclass

@@ -20,6 +20,7 @@ from repro.cluster.node import Clock, ManualClock, Node
 from repro.gpusim.device import DeviceSpec, KEPLER_K20
 from repro.labs.base import LabDefinition, execute_lab_source
 from repro.minicuda import CompileError, compile_source
+from repro.profiler import LineProfile, check_line_budgets
 from repro.sandbox import (
     BlacklistScanner,
     SandboxConfig,
@@ -48,6 +49,9 @@ class WorkerConfig:
     #: kernel execution engine ("closure"/"codegen"/"simd"/"ast");
     #: None → env var/default
     kernel_engine: str | None = None
+    #: run every dataset evaluation under the per-source-line kernel
+    #: profiler; attempt results then carry the LineProfile ledger
+    line_profile: bool = False
 
 
 class GpuWorker(Node):
@@ -59,7 +63,8 @@ class GpuWorker(Node):
                  clock: Clock | None = None, zone: str = "us-east-1a",
                  name: str = "", compile_cache: Any = None,
                  result_cache: Any = None,
-                 telemetry: Telemetry | None = None):
+                 telemetry: Telemetry | None = None,
+                 profile_cas: Any = None):
         super().__init__(zone=zone, name=name)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.config = config or WorkerConfig()
@@ -78,6 +83,13 @@ class GpuWorker(Node):
         #: optional repro.cluster.result_cache.GradingResultCache
         self.result_cache = result_cache
         self.cache_hits = 0
+        #: optional repro.cache.cas.ContentAddressedStore for serialized
+        #: line-profile ledgers (dedup by content: identical programs
+        #: produce identical ledgers, stored once fleet-wide)
+        self.profile_cas = profile_cas
+        #: (program fingerprint, lab slug, dataset index) -> CAS address
+        self._profile_index: dict[tuple[str, str, int], str] = {}
+        self.profile_cache_hits = 0
 
     # -- capability matching (v2 uses this for pull; v1 for placement) -----
 
@@ -189,7 +201,7 @@ class GpuWorker(Node):
         result.compile_seconds = compile_probe.compile_seconds
         elapsed += compile_probe.compile_seconds
         self.telemetry.record_stage("compile", compile_probe.compile_seconds,
-                                    tag=tag)
+                                    tag=tag, trace=job.trace)
         if tracer.enabled:
             # end at started + elapsed (not compile_start + seconds):
             # same value, but the same summation order as finished_at,
@@ -211,7 +223,8 @@ class GpuWorker(Node):
                 self._run_fn(lab, data, max_steps))
             elapsed += run.compile_seconds + run.run_seconds
             self.telemetry.record_stage(
-                "exec", run.compile_seconds + run.run_seconds, tag=tag)
+                "exec", run.compile_seconds + run.run_seconds, tag=tag,
+                trace=job.trace)
             if tracer.enabled:
                 tracer.start_span(
                     "exec", parent=span, time=exec_start,
@@ -220,20 +233,58 @@ class GpuWorker(Node):
                         time=started + elapsed)
             if run.ok:
                 execution = run.value
-                result.datasets.append(DatasetOutcome(
+                outcome = DatasetOutcome(
                     dataset_index=index,
                     outcome=ExecutionOutcome.OK.value,
                     correct=execution.passed,
                     report=execution.compare.report(),
                     stdout=tuple(execution.stdout),
                     kernel_seconds=execution.kernel_seconds,
-                    profile=self._profile_summary(execution)))
+                    profile=self._profile_summary(execution))
+                self._attach_line_profile(job, index, execution, outcome)
+                result.datasets.append(outcome)
             else:
                 result.datasets.append(DatasetOutcome(
                     dataset_index=index, outcome=run.outcome.value,
                     correct=False, report=run.stderr))
         result.finished_at = started + elapsed
         return result
+
+    def _attach_line_profile(self, job: Job, index: int, execution: Any,
+                             outcome: DatasetOutcome) -> None:
+        """Attach the per-line ledger to the attempt result, assert the
+        lab's line budgets against it, and persist it in the profile
+        CAS keyed by the program's preprocessed-source fingerprint
+        (identical resubmissions share one blob)."""
+        lp = getattr(execution, "line_profile", None)
+        if lp is None:
+            return
+        outcome.line_profile = lp
+        if job.lab.line_budgets:
+            outcome.budget_violations = tuple(check_line_budgets(
+                job.lab.line_budgets, lp, job.source))
+        if self.profile_cas is None or not execution.fingerprint:
+            return
+        key = (execution.fingerprint, job.lab.slug, index)
+        address = self._profile_index.get(key)
+        if address is not None and self.profile_cas.contains(address):
+            self.profile_cache_hits += 1
+        else:
+            address = self.profile_cas.put(lp.to_json().encode())
+            self._profile_index[key] = address
+        outcome.profile_address = address
+
+    def cached_profile(self, fingerprint: str, lab_slug: str,
+                       dataset_index: int) -> "LineProfile | None":
+        """Recall a previously stored ledger from the profile CAS, or
+        None when this (program, lab, dataset) was never profiled."""
+        if self.profile_cas is None:
+            return None
+        address = self._profile_index.get(
+            (fingerprint, lab_slug, dataset_index))
+        if address is None or not self.profile_cas.contains(address):
+            return None
+        return LineProfile.from_json(self.profile_cas.get(address).decode())
 
     @staticmethod
     def _profile_summary(execution: Any) -> dict[str, float]:
@@ -287,7 +338,8 @@ class GpuWorker(Node):
                     stdout_hook=lambda _line: None,
                     syscall_hook=env.gate.invoke,
                     engine=self.config.kernel_engine,
-                    telemetry=self.telemetry)
+                    telemetry=self.telemetry,
+                    profile=self.config.line_profile)
             except KernelHang:
                 # an exhausted step budget is the watchdog firing
                 raise TimeLimitExceeded("run", lab.run_limit_s,

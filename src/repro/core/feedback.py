@@ -193,6 +193,7 @@ class FeedbackEngine:
             out.append(self._mismatch_feedback(report))
         if outcome.correct:
             out.extend(self._performance_feedback(outcome.profile))
+            out.extend(self._line_feedback(outcome))
         return out
 
     def _mismatch_feedback(self, report: str) -> Feedback:
@@ -246,6 +247,44 @@ class FeedbackEngine:
                 "Privatize the accumulator in shared memory and merge "
                 "once per block."))
         return out
+
+    def _line_feedback(self, outcome: DatasetOutcome) -> list[Feedback]:
+        """Profile-guided advice naming the exact source line — the
+        whole-kernel rules above say *what* is slow; the line ledger
+        says *where*."""
+        out: list[Feedback] = []
+        for violation in outcome.budget_violations:
+            out.append(Feedback(
+                "perf", "Line budget exceeded — " + violation.describe()))
+        profile = outcome.line_profile
+        if profile is None:
+            return out
+        total_instr = max(1, profile.total_instructions)
+        for line, counters in profile.top_lines(3):
+            if counters.bank_conflicts > 32:
+                out.append(Feedback(
+                    "perf",
+                    f"Line {line} causes {counters.bank_conflicts} "
+                    "shared-memory bank-conflict replays — pad the "
+                    "tile's inner dimension by one element."))
+            if counters.divergent_branches > 32:
+                out.append(Feedback(
+                    "perf",
+                    f"The branch on line {line} diverged "
+                    f"{counters.divergent_branches} times within warps "
+                    "— both arms execute for every mixed warp. Sort "
+                    "the work or restructure the condition so whole "
+                    "warps take the same arm."))
+            loads = counters.global_load_transactions
+            if loads and counters.instructions \
+                    and loads * 64 > total_instr:
+                out.append(Feedback(
+                    "perf",
+                    f"Line {line} issues {loads} global-load "
+                    "transactions — a hot loop body reading global "
+                    "memory every iteration. Stage the data in "
+                    "__shared__ or a register outside the loop."))
+        return _dedup(out)
 
 
 class HintService:

@@ -227,6 +227,48 @@ class WebGPU:
                                      "your code first.")]
         return self.feedback_engine.analyze(lab, result)
 
+    def get_line_profile(self, course_key: str, user: User, lab_slug: str,
+                         dataset_index: int = 0):
+        """The per-line kernel ledger for the user's latest code:
+        ``(source, LineProfile | None, budget violations)``.
+
+        Prefers the ledger the worker attached to the latest attempt
+        (when the fleet runs with ``line_profile`` on); otherwise
+        recomputes it on demand from the latest revision — exact, not
+        an approximation, because the ledger is engine-invariant. A
+        revision that no longer compiles or runs yields ``None``.
+        """
+        from repro.labs.base import execute_lab_source
+        from repro.profiler import LineProfile, check_line_budgets
+
+        self._require_enrolled(course_key, user)
+        lab = self._lab_for(course_key, lab_slug)
+        revision = self.revisions.latest(user.user_id, lab_slug)
+        source = revision.source if revision else lab.skeleton
+        result = self._last_results.get((user.user_id, lab_slug))
+        if result is not None:
+            ledgers = [d.line_profile for d in result.datasets
+                       if d.line_profile is not None]
+            if ledgers:
+                merged = LineProfile()
+                for ledger in ledgers:
+                    merged.merge(ledger)
+                violations = tuple(v for d in result.datasets
+                                   for v in d.budget_violations)
+                return source, merged, violations
+        if revision is None:
+            return source, None, ()
+        try:
+            execution = execute_lab_source(
+                lab, source, lab.dataset(dataset_index), profile=True)
+        except Exception:
+            return source, None, ()
+        profile = execution.line_profile
+        violations = (tuple(check_line_budgets(lab.line_budgets, profile,
+                                               source))
+                      if profile is not None and lab.line_budgets else ())
+        return source, profile, violations
+
     # on-demand help during development (paper §VIII future work)
     def request_hint(self, course_key: str, user: User,
                      lab_slug: str) -> str | None:

@@ -152,11 +152,13 @@ class GpuRuntime:
                 ).observe(wall, engine=engine, kernel=name)
             occ = getattr(kernel, "lane_occupancy", None)
             if occ is not None and occ[1]:
-                # simd engine: active lanes / lane slots this launch
-                self.telemetry.metrics.gauge(
+                # simd engine: active lanes / lane slots this launch.
+                # A histogram, not a gauge — fleet merge adds bucket
+                # counts; merged gauges would sum ratios into nonsense.
+                self.telemetry.metrics.histogram(
                     WARP_ACTIVE_LANE_RATIO,
                     "Active-lane fraction of simd warp execution",
-                ).set(occ[0] / occ[1], kernel=name)
+                ).observe(occ[0] / occ[1], kernel=name)
         if self.io_hook is not None:
             for line in output:
                 self.io_hook(line)

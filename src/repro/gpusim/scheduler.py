@@ -37,6 +37,7 @@ from repro.gpusim.errors import BarrierDivergenceError, LaunchConfigError
 from repro.gpusim.grid import Dim3, Idx3
 from repro.gpusim.memory import DevicePtr, SharedArray
 from repro.gpusim.timing import SEGMENT_BYTES, KernelStats
+from repro.profiler import LineProfile
 
 #: Sentinel yielded by kernel generators at ``__syncthreads()``.
 SYNC = object()
@@ -121,6 +122,47 @@ def _first_of_group(*columns: np.ndarray) -> np.ndarray:
     return mask
 
 
+def _packed_rows4(traces: list[tuple[int, list[int]]],
+                  chunks: list[tuple] = (),
+                  banks_from_words: bool = False) -> np.ndarray | None:
+    """Line-profiled variant of :func:`_packed_rows`: per-thread traces
+    carry four ints per access (the base three plus the charging source
+    line), and SIMD chunks are six-tuples ``(count, warp, seqs, col1,
+    col2, lines)`` (``lines`` scalar or length-``count``). Columns 0-2
+    are identical to the unprofiled layout, so :meth:`_BlockState.
+    _coalesce` and :meth:`_BlockState._bank_replays` consume the result
+    unchanged; column 3 feeds the per-line attribution reductions."""
+    rows_list = []
+    for warp, flat in traces:
+        if not flat:
+            continue
+        rows = np.asarray(flat, dtype=np.int64).reshape(-1, 4)
+        rows[:, 0] |= warp << _SEQ_BITS
+        rows_list.append(rows)
+    if chunks:
+        total = sum(c[0] for c in chunks)
+        buf = np.empty((4, total), dtype=np.int64)
+        pos = 0
+        for count, warp, seqs, col1, col2, lines in chunks:
+            end = pos + count
+            key = buf[0, pos:end]
+            key[...] = seqs
+            key |= warp << _SEQ_BITS
+            if not banks_from_words:
+                buf[1, pos:end] = col1
+            buf[2, pos:end] = col2
+            buf[3, pos:end] = lines
+            pos = end
+        if banks_from_words:
+            np.mod(buf[2], _NUM_BANKS, out=buf[1])
+        rows_list.append(buf.T)
+    if not rows_list:
+        return None
+    if len(rows_list) == 1:
+        return rows_list[0]
+    return np.concatenate(rows_list)
+
+
 class _BlockState:
     """Mutable per-block execution state shared by its threads.
 
@@ -130,6 +172,10 @@ class _BlockState:
     ``dict[(warp, seq)] -> list[tuple]`` bookkeeping, which paid a
     hash + setdefault + tuple allocation on every single memory access.
     """
+
+    #: set to ``self`` on :class:`_ProfiledBlockState`; engines test it
+    #: to decide whether to record line attribution
+    prof = None
 
     def __init__(self, device: Device, block_dim: Dim3):
         self.device = device
@@ -218,6 +264,123 @@ class _BlockState:
         return int((replays - 1).sum())
 
 
+class _ProfiledBlockState(_BlockState):
+    """Block state that additionally builds a per-source-line ledger.
+
+    Totals are computed with the exact same reductions as the base
+    class — the 4th (line) trace column is invisible to them — and the
+    line attribution runs as extra vectorized passes at finalize. Per
+    the profiler's parity contract, every attribution below depends
+    only on the *multiset* of recorded rows, never on recording order,
+    so differently-batched engines produce bit-identical ledgers.
+    """
+
+    def __init__(self, device: Device, block_dim: Dim3):
+        super().__init__(device, block_dim)
+        self.prof = self
+        # dict-accumulated counters charged live by the thread contexts
+        # (and the engines' stats shims): line -> count
+        self.instr_lines: dict[int, int] = {}
+        self.atomic_lines: dict[int, int] = {}
+        # per-thread branch traces: (warp, [bseq, line, taken, ...]);
+        # SIMD chunks: (count, warp, bseqs, line, taken)
+        self.branch_traces: list[tuple[int, list[int]]] = []
+        self.branch_chunks: list[tuple] = []
+
+    def finalize(self) -> None:
+        st = self.stats
+        profile = LineProfile()
+        loads = _packed_rows4(self.load_traces, self.load_chunks)
+        if loads is not None:
+            requests, transactions = self._coalesce(loads)
+            st.global_load_requests += requests
+            st.global_load_transactions += transactions
+            st.bytes_read += int(loads[:, 2].sum())
+            self._line_transactions(loads, profile,
+                                    "global_load_transactions")
+        stores = _packed_rows4(self.store_traces, self.store_chunks)
+        if stores is not None:
+            requests, transactions = self._coalesce(stores)
+            st.global_store_requests += requests
+            st.global_store_transactions += transactions
+            st.bytes_written += int(stores[:, 2].sum())
+            self._line_transactions(stores, profile,
+                                    "global_store_transactions")
+        hits = _packed_rows4(self.shared_traces, self.shared_chunks,
+                             banks_from_words=True)
+        if hits is not None:
+            st.shared_accesses += len(hits)
+            st.bank_conflicts += self._bank_replays(hits)
+            lines, counts = np.unique(hits[:, 3], return_counts=True)
+            profile.bump("shared_accesses",
+                         dict(zip(lines.tolist(), counts.tolist())))
+            self._line_bank_replays(hits, profile)
+        branches = _packed_rows(self.branch_traces, self.branch_chunks)
+        if branches is not None:
+            self._line_divergence(branches, profile)
+        profile.bump("instructions", self.instr_lines)
+        profile.bump("atomic_ops", self.atomic_lines)
+        st.line_profile = profile
+
+    @staticmethod
+    def _line_transactions(rows: np.ndarray, profile: LineProfile,
+                           counter: str) -> None:
+        """Attribute each coalesced 128-byte transaction to the minimum
+        source line among the accesses it merged."""
+        keys = rows[:, 0]
+        segments = rows[:, 1] // SEGMENT_BYTES
+        lines = rows[:, 3]
+        # line is the least-significant sort key, so the first row of
+        # each (key, segment) group carries the group's minimum line
+        order = np.lexsort((lines, segments, keys))
+        keys = keys[order]
+        segments = segments[order]
+        tx_lines = lines[order][_first_of_group(keys, segments)]
+        uline, counts = np.unique(tx_lines, return_counts=True)
+        profile.bump(counter, dict(zip(uline.tolist(), counts.tolist())))
+
+    @staticmethod
+    def _line_bank_replays(rows: np.ndarray, profile: LineProfile) -> None:
+        """Attribute each warp request's serialised replays to the
+        request's minimum source line (mirrors :meth:`_bank_replays`)."""
+        keys, banks, words, lines = (rows[:, 0], rows[:, 1], rows[:, 2],
+                                     rows[:, 3])
+        order = np.lexsort((lines, words, banks, keys))
+        keys, banks, words, lines = (keys[order], banks[order],
+                                     words[order], lines[order])
+        distinct = _first_of_group(keys, banks, words)
+        keys, banks, lines = keys[distinct], banks[distinct], lines[distinct]
+        group_start = np.flatnonzero(_first_of_group(keys, banks))
+        group_sizes = np.diff(np.append(group_start, len(keys)))
+        group_keys = keys[group_start]
+        key_start = np.flatnonzero(_first_of_group(group_keys))
+        replays = np.maximum.reduceat(group_sizes, key_start) - 1
+        key_row_start = np.flatnonzero(_first_of_group(keys))
+        key_lines = np.minimum.reduceat(lines, key_row_start)
+        per_line: dict[int, int] = {}
+        for line, extra in zip(key_lines.tolist(), replays.tolist()):
+            if extra:
+                per_line[line] = per_line.get(line, 0) + extra
+        profile.bump("bank_conflicts", per_line)
+
+    @staticmethod
+    def _line_divergence(rows: np.ndarray, profile: LineProfile) -> None:
+        """Count one divergent branch per (warp, branch-seq, line) group
+        whose threads disagreed on the taken arm. Rows are packed
+        (key=(warp<<SEQ)|bseq, line, taken)."""
+        keys, lines, taken = rows[:, 0], rows[:, 1], rows[:, 2]
+        order = np.lexsort((taken, lines, keys))
+        keys, lines, taken = keys[order], lines[order], taken[order]
+        starts = np.flatnonzero(_first_of_group(keys, lines))
+        ends = np.append(starts[1:], len(keys)) - 1
+        # taken is sorted within each group: divergent iff first != last
+        divergent = taken[starts] != taken[ends]
+        div_lines = lines[starts][divergent]
+        uline, counts = np.unique(div_lines, return_counts=True)
+        profile.bump("divergent_branches",
+                     dict(zip(uline.tolist(), counts.tolist())))
+
+
 class ThreadContext:
     """The per-thread view a kernel executes against.
 
@@ -229,6 +392,9 @@ class ThreadContext:
     __slots__ = ("threadIdx", "blockIdx", "blockDim", "gridDim",
                  "_block", "_warp", "_seq", "_linear_tid", "_stats",
                  "_loads", "_stores", "_shared_trace")
+
+    #: overridden to True on :class:`ProfiledThreadContext`
+    profiled = False
 
     def __init__(self, threadIdx: Idx3, blockIdx: Idx3, blockDim: Dim3,
                  gridDim: Dim3, block_state: _BlockState):
@@ -405,6 +571,171 @@ class ThreadContext:
         self._block.output.append(text)
 
 
+class _LineStatsProxy:
+    """Stands in for the raw ``KernelStats`` in engines that charge
+    instructions via bare ``stats.instructions += n`` (the closure
+    engine's frame slot): the setter forwards the delta to the real
+    stats *and* to the per-line ledger at the context's current line."""
+
+    __slots__ = ("_ctx", "_count")
+
+    def __init__(self, ctx: "ProfiledThreadContext"):
+        self._ctx = ctx
+        self._count = 0
+
+    @property
+    def instructions(self) -> int:
+        return self._count
+
+    @instructions.setter
+    def instructions(self, value: int) -> None:
+        delta = value - self._count
+        self._count = value
+        ctx = self._ctx
+        ctx._stats.instructions += delta
+        il = ctx._instr_lines
+        ln = ctx.line
+        il[ln] = il.get(ln, 0) + delta
+
+
+class ProfiledThreadContext(ThreadContext):
+    """Thread context that also attributes every charge to ``line``.
+
+    The engines keep ``line`` pointed at the innermost enclosing
+    statement's source line (re-set before loop condition/step
+    evaluation, saved/restored around user device-function calls); the
+    overridden accessors mirror the base bodies exactly, adding a 4th
+    line column to the access traces and dict accumulation for
+    instructions/atomics. ``record_branch`` logs per-thread ``if``
+    outcomes keyed by a per-thread branch sequence number so finalize
+    can detect intra-warp divergence.
+    """
+
+    __slots__ = ("line", "bseq", "stats_proxy", "_instr_lines",
+                 "_atomic_lines", "_branches")
+
+    profiled = True
+
+    def __init__(self, threadIdx: Idx3, blockIdx: Idx3, blockDim: Dim3,
+                 gridDim: Dim3, block_state: _BlockState):
+        super().__init__(threadIdx, blockIdx, blockDim, gridDim,
+                         block_state)
+        self.line = 0
+        self.bseq = 0
+        self._instr_lines = block_state.instr_lines
+        self._atomic_lines = block_state.atomic_lines
+        branches: list[int] = []
+        block_state.branch_traces.append((self._warp, branches))
+        self._branches = branches
+        self.stats_proxy = _LineStatsProxy(self)
+
+    def count_instr(self, n: int = 1) -> None:
+        self._stats.instructions += n
+        il = self._instr_lines
+        ln = self.line
+        il[ln] = il.get(ln, 0) + n
+
+    def record_branch(self, line: int, taken: bool) -> None:
+        """Log one executed ``if`` (its line and which arm ran)."""
+        self._branches += (self.bseq, line, 1 if taken else 0)
+        self.bseq += 1
+
+    def load(self, ptr: DevicePtr, index: int = 0) -> Any:
+        ln = self.line
+        if type(ptr) is DevicePtr:
+            buf = ptr.buffer
+            i = ptr.offset + int(index)
+            value = buf.read(i)
+            nbytes = buf._itemsize
+            self._loads += (self._seq, buf._base + i * nbytes, nbytes, ln)
+        else:
+            value = ptr.read(index)
+            self._loads += (self._seq, ptr.byte_address(index),
+                            ptr.dtype.itemsize, ln)
+        self._seq += 1
+        self._stats.instructions += 1
+        il = self._instr_lines
+        il[ln] = il.get(ln, 0) + 1
+        return value
+
+    def store(self, ptr: DevicePtr, index: int, value: Any) -> None:
+        ln = self.line
+        if type(ptr) is DevicePtr:
+            buf = ptr.buffer
+            i = ptr.offset + int(index)
+            buf.write(i, value)
+            nbytes = buf._itemsize
+            self._stores += (self._seq, buf._base + i * nbytes, nbytes, ln)
+        else:
+            ptr.write(index, value)
+            self._stores += (self._seq, ptr.byte_address(index),
+                             ptr.dtype.itemsize, ln)
+        self._seq += 1
+        self._stats.instructions += 1
+        il = self._instr_lines
+        il[ln] = il.get(ln, 0) + 1
+
+    def shared_load(self, arr: SharedArray, index: int) -> Any:
+        index = int(index)
+        ln = self.line
+        if type(arr) is SharedArray:
+            word = index * arr._itemsize // 4
+            self._shared_trace += (self._seq, word % _NUM_BANKS, word, ln)
+        else:
+            self._shared_trace += (self._seq, arr.bank(index),
+                                   index * arr.dtype.itemsize // 4, ln)
+        self._seq += 1
+        self._stats.instructions += 1
+        il = self._instr_lines
+        il[ln] = il.get(ln, 0) + 1
+        return arr.read(index)
+
+    def shared_store(self, arr: SharedArray, index: int, value: Any) -> None:
+        index = int(index)
+        ln = self.line
+        if type(arr) is SharedArray:
+            word = index * arr._itemsize // 4
+            self._shared_trace += (self._seq, word % _NUM_BANKS, word, ln)
+        else:
+            self._shared_trace += (self._seq, arr.bank(index),
+                                   index * arr.dtype.itemsize // 4, ln)
+        self._seq += 1
+        self._stats.instructions += 1
+        il = self._instr_lines
+        il[ln] = il.get(ln, 0) + 1
+        arr.write(index, value)
+
+    def _atomic(self, target: DevicePtr | SharedArray, index: int,
+                update: Callable[[Any], Any]) -> Any:
+        index = int(index)
+        stats = self._block.stats
+        old = target.read(index)
+        target.write(index, update(old))
+        stats.atomic_ops += 1
+        stats.instructions += 1
+        ln = self.line
+        al = self._atomic_lines
+        al[ln] = al.get(ln, 0) + 1
+        il = self._instr_lines
+        il[ln] = il.get(ln, 0) + 1
+        if isinstance(target, SharedArray):
+            addr = (id(target) << 20) + index
+            hits = stats.shared_atomic_addresses
+            hits[addr] = hits.get(addr, 0) + 1
+            stats.max_shared_atomic_contention = max(
+                stats.max_shared_atomic_contention, hits[addr])
+        else:
+            addr = target.byte_address(index)
+            nbytes = target.dtype.itemsize
+            self._loads += (self._seq, addr, nbytes, ln)
+            self._seq += 1
+            self._stores += (self._seq, addr, nbytes, ln)
+            self._seq += 1
+            hits = stats.atomic_addresses
+            hits[addr] = hits.get(addr, 0) + 1
+        return old
+
+
 def run_block(device: Device, kernel: Callable[..., Any], grid: Dim3,
               block: Dim3, block_idx: Idx3, args: tuple[Any, ...],
               is_generator: bool | None = None) -> BlockResult:
@@ -416,7 +747,15 @@ def run_block(device: Device, kernel: Callable[..., Any], grid: Dim3,
     """
     if is_generator is None:
         is_generator = inspect.isgeneratorfunction(kernel)
-    state = _BlockState(device, block)
+    # line-profiled kernels (bound with kernel.profiled = True) get the
+    # ledger-building state + context; the unprofiled path pays nothing
+    # beyond this getattr
+    if getattr(kernel, "profiled", False):
+        state: _BlockState = _ProfiledBlockState(device, block)
+        ctx_cls: type[ThreadContext] = ProfiledThreadContext
+    else:
+        state = _BlockState(device, block)
+        ctx_cls = ThreadContext
     state.stats.blocks = 1
     state.stats.threads = block.count
     warp_size = device.spec.warp_size
@@ -430,8 +769,8 @@ def run_block(device: Device, kernel: Callable[..., Any], grid: Dim3,
         # cross-lane interleaving is unobservable in the stats).
         vector_run = getattr(kernel, "vector_run", None)
         if vector_run is not None:
-            ctxs = [ThreadContext(Idx3(x, y, z), block_idx, block, grid,
-                                  state)
+            ctxs = [ctx_cls(Idx3(x, y, z), block_idx, block, grid,
+                            state)
                     for (x, y, z) in block.iter_points()]
             for start in range(0, len(ctxs), warp_size):
                 vector_run(ctxs[start:start + warp_size])
@@ -440,7 +779,7 @@ def run_block(device: Device, kernel: Callable[..., Any], grid: Dim3,
         # Barrier-free fast path: plain calls in linear-thread order —
         # no generator allocation, no next() driving, no barrier checks.
         for (x, y, z) in block.iter_points():
-            ctx = ThreadContext(Idx3(x, y, z), block_idx, block, grid, state)
+            ctx = ctx_cls(Idx3(x, y, z), block_idx, block, grid, state)
             kernel(ctx, *args)
         state.finalize()
         return BlockResult(stats=state.stats, output=state.output)
@@ -452,7 +791,7 @@ def run_block(device: Device, kernel: Callable[..., Any], grid: Dim3,
     # the per-round access ordering match the per-thread path.
     warp_run = getattr(kernel, "warp_run", None)
     if warp_run is not None:
-        ctxs = [ThreadContext(Idx3(x, y, z), block_idx, block, grid, state)
+        ctxs = [ctx_cls(Idx3(x, y, z), block_idx, block, grid, state)
                 for (x, y, z) in block.iter_points()]
         spans = list(range(0, len(ctxs), warp_size))
         gens = [warp_run(ctxs[start:start + warp_size]) for start in spans]
@@ -486,7 +825,7 @@ def run_block(device: Device, kernel: Callable[..., Any], grid: Dim3,
 
     threads = []
     for (x, y, z) in block.iter_points():
-        ctx = ThreadContext(Idx3(x, y, z), block_idx, block, grid, state)
+        ctx = ctx_cls(Idx3(x, y, z), block_idx, block, grid, state)
         threads.append(kernel(ctx, *args))
 
     live = list(range(len(threads)))

@@ -19,6 +19,7 @@ privatised histograms beat contended global atomics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.gpusim.device import DeviceSpec
 
@@ -61,6 +62,10 @@ class KernelStats:
     atomic_addresses: dict[int, int] = field(default_factory=dict)
     #: same, for __shared__ targets (serialise only within their SM)
     shared_atomic_addresses: dict[int, int] = field(default_factory=dict)
+    #: optional per-source-line ledger (a repro.profiler.LineProfile);
+    #: None unless the launch ran under the line profiler. Duck-typed so
+    #: the timing layer stays import-free of the profiler package.
+    line_profile: Any = None
 
     def merge(self, other: "KernelStats") -> None:
         self.blocks += other.blocks
@@ -86,6 +91,11 @@ class KernelStats:
         self.max_shared_atomic_contention = max(
             self.max_shared_atomic_contention,
             other.max_shared_atomic_contention)
+        if other.line_profile is not None:
+            if self.line_profile is None:
+                self.line_profile = other.line_profile.copy()
+            else:
+                self.line_profile.merge(other.line_profile)
 
     @property
     def global_transactions(self) -> int:

@@ -9,6 +9,7 @@ from typing import Any
 from repro.gpusim import Device, DeviceSpec, GpuRuntime, KEPLER_K20
 from repro.minicuda import CompileError, HostEnv, compile_source
 from repro.mpisim import run_mpi
+from repro.profiler import LineBudget, merge_stats_profiles
 from repro.wb.comparison import CompareResult, compare_solution
 from repro.wb.datasets import GeneratedData, generators
 
@@ -57,6 +58,10 @@ class LabDefinition:
     compile_limit_s: float = 30.0
     run_limit_s: float = 60.0
     deadline: float | None = None        # platform sets per offering
+    #: Per-line budget rules asserted against the line profiler's
+    #: ledger when grading runs with profiling on (e.g. "no global
+    #: loads on the inner-loop line"). Empty → nothing asserted.
+    line_budgets: tuple[LineBudget, ...] = ()
 
     def datasets(self, base_seed: int = 1234) -> list[GeneratedData]:
         """Generate this lab's graded datasets deterministically."""
@@ -79,6 +84,11 @@ class LabExecution:
     device_seconds: float = 0.0
     exit_code: int = 0
     kernel_stats: list[Any] = field(default_factory=list)
+    #: Merged per-line ledger across every profiled launch (None when
+    #: the run was not profiled).
+    line_profile: Any = None
+    #: Preprocessed-source fingerprint — the CAS key for the profile.
+    fingerprint: str = ""
 
     @property
     def passed(self) -> bool:
@@ -91,7 +101,8 @@ def execute_lab_source(lab: LabDefinition, source: str, data: GeneratedData,
                        stdout_hook: Any = None,
                        syscall_hook: Any = None,
                        engine: str | None = None,
-                       telemetry: Any = None) -> LabExecution:
+                       telemetry: Any = None,
+                       profile: bool = False) -> LabExecution:
     """Compile + run ``source`` for ``lab`` against one dataset.
 
     This is the worker's inner evaluation step, shared with the offline
@@ -104,16 +115,20 @@ def execute_lab_source(lab: LabDefinition, source: str, data: GeneratedData,
     ``telemetry`` (a :class:`repro.telemetry.Telemetry`) is handed to
     the :class:`GpuRuntime` so per-kernel wall time and KernelStats
     land in the metrics registry; None keeps the launch path untimed.
+    ``profile`` turns on the per-source-line kernel profiler: the
+    result's ``line_profile`` holds the merged ledger across every
+    launch and ``fingerprint`` the CAS key for caching it.
     """
     if lab.mode is EvaluationMode.KERNEL_ONLY:
         return _execute_kernel_only(lab, source, data, spec, max_steps,
-                                    engine, telemetry)
+                                    engine, telemetry, profile)
     if lab.mode is EvaluationMode.MPI:
         return _execute_mpi(lab, source, data, spec, max_steps,
-                            stdout_hook, syscall_hook, engine, telemetry)
+                            stdout_hook, syscall_hook, engine, telemetry,
+                            profile)
     return _execute_full_program(lab, source, data, spec, max_steps,
                                  stdout_hook, syscall_hook, engine,
-                                 telemetry)
+                                 telemetry, profile)
 
 
 def _execute_full_program(lab: LabDefinition, source: str,
@@ -121,13 +136,15 @@ def _execute_full_program(lab: LabDefinition, source: str,
                           max_steps: int, stdout_hook: Any = None,
                           syscall_hook: Any = None,
                           engine: str | None = None,
-                          telemetry: Any = None) -> LabExecution:
+                          telemetry: Any = None,
+                          profile: bool = False) -> LabExecution:
     program = compile_source(source)
     runtime = GpuRuntime(Device(spec), telemetry=telemetry)
     env = HostEnv(datasets=dict(data.inputs), stdout_hook=stdout_hook,
                   syscall_hook=syscall_hook)
     result = program.run_main(runtime=runtime, host_env=env,
-                              max_steps=max_steps, engine=engine)
+                              max_steps=max_steps, engine=engine,
+                              profile=profile)
     if lab.mode is EvaluationMode.STDOUT_MARKERS:
         text = "\n".join(env.stdout + env.log)
         missing = [m for m in lab.stdout_markers if m not in text]
@@ -139,19 +156,23 @@ def _execute_full_program(lab: LabDefinition, source: str,
     else:
         compare = compare_solution(
             data.expected, env.solution.data if env.solution else None)
+    stats_list = [s for _, s in env.kernel_launches]
     return LabExecution(
         compare=compare, stdout=env.stdout + env.log,
         kernel_seconds=sum(s.elapsed_seconds for _, s in env.kernel_launches),
         device_seconds=runtime.device_time,
         exit_code=result.exit_code,
-        kernel_stats=[s for _, s in env.kernel_launches])
+        kernel_stats=stats_list,
+        line_profile=merge_stats_profiles(stats_list),
+        fingerprint=program.info.fingerprint or "")
 
 
 def _execute_kernel_only(lab: LabDefinition, source: str,
                          data: GeneratedData, spec: DeviceSpec,
                          max_steps: int,
                          engine: str | None = None,
-                         telemetry: Any = None) -> LabExecution:
+                         telemetry: Any = None,
+                         profile: bool = False) -> LabExecution:
     """OpenCL-style labs: the student writes only the kernel; the
     harness owns the host side (create buffers, launch, read back)."""
     program = compile_source(source)
@@ -168,20 +189,24 @@ def _execute_kernel_only(lab: LabDefinition, source: str,
     grid = (max(*(int(a.size) for a in inputs), n) + block - 1) // block
     args: list[Any] = [b.ptr() for b in buffers] + [out.ptr(), n]
     stats = program.launch(runtime, lab.kernel_name, grid, block, *args,
-                           max_steps=max_steps, engine=engine)
+                           max_steps=max_steps, engine=engine,
+                           profile=profile)
     actual = runtime.memcpy_dtoh(out)
     compare = compare_solution(data.expected, actual)
     return LabExecution(compare=compare, stdout=[],
                         kernel_seconds=stats.elapsed_seconds,
                         device_seconds=runtime.device_time,
-                        exit_code=0, kernel_stats=[stats])
+                        exit_code=0, kernel_stats=[stats],
+                        line_profile=merge_stats_profiles([stats]),
+                        fingerprint=program.info.fingerprint or "")
 
 
 def _execute_mpi(lab: LabDefinition, source: str, data: GeneratedData,
                  spec: DeviceSpec, max_steps: int, stdout_hook: Any = None,
                  syscall_hook: Any = None,
                  engine: str | None = None,
-                 telemetry: Any = None) -> LabExecution:
+                 telemetry: Any = None,
+                 profile: bool = False) -> LabExecution:
     """Multi-GPU MPI labs: one rank per (simulated) GPU."""
     program = compile_source(source)
     ranks = int(data.params.get("ranks", 4))
@@ -197,7 +222,7 @@ def _execute_mpi(lab: LabDefinition, source: str, data: GeneratedData,
         env.mpi = endpoint
         result = program.run_main(runtime=runtimes[endpoint.rank],
                                   host_env=env, max_steps=max_steps,
-                                  engine=engine)
+                                  engine=engine, profile=profile)
         return result.exit_code
 
     exit_codes = run_mpi(ranks, rank_main)
@@ -207,6 +232,7 @@ def _execute_mpi(lab: LabDefinition, source: str, data: GeneratedData,
     stdout: list[str] = []
     for r, env in enumerate(envs):
         stdout.extend(f"[rank {r}] {line}" for line in env.stdout + env.log)
+    stats_list = [s for env in envs for _, s in env.kernel_launches]
     return LabExecution(
         compare=compare, stdout=stdout,
         kernel_seconds=sum(s.elapsed_seconds
@@ -214,4 +240,6 @@ def _execute_mpi(lab: LabDefinition, source: str, data: GeneratedData,
                            for _, s in env.kernel_launches),
         device_seconds=max(rt.device_time for rt in runtimes),
         exit_code=max(int(c or 0) for c in exit_codes),
-        kernel_stats=[s for env in envs for _, s in env.kernel_launches])
+        kernel_stats=stats_list,
+        line_profile=merge_stats_profiles(stats_list),
+        fingerprint=program.info.fingerprint or "")

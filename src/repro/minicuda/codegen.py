@@ -169,59 +169,78 @@ class CompiledKernel:
     """A kernel lowered to closures, bindable to any interpreter."""
 
     __slots__ = ("name", "run", "is_gen", "frame_size", "param_setup",
-                 "entry_pos")
+                 "entry_pos", "profiled")
 
     def __init__(self, name: str, run: Callable[..., Any], is_gen: bool,
-                 frame_size: int, param_setup: list, entry_pos: Any):
+                 frame_size: int, param_setup: list, entry_pos: Any,
+                 profiled: bool = False):
         self.name = name
         self.run = run
         self.is_gen = is_gen
         self.frame_size = frame_size
         self.param_setup = param_setup
         self.entry_pos = entry_pos
+        self.profiled = profiled
 
     def bind(self, interp: Any, args: tuple[Any, ...]) -> Callable:
         """Produce the per-thread callable for one launch. Barrier-free
         kernels come back as plain functions (the scheduler fast path);
-        barrier kernels as generator functions yielding SYNC."""
+        barrier kernels as generator functions yielding SYNC.
+
+        Profiled kernels put the thread's line-attributing stats proxy
+        in the ``_STATS`` frame slot — every bare ``instructions +=``
+        charge then lands on the per-line ledger too — and carry the
+        ``profiled`` marker the scheduler dispatches on.
+        """
         frame_size = self.frame_size
         setup = self.param_setup
         run = self.run
         entry_pos = self.entry_pos
+        profiled = self.profiled
 
         if not self.is_gen:
             def kernel_thread(ctx: ThreadContext) -> None:
                 f = [None] * frame_size
                 f[_CTX] = ctx
                 f[_INTERP] = interp
-                f[_STATS] = ctx._block.stats
+                f[_STATS] = ctx.stats_proxy if profiled else ctx._block.stats
                 for (slot, co), arg in zip(setup, args):
                     f[slot] = arg if co is None else co(arg)
                 interp.steps += 1
                 if interp.steps > interp.max_steps:
                     raise KernelHang(_HANG_MSG, entry_pos)
                 run(f)
+            if profiled:
+                kernel_thread.profiled = True
             return kernel_thread
 
         def kernel_thread_gen(ctx: ThreadContext):
             f = [None] * frame_size
             f[_CTX] = ctx
             f[_INTERP] = interp
-            f[_STATS] = ctx._block.stats
+            f[_STATS] = ctx.stats_proxy if profiled else ctx._block.stats
             for (slot, co), arg in zip(setup, args):
                 f[slot] = arg if co is None else co(arg)
             interp.steps += 1
             if interp.steps > interp.max_steps:
                 raise KernelHang(_HANG_MSG, entry_pos)
             yield from run(f)
+        if profiled:
+            kernel_thread_gen.profiled = True
         return kernel_thread_gen
 
 
 class _ProgramArtifact:
-    """Per-program compilation workspace: kernel + device-fn closures."""
+    """Per-program compilation workspace: kernel + device-fn closures.
 
-    def __init__(self, info: ProgramInfo):
+    Profiled programs get their own artifact: the closures differ
+    (line pre-setters, branch recording), so profiled and unprofiled
+    kernels never share compiled bodies.
+    """
+
+    def __init__(self, info: ProgramInfo, profile: bool = False):
         self.info = info
+        self.profile = bool(profile)
         names = set()
         for gvar in info.unit.globals:
             for decl in gvar.decl.declarators:
@@ -277,6 +296,7 @@ class _FunctionCompiler:
     def __init__(self, art: _ProgramArtifact, gen_ok: bool):
         self.art = art
         self.gen_ok = gen_ok
+        self.profile = art.profile
         self.scopes: list[dict[str, tuple[int, Any]]] = [{}]
         self.frame_size = _FIRST_SLOT
 
@@ -312,7 +332,7 @@ class _FunctionCompiler:
         setup = self._bind_params(fn)
         body, is_gen = self._compile_body(fn)
         return CompiledKernel(fn.name, body, is_gen, self.frame_size,
-                              setup, fn.pos)
+                              setup, fn.pos, profiled=self.profile)
 
     def compile_device_function(self, fn: ast.FuncDef) -> Callable:
         setup = self._bind_params(fn)
@@ -321,12 +341,13 @@ class _FunctionCompiler:
             raise UnsupportedConstruct("barrier inside device function")
         frame_size = self.frame_size
         fn_pos = fn.pos
+        profiled = self.profile
 
         def run(ctx, interp, args):
             f = [None] * frame_size
             f[_CTX] = ctx
             f[_INTERP] = interp
-            f[_STATS] = ctx._block.stats
+            f[_STATS] = ctx.stats_proxy if profiled else ctx._block.stats
             for (slot, co), arg in zip(setup, args):
                 f[slot] = arg if co is None else co(arg)
             interp.steps += 1
@@ -385,6 +406,36 @@ class _FunctionCompiler:
     # -- statements -------------------------------------------------------
 
     def stmt(self, s: ast.Stmt):
+        pair = self._stmt_dispatch(s)
+        if not self.profile:
+            return pair
+        cls = type(s)
+        if cls is ast.Block or cls is ast.Empty:
+            # blocks only delegate; inner statements pin their own lines
+            return pair
+        c, g = pair
+        ln = s.pos.line
+        if g:
+            def stmt_at_line_gen(f):
+                f[_CTX].line = ln
+                return (yield from c(f))
+            return stmt_at_line_gen, True
+
+        def stmt_at_line(f):
+            f[_CTX].line = ln
+            return c(f)
+        return stmt_at_line, False
+
+    @staticmethod
+    def _at_line(c: Callable, ln: int) -> Callable:
+        """Re-pin the attribution line before evaluating ``c`` — loop
+        conditions and steps re-run after the body moved the line."""
+        def eval_at_line(f):
+            f[_CTX].line = ln
+            return c(f)
+        return eval_at_line
+
+    def _stmt_dispatch(self, s: ast.Stmt):
         cls = type(s)
         if cls is ast.ExprStmt:
             return self._compile_expr_stmt(s)
@@ -539,6 +590,14 @@ class _FunctionCompiler:
 
     def _compile_if(self, s: ast.If):
         cond_c = self.expr(s.cond)
+        if self.profile:
+            raw_cond = cond_c
+            branch_line = s.pos.line
+
+            def cond_c(f):
+                taken = _truthy(raw_cond(f))
+                f[_CTX].record_branch(branch_line, taken)
+                return taken
         self._push()
         then_c, then_gen = self.stmt(s.then)
         self._pop()
@@ -575,6 +634,8 @@ class _FunctionCompiler:
 
     def _compile_while(self, s: ast.While):
         cond_c = self.expr(s.cond)
+        if self.profile:
+            cond_c = self._at_line(cond_c, s.pos.line)
         self._push()
         body_c, body_gen = self.stmt(s.body)
         self._pop()
@@ -617,6 +678,8 @@ class _FunctionCompiler:
         body_c, body_gen = self.stmt(s.body)
         self._pop()
         cond_c = self.expr(s.cond)
+        if self.profile:
+            cond_c = self._at_line(cond_c, s.pos.line)
         pos = s.pos
         if not body_gen:
             def dowhile_plain(f):
@@ -661,6 +724,11 @@ class _FunctionCompiler:
                 raise UnsupportedConstruct("barrier in for-init")
         cond_c = self.expr(s.cond) if s.cond is not None else None
         step_c = self.expr(s.step) if s.step is not None else None
+        if self.profile:
+            if cond_c is not None:
+                cond_c = self._at_line(cond_c, s.pos.line)
+            if step_c is not None:
+                step_c = self._at_line(step_c, s.pos.line)
         self._push()
         body_c, body_gen = self.stmt(s.body)
         self._pop()
@@ -1281,6 +1349,19 @@ class _FunctionCompiler:
             entry = self.art.device_entry(name)
             arg_cs = [self.expr(a) for a in e.args]
 
+            if self.profile:
+                # callee statements pin their own lines; everything the
+                # caller charges after the call belongs to the call site
+                def user_call_prof(f):
+                    values = tuple(c(f) for c in arg_cs)
+                    f[_STATS].instructions += 1
+                    ctx = f[_CTX]
+                    saved_line = ctx.line
+                    result = entry["run"](ctx, f[_INTERP], values)
+                    ctx.line = saved_line
+                    return result
+                return user_call_prof
+
             def user_call(f):
                 values = tuple(c(f) for c in arg_cs)
                 f[_STATS].instructions += 1
@@ -1372,15 +1453,18 @@ def memo_key(engine: str, version: int, fingerprint: str,
     return f"kernelcode:{engine}:v{version}:{fingerprint}:{name}"
 
 
-def _artifact_for(info: ProgramInfo) -> _ProgramArtifact:
-    art = getattr(info, "_codegen_artifact", None)
+def _artifact_for(info: ProgramInfo,
+                  profile: bool = False) -> _ProgramArtifact:
+    attr = "_codegen_artifact_prof" if profile else "_codegen_artifact"
+    art = getattr(info, attr, None)
     if art is None:
-        art = _ProgramArtifact(info)
-        info._codegen_artifact = art
+        art = _ProgramArtifact(info, profile=profile)
+        setattr(info, attr, art)
     return art
 
 
-def compile_kernel(info: ProgramInfo, name: str) -> CompiledKernel | None:
+def compile_kernel(info: ProgramInfo, name: str,
+                   profile: bool = False) -> CompiledKernel | None:
     """Compile kernel ``name`` of a checked program into closures.
 
     Returns None when the kernel uses a construct the closure engine
@@ -1389,11 +1473,14 @@ def compile_kernel(info: ProgramInfo, name: str) -> CompiledKernel | None:
     when the program has a preprocessed-source fingerprint — in the
     module-level single-flight :data:`KERNEL_CACHE`, so grading storms
     of identical submissions compile each kernel exactly once.
+    Profiled compilation is memoized under its own engine tag: the
+    closures differ, and ledger-bearing and plain kernels must never
+    be served interchangeably.
     """
-    art = _artifact_for(info)
+    art = _artifact_for(info, profile=profile)
     if info.fingerprint:
-        key = memo_key("closure", CLOSURE_CODEGEN_VERSION,
-                       info.fingerprint, name)
+        key = memo_key("closure-prof" if profile else "closure",
+                       CLOSURE_CODEGEN_VERSION, info.fingerprint, name)
         value, _ = KERNEL_CACHE.get_or_compute(
             key, lambda: art.get_kernel(name))
         return value

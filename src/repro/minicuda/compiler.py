@@ -64,19 +64,23 @@ class CompiledProgram:
     def run_main(self, runtime: GpuRuntime | None = None,
                  host_env: HostEnv | None = None,
                  max_steps: int = 50_000_000,
-                 engine: str | None = None) -> HostRunResult:
+                 engine: str | None = None,
+                 profile: bool = False) -> HostRunResult:
         """Execute ``main`` (the usual lab entry point).
 
         ``engine`` picks the kernel execution engine (``"closure"``,
         ``"codegen"``, ``"simd"`` or ``"ast"``); None defers to
-        ``WEBGPU_KERNEL_ENGINE`` / default.
+        ``WEBGPU_KERNEL_ENGINE`` / default. ``profile`` enables the
+        per-source-line kernel profiler: each launch's ``KernelStats``
+        carries a :class:`repro.profiler.LineProfile` ledger.
         """
         if not self.info.has_main:
             raise CompileError("program has no main() function")
         runtime = runtime or GpuRuntime()
         host_env = host_env or HostEnv()
         interp = Interpreter(self.info, runtime, host_env,
-                             max_steps=max_steps, engine=engine)
+                             max_steps=max_steps, engine=engine,
+                             profile=profile)
         main = self.info.host_functions["main"]
         args: tuple[Any, ...] = ()
         if len(main.params) >= 2:
@@ -91,10 +95,12 @@ class CompiledProgram:
 
     def launch(self, runtime: GpuRuntime, kernel: str, grid: Any, block: Any,
                *args: Any, host_env: HostEnv | None = None,
-               max_steps: int = 50_000_000, engine: str | None = None) -> Any:
+               max_steps: int = 50_000_000, engine: str | None = None,
+               profile: bool = False) -> Any:
         """Directly launch a single kernel (kernel-only labs: OpenCL)."""
         interp = Interpreter(self.info, runtime, host_env,
-                             max_steps=max_steps, engine=engine)
+                             max_steps=max_steps, engine=engine,
+                             profile=profile)
         return interp.launch_kernel(kernel, grid, block, tuple(args))
 
 

@@ -270,13 +270,16 @@ class Interpreter:
 
     def __init__(self, info: ProgramInfo, runtime: GpuRuntime,
                  host_env: Any = None, max_steps: int = 50_000_000,
-                 engine: str | None = None):
+                 engine: str | None = None, profile: bool = False):
         self.info = info
         self.runtime = runtime
         self.host = host_env
         self.max_steps = max_steps
         self.steps = 0
         self.engine = resolve_engine(engine)
+        #: line-level profiling: kernels are bound in profiled mode and
+        #: every charge is attributed to its enclosing statement's line
+        self.profile = bool(profile)
         self.globals = Env()
         self._init_globals()
 
@@ -369,20 +372,24 @@ class Interpreter:
             telemetry = getattr(self.runtime, "telemetry", None)
             if telemetry is not None:
                 start = time.perf_counter()
-                compiled = backend.compile_kernel(self.info, name)
+                compiled = backend.compile_kernel(self.info, name,
+                                                  profile=self.profile)
                 telemetry.metrics.histogram(
                     KERNEL_COMPILE_SECONDS,
                     "Kernel compile wall time by engine",
                 ).observe(time.perf_counter() - start,
                           engine=self.engine, kernel=name)
             else:
-                compiled = backend.compile_kernel(self.info, name)
+                compiled = backend.compile_kernel(self.info, name,
+                                                  profile=self.profile)
             if compiled is not None:
                 return compiled.bind(self, coerced)
 
         def kernel_thread(ctx: ThreadContext) -> Iterator[Any]:
             yield from self._call_user_function(fn, coerced, ctx)
 
+        if self.profile:
+            kernel_thread.profiled = True
         return kernel_thread
 
     def launch_kernel(self, name: str, grid: Any, block: Any,
@@ -422,6 +429,12 @@ class Interpreter:
     def exec_stmt(self, stmt: ast.Stmt, env: Env,
                   ctx: ThreadContext | None) -> Iterator[Any]:
         self._step(stmt.pos)
+        # line profiling: every charge belongs to the innermost
+        # enclosing statement's line; loop condition/step charges are
+        # re-attributed to the loop statement before each evaluation
+        profiling = self.profile and ctx is not None
+        if profiling:
+            ctx.line = stmt.pos.line
         cls = type(stmt)
         if cls is ast.ExprStmt:
             yield from self.eval(stmt.expr, env, ctx)
@@ -429,12 +442,17 @@ class Interpreter:
             yield from self._exec_decl(stmt, env, ctx)
         elif cls is ast.If:
             cond = yield from self.eval(stmt.cond, env, ctx)
-            if _truthy(cond):
+            taken = _truthy(cond)
+            if profiling:
+                ctx.record_branch(stmt.pos.line, taken)
+            if taken:
                 yield from self.exec_stmt(stmt.then, Env(env), ctx)
             elif stmt.otherwise is not None:
                 yield from self.exec_stmt(stmt.otherwise, Env(env), ctx)
         elif cls is ast.While:
             while True:
+                if profiling:
+                    ctx.line = stmt.pos.line
                 cond = yield from self.eval(stmt.cond, env, ctx)
                 if not _truthy(cond):
                     break
@@ -452,6 +470,8 @@ class Interpreter:
                     break
                 except _Continue:
                     pass
+                if profiling:
+                    ctx.line = stmt.pos.line
                 cond = yield from self.eval(stmt.cond, env, ctx)
                 if not _truthy(cond):
                     break
@@ -461,6 +481,8 @@ class Interpreter:
                 yield from self.exec_stmt(stmt.init, loop_env, ctx)
             while True:
                 if stmt.cond is not None:
+                    if profiling:
+                        ctx.line = stmt.pos.line
                     cond = yield from self.eval(stmt.cond, loop_env, ctx)
                     if not _truthy(cond):
                         break
@@ -471,6 +493,8 @@ class Interpreter:
                 except _Continue:
                     pass
                 if stmt.step is not None:
+                    if profiling:
+                        ctx.line = stmt.pos.line
                     yield from self.eval(stmt.step, loop_env, ctx)
                 self._step(stmt.pos)
         elif cls is ast.Return:
@@ -616,6 +640,8 @@ class Interpreter:
                 child.declare(name, dptr, None)
             yield from interp.exec_stmt(loop.body, child, kctx)
 
+        if self.profile:
+            acc_kernel.profiled = True
         block = 128
         grid = (count + block - 1) // block
         stats = self.runtime.launch(acc_kernel, (grid,), (block,),
@@ -947,7 +973,17 @@ class Interpreter:
             for arg in expr.args:
                 args.append((yield from self.eval(arg, env, ctx)))
             ctx.count_instr()
-            return (yield from self._call_user_function(fn, tuple(args), ctx))
+            if not self.profile:
+                return (yield from self._call_user_function(fn, tuple(args),
+                                                            ctx))
+            # the call charges to the call site; callee-internal charges
+            # go to the callee's own lines — restore the caller's line
+            # so charges after the call re-attribute to the call site
+            # (matching the codegen engine's static attribution)
+            saved_line = ctx.line
+            result = yield from self._call_user_function(fn, tuple(args), ctx)
+            ctx.line = saved_line
+            return result
         raise InterpreterError(f"unknown device function {name!r}", expr.pos)
 
     _ATOMIC_DISPATCH = {

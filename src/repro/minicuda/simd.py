@@ -357,11 +357,39 @@ def _analyze_varying(fn: ast.FuncDef, info: ProgramInfo) -> set[str]:
 
 # -- per-warp execution state ------------------------------------------------
 
+class _WarpLineStats:
+    """Warp-level stand-in for the block ``KernelStats`` under line
+    profiling: ``instructions`` charges forward to the real stats and
+    the delta is also attributed to the profiled block's per-line
+    instruction ledger at the warp's current source line."""
+
+    __slots__ = ("_st", "_real")
+
+    def __init__(self, st: "_WarpSt", real: Any):
+        self._st = st
+        self._real = real
+
+    @property
+    def instructions(self) -> int:
+        return self._real.instructions
+
+    @instructions.setter
+    def instructions(self, value: int) -> None:
+        real = self._real
+        delta = value - real.instructions
+        real.instructions = value
+        st = self._st
+        il = st.prof.instr_lines
+        ln = st.line
+        il[ln] = il.get(ln, 0) + delta
+
+
 class _WarpSt:
     """Runtime state for one warp's vectorized execution."""
 
     __slots__ = ("ctxs", "n", "interp", "frame", "stats", "block", "warp",
-                 "seqs", "_tid", "ops", "slots", "idx_all", "md_ok")
+                 "seqs", "_tid", "ops", "slots", "idx_all", "md_ok",
+                 "prof", "line", "bseqs")
 
     def __init__(self, ctxs: list, interp: Any, frame_size: int):
         self.ctxs = ctxs
@@ -384,6 +412,15 @@ class _WarpSt:
         # in range — tid vectors are warp constants, so one positive
         # verdict covers every later (masked or full) access
         self.md_ok: set = set()
+        # line-profiled blocks expose themselves via .prof; profiled
+        # closures keep ``line`` at the innermost enclosing statement
+        # and ``bseqs`` tracks per-lane branch sequence numbers
+        prof = self.block.prof
+        self.prof = prof
+        if prof is not None:
+            self.line = 0
+            self.bseqs = np.zeros(self.n, dtype=np.int64)
+            self.stats = _WarpLineStats(self, self.stats)
 
     def tid_axis(self, axis: str) -> np.ndarray:
         arr = self._tid.get(axis)
@@ -427,11 +464,14 @@ class _WarpSt:
         and message match the scalar engines exactly."""
         seqs = self.seq_array()
         ctxs = self.ctxs
+        prof = self.prof is not None
         out = []
         ind_arr = isinstance(ind, np.ndarray)
         for j, lane in enumerate(idx.tolist()):
             c = ctxs[lane]
             c._seq = int(seqs[lane])
+            if prof:
+                c.line = self.line
             out.append(read_indexed(base, ind[j] if ind_arr else ind,
                                     c, pos))
             seqs[lane] = c._seq
@@ -441,11 +481,14 @@ class _WarpSt:
                    values: Any, pos: Any) -> None:
         seqs = self.seq_array()
         ctxs = self.ctxs
+        prof = self.prof is not None
         ind_arr = isinstance(ind, np.ndarray)
         val_arr = isinstance(values, np.ndarray)
         for j, lane in enumerate(idx.tolist()):
             c = ctxs[lane]
             c._seq = int(seqs[lane])
+            if prof:
+                c.line = self.line
             write_indexed(base, ind[j] if ind_arr else ind,
                           values[j] if val_arr else values, c, pos)
             seqs[lane] = c._seq
@@ -512,15 +555,57 @@ class _Lowerer:
     ``stats.instructions += len(idx)``."""
 
     def __init__(self, info: ProgramInfo, global_names: frozenset,
-                 fn: ast.FuncDef, gen_ok: bool):
+                 fn: ast.FuncDef, gen_ok: bool, profile: bool = False):
         self.info = info
         self.global_names = global_names
         self.fn = fn
         self.gen_ok = gen_ok
+        self.profile = profile
         self.varying_names = _analyze_varying(fn, info)
         self.scopes: list[dict[str, _Slot]] = [{}]
         self.nslots = 0
         self.loop_depth = 0
+
+    # -- line profiling helpers ------------------------------------------------
+
+    @staticmethod
+    def _pin(f: Callable, ln: int) -> Callable:
+        """Wrap an expression closure so it re-points the warp's
+        current line first — loop condition/step charges attribute to
+        the loop statement's own line, matching the scalar engines."""
+        def pinned(st, idx):
+            st.line = ln
+            return f(st, idx)
+        return pinned
+
+    def _record_if_cond(self, condf: Callable, cuni: bool,
+                        line: int) -> Callable:
+        """Wrap an ``if`` condition closure to log one branch outcome
+        per active lane (after evaluation, before either arm runs),
+        keyed by per-lane branch sequence numbers so finalize detects
+        intra-warp divergence exactly like per-thread recording."""
+        if not self.profile:
+            return condf
+        if cuni:
+            def recording(st, idx):
+                st.line = line
+                cv = condf(st, idx)
+                keys = st.bseqs[idx].copy()
+                st.bseqs[idx] += 1
+                st.prof.branch_chunks.append(
+                    (len(idx), st.warp, keys, line, 1 if cv else 0))
+                return cv
+            return recording
+
+        def recording(st, idx):
+            st.line = line
+            t = condf(st, idx)
+            keys = st.bseqs[idx].copy()
+            st.bseqs[idx] += 1
+            st.prof.branch_chunks.append(
+                (len(idx), st.warp, keys, line, t.astype(np.int64)))
+            return t
+        return recording
 
     # -- scopes ---------------------------------------------------------------
 
@@ -1268,6 +1353,8 @@ class _Lowerer:
         val_fns = [self.expr(a)[0] for a in e.args[1:]]
         carrier = _carrier_for(ekind)
 
+        profile = self.profile
+
         def fn(st, idx):
             target, ind = resolve(st, idx)
             vals = [f(st, idx) for f in val_fns]
@@ -1281,6 +1368,8 @@ class _Lowerer:
             for j, lane in enumerate(idx.tolist()):
                 c = ctxs[lane]
                 c._seq = int(seqs[lane])
+                if profile:
+                    c.line = st.line
                 i_j = int(ind[j]) if ind_arr else ind
                 a_j = [v[j] if va else v for v, va in zip(vals, val_arr)]
                 out[j] = method(c, target, i_j, *a_j)
@@ -1421,6 +1510,20 @@ class _Lowerer:
     # that left via break (innermost loop) or return (whole kernel).
 
     def stmt(self, s: ast.Stmt) -> Callable:
+        sfn = self._stmt_dispatch(s)
+        if not self.profile:
+            return sfn
+        cls = type(s)
+        if cls is ast.Block or cls is ast.Empty:
+            return sfn
+        ln = s.pos.line
+
+        def stmt_at_line(st, idx, fr):
+            st.line = ln
+            return sfn(st, idx, fr)
+        return stmt_at_line
+
+    def _stmt_dispatch(self, s: ast.Stmt) -> Callable:
         cls = type(s)
         if cls is ast.Block:
             return self._block(s)
@@ -1500,6 +1603,7 @@ class _Lowerer:
 
     def _if(self, s: ast.If) -> Callable:
         condf, cuni = self._cond(s.cond)
+        condf = self._record_if_cond(condf, cuni, s.pos.line)
         self.push()
         tf = self.stmt(s.then)
         self.pop()
@@ -1546,6 +1650,8 @@ class _Lowerer:
     def _while(self, s: ast.While) -> Callable:
         pos = s.pos
         condf, cuni = self._cond(s.cond)
+        if self.profile:
+            condf = self._pin(condf, pos.line)
         bodyf = self._compile_loop_parts(s.body)
 
         def sfn(st, idx, fr):
@@ -1585,6 +1691,8 @@ class _Lowerer:
     def _dowhile(self, s: ast.DoWhile) -> Callable:
         pos = s.pos
         condf, cuni = self._cond(s.cond)
+        if self.profile:
+            condf = self._pin(condf, pos.line)
         bodyf = self._compile_loop_parts(s.body)
 
         def sfn(st, idx, fr):
@@ -1632,6 +1740,11 @@ class _Lowerer:
                 stepf = self._incdec(se, want_value=False)[0]
             else:
                 stepf = self.expr(se)[0]
+        if self.profile:
+            if condf is not None:
+                condf = self._pin(condf, pos.line)
+            if stepf is not None:
+                stepf = self._pin(stepf, pos.line)
         bodyf = self._compile_loop_parts(s.body)
         self.pop()
 
@@ -1794,6 +1907,8 @@ class _Lowerer:
             e = s.expr
             if type(e) is ast.Call and e.name in BARRIER_BUILTINS:
                 argfs = [self.expr(a)[0] for a in e.args]
+                if self.profile:
+                    argfs = [self._pin(f, s.pos.line) for f in argfs]
                 return ("sync", argfs)
             raise _SimdUnsupported("barrier inside expression statement")
         if cls is ast.Block:
@@ -1805,6 +1920,7 @@ class _Lowerer:
             condf, cuni = self._cond(s.cond)
             if not cuni:
                 raise _SimdUnsupported("barrier under divergent if")
+            condf = self._record_if_cond(condf, cuni, s.pos.line)
             self.push()
             tn = self.spine_stmt(s.then)
             self.pop()
@@ -1821,6 +1937,8 @@ class _Lowerer:
             condf, cuni = self._cond(s.cond)
             if not cuni:
                 raise _SimdUnsupported("barrier in divergent loop")
+            if self.profile:
+                condf = self._pin(condf, s.pos.line)
             self.push()
             bn = self.spine_stmt(s.body)
             self.pop()
@@ -1845,6 +1963,11 @@ class _Lowerer:
                     stepf = self._incdec(se, want_value=False)[0]
                 else:
                     stepf = self.expr(se)[0]
+            if self.profile:
+                if condf is not None:
+                    condf = self._pin(condf, s.pos.line)
+                if stepf is not None:
+                    stepf = self._pin(stepf, s.pos.line)
             bn = self.spine_stmt(s.body)
             self.pop()
             return ("for", s.pos, initf, condf, stepf, bn)
@@ -1920,14 +2043,16 @@ def _global_load(st: _WarpSt, idx: np.ndarray, base: Any, ind: Any,
             vals = buf.gather(i)  # bounds-checks before the trace
             keys = st.next_seq(idx, k)
             st.block.load_chunks.append(
-                (k, st.warp, keys, buf._base + i * nb, nb))
+                (k, st.warp, keys, buf._base + i * nb, nb) if st.prof is None
+                else (k, st.warp, keys, buf._base + i * nb, nb, st.line))
             st.stats.instructions += k
             return vals.astype(carrier)
         i = base.offset + int(ind)
         val = buf.read(i)
         keys = st.next_seq(idx, k)
         st.block.load_chunks.append(
-            (k, st.warp, keys, buf._base + i * nb, nb))
+            (k, st.warp, keys, buf._base + i * nb, nb) if st.prof is None
+            else (k, st.warp, keys, buf._base + i * nb, nb, st.line))
         st.stats.instructions += k
         return np.full(k, val, carrier)
     return st.lane_read(idx, base, ind, pos)
@@ -1944,7 +2069,8 @@ def _global_store(st: _WarpSt, idx: np.ndarray, base: Any, ind: Any,
             buf.scatter(i, values)
             keys = st.next_seq(idx, k)
             st.block.store_chunks.append(
-                (k, st.warp, keys, buf._base + i * nb, nb))
+                (k, st.warp, keys, buf._base + i * nb, nb) if st.prof is None
+                else (k, st.warp, keys, buf._base + i * nb, nb, st.line))
             st.stats.instructions += k
             return
         i = base.offset + int(ind)
@@ -1952,7 +2078,8 @@ def _global_store(st: _WarpSt, idx: np.ndarray, base: Any, ind: Any,
         buf.write(i, v)
         keys = st.next_seq(idx, k)
         st.block.store_chunks.append(
-            (k, st.warp, keys, buf._base + i * nb, nb))
+            (k, st.warp, keys, buf._base + i * nb, nb) if st.prof is None
+            else (k, st.warp, keys, buf._base + i * nb, nb, st.line))
         st.stats.instructions += k
         return
     st.lane_write(idx, base, ind, values, pos)
@@ -1970,14 +2097,16 @@ def _shared_load_md(st: _WarpSt, idx: np.ndarray, arr: Any,
         words = ind if its == 4 else ind * its // 4
         keys = st.next_seq(idx, k)
         st.block.shared_chunks.append(
-            (k, st.warp, keys, 0, words))
+            (k, st.warp, keys, 0, words) if st.prof is None
+            else (k, st.warp, keys, 0, words, st.line))
         st.stats.instructions += k
         return arr.data[ind].astype(carrier)
     i = int(ind)
     word = i * its // 4
     keys = st.next_seq(idx, k)
     st.block.shared_chunks.append(
-        (k, st.warp, keys, 0, word))
+        (k, st.warp, keys, 0, word) if st.prof is None
+        else (k, st.warp, keys, 0, word, st.line))
     st.stats.instructions += k
     return np.full(k, arr._cache[i], carrier)
 
@@ -1991,14 +2120,16 @@ def _shared_load(st: _WarpSt, idx: np.ndarray, arr: Any,
         words = ind if its == 4 else ind * its // 4
         keys = st.next_seq(idx, k)
         st.block.shared_chunks.append(
-            (k, st.warp, keys, 0, words))
+            (k, st.warp, keys, 0, words) if st.prof is None
+            else (k, st.warp, keys, 0, words, st.line))
         st.stats.instructions += k
         return arr.read_lanes(ind).astype(carrier)
     i = int(ind)
     word = i * its // 4
     keys = st.next_seq(idx, k)
     st.block.shared_chunks.append(
-        (k, st.warp, keys, 0, word))
+        (k, st.warp, keys, 0, word) if st.prof is None
+        else (k, st.warp, keys, 0, word, st.line))
     st.stats.instructions += k
     return np.full(k, arr.read(i), carrier)
 
@@ -2011,7 +2142,8 @@ def _shared_store(st: _WarpSt, idx: np.ndarray, arr: Any, ind: Any,
         words = ind if its == 4 else ind * its // 4
         keys = st.next_seq(idx, k)
         st.block.shared_chunks.append(
-            (k, st.warp, keys, 0, words))
+            (k, st.warp, keys, 0, words) if st.prof is None
+            else (k, st.warp, keys, 0, words, st.line))
         st.stats.instructions += k
         arr.write_lanes(ind, values)
         return
@@ -2019,7 +2151,8 @@ def _shared_store(st: _WarpSt, idx: np.ndarray, arr: Any, ind: Any,
     word = i * its // 4
     keys = st.next_seq(idx, k)
     st.block.shared_chunks.append(
-        (k, st.warp, keys, 0, word))
+        (k, st.warp, keys, 0, word) if st.prof is None
+        else (k, st.warp, keys, 0, word, st.line))
     st.stats.instructions += k
     arr.write(i, values[-1] if isinstance(values, np.ndarray) else values)
 
@@ -2187,8 +2320,10 @@ class CompiledSimdKernel:
 
 def _compile_simd(info: ProgramInfo, fn: ast.FuncDef,
                   global_names: frozenset,
-                  src: CompiledSrcKernel) -> CompiledSimdKernel:
-    lw = _Lowerer(info, global_names, fn, gen_ok=src.is_gen)
+                  src: CompiledSrcKernel,
+                  profile: bool = False) -> CompiledSimdKernel:
+    lw = _Lowerer(info, global_names, fn, gen_ok=src.is_gen,
+                  profile=profile)
     lw.push()
     param_plan = []
     for i, p in enumerate(fn.params):
@@ -2209,20 +2344,22 @@ def _compile_simd(info: ProgramInfo, fn: ast.FuncDef,
                               body_fns, spine, fn.pos)
 
 
-def _kernel_for(info: ProgramInfo, name: str):
-    cache = getattr(info, "_simd_kernels", None)
+def _kernel_for(info: ProgramInfo, name: str, profile: bool = False):
+    attr = "_simd_kernels_prof" if profile else "_simd_kernels"
+    cache = getattr(info, attr, None)
     if cache is None:
         cache = {}
-        info._simd_kernels = cache
+        setattr(info, attr, cache)
     if name in cache:
         return cache[name]
-    src = _srcgen_compile(info, name)
+    src = _srcgen_compile(info, name, profile=profile)
     compiled = None
     if src is not None:
         try:
             compiled = _compile_simd(info, info.kernels[name],
-                                     _artifact_for(info).global_names,
-                                     src)
+                                     _artifact_for(
+                                         info, profile).global_names,
+                                     src, profile=profile)
         except _SimdUnsupported:
             # memoized fallback verdict: the scalar codegen kernel
             # runs this kernel; never an error
@@ -2231,7 +2368,7 @@ def _kernel_for(info: ProgramInfo, name: str):
     return compiled
 
 
-def compile_kernel(info: ProgramInfo, name: str):
+def compile_kernel(info: ProgramInfo, name: str, profile: bool = False):
     """Compile kernel ``name`` for the warp-SIMD tier.
 
     Returns a :class:`CompiledSimdKernel` when the kernel is eligible,
@@ -2240,10 +2377,14 @@ def compile_kernel(info: ProgramInfo, name: str):
     tree-walker), or None when even the source emitter declined. All
     three verdicts are memoized — per program object and, when a
     fingerprint is available, in the shared ``KERNEL_CACHE`` under a
-    versioned ``simd`` key."""
+    versioned ``simd`` key. ``profile`` compiles the line-profiled
+    variant (separately memoized): closures pin the warp's current
+    source line, ``if`` conditions log per-lane branch outcomes, and
+    access chunks carry the charging line as a sixth column."""
     if info.fingerprint:
-        key = memo_key("simd", SIMD_VERSION, info.fingerprint, name)
+        key = memo_key("simd-prof" if profile else "simd", SIMD_VERSION,
+                       info.fingerprint, name)
         value, _ = KERNEL_CACHE.get_or_compute(
-            key, lambda: _kernel_for(info, name))
+            key, lambda: _kernel_for(info, name, profile))
         return value
-    return _kernel_for(info, name)
+    return _kernel_for(info, name, profile)

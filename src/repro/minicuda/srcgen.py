@@ -274,26 +274,31 @@ class CompiledSrcKernel:
     """A kernel lowered to generated Python source."""
 
     __slots__ = ("name", "factory", "is_gen", "coercers", "warp_factory",
-                 "source")
+                 "source", "profiled")
 
     def __init__(self, name: str, factory: Callable, is_gen: bool,
                  coercers: list, warp_factory: Callable | None,
-                 source: str):
+                 source: str, profiled: bool = False):
         self.name = name
         self.factory = factory
         self.is_gen = is_gen
         self.coercers = coercers
         self.warp_factory = warp_factory
         self.source = source
+        self.profiled = profiled
 
     def bind(self, interp: Any, args: tuple[Any, ...]) -> Callable:
         """Per-launch thread callable; plain function unless the kernel
         barriers. Qualifying plain kernels carry a ``vector_run``
-        attribute the scheduler uses to execute whole warps at once."""
+        attribute the scheduler uses to execute whole warps at once.
+        Profiled kernels run lane-by-lane and carry the ``profiled``
+        marker the scheduler dispatches on."""
         args2 = tuple(a if co is None else co(a)
                       for co, a in zip(self.coercers, args))
         thread_fn = self.factory(interp, *args2)
-        if self.warp_factory is not None and not self.is_gen:
+        if self.profiled:
+            thread_fn.profiled = True
+        elif self.warp_factory is not None and not self.is_gen:
             thread_fn.vector_run = self.warp_factory(interp, args2)
         return thread_fn
 
@@ -308,6 +313,7 @@ class _FnEmitter:
         self.mod = mod
         self.gen_ok = gen_ok
         self.is_device = is_device
+        self.profile = mod.profile
         self.scopes: list[dict[str, tuple[str, Any, str | None]]] = [{}]
         self.lines: list[str] = []
         self.indent = 2 if not is_device else 1
@@ -968,7 +974,16 @@ class _FnEmitter:
             self.charge(1)
             t = self.tmp()
             argstr = ", ".join([""] + codes) if codes else ""
-            self.line(f"{t} = {pyfn}(C, I, S{argstr})")
+            if self.profile:
+                # callee statements re-pin C.line; the call charge and
+                # everything after belongs to the call site
+                self.flush()
+                sv = self.tmp()
+                self.line(f"{sv} = C.line")
+                self.line(f"{t} = {pyfn}(C, I, S{argstr})")
+                self.line(f"C.line = {sv}")
+            else:
+                self.line(f"{t} = {pyfn}(C, I, S{argstr})")
             return t, None
         return (f"_err('unknown device function {name!r}', "
                 f"{self.pos(e.pos)})", None)
@@ -1022,6 +1037,22 @@ class _FnEmitter:
     # -- statements -------------------------------------------------------------------
 
     def stmt(self, s: ast.Stmt) -> None:
+        if self.profile:
+            # Pin the attribution line and flush the charge batch at
+            # both statement boundaries: with ``S`` bound to the
+            # thread's stats proxy, every ``S.instructions += n``
+            # lands on whatever ``C.line`` holds at flush time, so a
+            # batch must never straddle a line change.
+            cls = type(s)
+            if cls is not ast.Block and cls is not ast.Empty:
+                self.flush()
+                self.line(f"C.line = {s.pos.line}")
+                self._stmt_dispatch(s)
+                self.flush()
+                return
+        self._stmt_dispatch(s)
+
+    def _stmt_dispatch(self, s: ast.Stmt) -> None:
         cls = type(s)
         if cls is ast.ExprStmt:
             self._expr_stmt(s)
@@ -1155,6 +1186,11 @@ class _FnEmitter:
     def _if(self, s: ast.If) -> None:
         cond = self.cond(s.cond)
         self.flush()
+        if self.profile:
+            t = self.tmp()
+            self.line(f"{t} = 1 if ({cond}) else 0")
+            self.line(f"C.record_branch({s.pos.line}, {t})")
+            cond = t
         self.line(f"if {cond}:")
         self.indent += 1
         self.push()
@@ -1247,6 +1283,9 @@ class _FnEmitter:
         self.line("while True:")
         self.indent += 1
         self._steps(s.pos)
+        if self.profile:
+            # the body moved C.line; condition charges belong here
+            self.line(f"C.line = {s.pos.line}")
         cond = self.cond(s.cond)
         self.flush()
         self.line(f"if not {cond}:")
@@ -1267,6 +1306,8 @@ class _FnEmitter:
             self._loop_body(s.body, wrapped=False, flag=None)
             # simple form: C continue would rerun the body without the
             # condition test; _body_signals guarantees there is none.
+        if self.profile:
+            self.line(f"C.line = {s.pos.line}")
         cond = self.cond(s.cond)
         self.flush()
         self.line(f"if not {cond}:")
@@ -1285,6 +1326,8 @@ class _FnEmitter:
         self.line("while True:")
         self.indent += 1
         if s.cond is not None:
+            if self.profile:
+                self.line(f"C.line = {s.pos.line}")
             cond = self.cond(s.cond)
             self.flush()
             self.line(f"if not {cond}:")
@@ -1295,6 +1338,8 @@ class _FnEmitter:
         else:
             self._loop_body(s.body, wrapped=False, flag=None)
         if s.step is not None:
+            if self.profile:
+                self.line(f"C.line = {s.pos.line}")
             code, _ = self.expr(s.step)
             if not (code.isidentifier() or code.isdigit()):
                 self.line(code)
@@ -1398,9 +1443,11 @@ class _ModuleEmitter:
     """One generated module per compiled kernel (self-contained: the
     kernel factory plus every device function it transitively calls)."""
 
-    def __init__(self, info: ProgramInfo, global_names: frozenset[str]):
+    def __init__(self, info: ProgramInfo, global_names: frozenset[str],
+                 profile: bool = False):
         self.info = info
         self.global_names = global_names
+        self.profile = bool(profile)
         self.module_lines: list[str] = []
         self.ns: dict[str, Any] = {}
         self._counter = 0
@@ -1497,9 +1544,11 @@ class _ModuleEmitter:
             em.stmt(s)
         em.flush()
         factory = f"_mk_{fn.name}"
+        stats_src = ("        S = C.stats_proxy" if self.profile
+                     else "        S = C._block.stats")
         header = [f"def {factory}(I{params}):",
                   "    def _t(C):",
-                  "        S = C._block.stats"]
+                  stats_src]
         prologue = self._prologue(em, fn.pos, copies, entry_steps=True)
         footer = ["    return _t", ""]
         self.module_lines.extend(
@@ -1513,10 +1562,13 @@ class _ModuleEmitter:
 
         coercers = [_make_coercer(p.type) for p in fn.params]
         warp_factory = None
-        if not em.has_yield:
+        if not em.has_yield and not self.profile:
+            # the warp-batched path has no per-line bookkeeping;
+            # profiled kernels always run lane-by-lane
             warp_factory = _compile_warp(self.info, self.global_names, fn)
         return CompiledSrcKernel(fn.name, ns[factory], em.has_yield,
-                                 coercers, warp_factory, source)
+                                 coercers, warp_factory, source,
+                                 profiled=self.profile)
 
 
 # -- warp-vectorized fast path ------------------------------------------------
@@ -1970,8 +2022,9 @@ def _compile_warp(info: ProgramInfo, global_names: frozenset[str],
 class _SrcArtifact:
     """Per-program compilation workspace for the codegen engine."""
 
-    def __init__(self, info: ProgramInfo):
+    def __init__(self, info: ProgramInfo, profile: bool = False):
         self.info = info
+        self.profile = bool(profile)
         names = set()
         for gvar in info.unit.globals:
             for decl in gvar.decl.declarators:
@@ -1986,7 +2039,8 @@ class _SrcArtifact:
         compiled: CompiledSrcKernel | None = None
         if fn is not None:
             gen_ok = name in self.info.barrier_functions
-            mod = _ModuleEmitter(self.info, self.global_names)
+            mod = _ModuleEmitter(self.info, self.global_names,
+                                 profile=self.profile)
             try:
                 compiled = mod.compile_kernel(fn, gen_ok)
             except UnsupportedConstruct:
@@ -1995,15 +2049,18 @@ class _SrcArtifact:
         return compiled
 
 
-def _artifact_for(info: ProgramInfo) -> _SrcArtifact:
-    art = getattr(info, "_srcgen_artifact", None)
+def _artifact_for(info: ProgramInfo,
+                  profile: bool = False) -> _SrcArtifact:
+    attr = "_srcgen_artifact_prof" if profile else "_srcgen_artifact"
+    art = getattr(info, attr, None)
     if art is None:
-        art = _SrcArtifact(info)
-        info._srcgen_artifact = art
+        art = _SrcArtifact(info, profile=profile)
+        setattr(info, attr, art)
     return art
 
 
-def compile_kernel(info: ProgramInfo, name: str) -> CompiledSrcKernel | None:
+def compile_kernel(info: ProgramInfo, name: str,
+                   profile: bool = False) -> CompiledSrcKernel | None:
     """Compile kernel ``name`` to generated Python source.
 
     Returns None when the kernel uses a construct the emitter does not
@@ -2011,11 +2068,13 @@ def compile_kernel(info: ProgramInfo, name: str) -> CompiledSrcKernel | None:
     are memoized on the program's attached artifact and — when the
     program carries a preprocessed-source fingerprint — in the shared
     :data:`repro.minicuda.codegen.KERNEL_CACHE` under a versioned
-    ``codegen`` engine key.
+    ``codegen`` engine key. Profiled compilation (line-ledger emitting
+    source) memoizes under its own engine tag.
     """
-    art = _artifact_for(info)
+    art = _artifact_for(info, profile=profile)
     if info.fingerprint:
-        key = memo_key("codegen", SRCGEN_VERSION, info.fingerprint, name)
+        key = memo_key("codegen-prof" if profile else "codegen",
+                       SRCGEN_VERSION, info.fingerprint, name)
         value, _ = KERNEL_CACHE.get_or_compute(
             key, lambda: art.get_kernel(name))
         return value

@@ -27,6 +27,8 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_index,
+    bucket_upper,
     merge_registries,
 )
 from repro.telemetry.trace import (
@@ -100,22 +102,112 @@ KERNEL_SIM_SECONDS = "webgpu_kernel_sim_seconds"
 KERNEL_COMPILE_SECONDS = "webgpu_kernel_engine_compile_seconds"
 KERNEL_EXEC_SECONDS = "webgpu_kernel_engine_exec_seconds"
 
-#: Gauge: fraction of warp lane slots that were active in the last
-#: simd-engine launch (1.0 = divergence-free; lower means masked-off
-#: lanes rode along while both branch arms executed).
+#: Histogram: fraction of warp lane slots active per simd-engine launch
+#: (1.0 = divergence-free; lower means masked-off lanes rode along
+#: while both branch arms executed). A histogram — not a gauge —
+#: because the fleet view merges registries by addition: merged gauges
+#: sum last-set ratios into nonsense, merged histograms add bucket
+#: counts and keep the distribution exact.
 WARP_ACTIVE_LANE_RATIO = "webgpu_warp_active_lane_ratio"
+
+
+class ExemplarStore:
+    """Sampled concrete traces behind the stage-latency histogram.
+
+    Prometheus-style exemplars: each ``(stage, tag, bucket)`` slot of
+    the fixed log-bucket layout holds at most one recent trace
+    reference, so a dashboard bucket links to one real attempt to pull
+    up ("p99 of exec is 4s — *here* is such an attempt"). Admission is
+    **tail-sampled**: an observation is stored only when it lands at
+    or above the store's latency percentile of what its (stage, tag)
+    series has seen so far, so cheap common attempts never occupy the
+    slots the interesting tail needs. The first observation of a
+    series always seeds a slot.
+    """
+
+    __slots__ = ("percentile", "_slots")
+
+    def __init__(self, percentile: float = 0.95):
+        if not 0.0 <= percentile <= 1.0:
+            raise ValueError(f"percentile must be in [0, 1], "
+                             f"got {percentile}")
+        self.percentile = percentile
+        self._slots: dict[tuple[str, str, int], dict[str, Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def offer(self, stage: str, tag: str, seconds: float, trace: Any,
+              series: Any = None) -> bool:
+        """Tail-sampling admission; True when the exemplar was kept.
+
+        ``series`` is the (stage, tag) histogram series *including*
+        this observation — the percentile threshold is computed from
+        it, so the knob is self-calibrating as traffic shifts.
+        """
+        if trace is None:
+            return False
+        if (series is not None and series.count > 1
+                and seconds < series.quantile(self.percentile)):
+            return False
+        self._slots[(stage, tag, bucket_index(seconds))] = {
+            "trace_id": getattr(trace, "trace_id", str(trace)),
+            "span_id": getattr(trace, "span_id", ""),
+            "seconds": seconds,
+        }
+        return True
+
+    def exemplar(self, stage: str, tag: str = "untagged",
+                 bucket: int | None = None) -> dict[str, Any] | None:
+        """The exemplar in one bucket, or — with no bucket given —
+        the slowest stored exemplar for the (stage, tag) pair."""
+        if bucket is not None:
+            return self._slots.get((stage, tag, bucket))
+        best: dict[str, Any] | None = None
+        for (st, tg, _), rec in self._slots.items():
+            if st == stage and tg == tag and (
+                    best is None or rec["seconds"] > best["seconds"]):
+                best = rec
+        return best
+
+    def for_stage(self, stage: str,
+                  tag: str | None = None) -> list[dict[str, Any]]:
+        """Stored exemplars for a stage (optionally one tag), in
+        bucket order, each with its bucket upper bound attached."""
+        out = []
+        for (st, tg, bucket), rec in sorted(self._slots.items()):
+            if st != stage or (tag is not None and tg != tag):
+                continue
+            out.append({"stage": st, "tag": tg, "bucket": bucket,
+                        "le": bucket_upper(bucket), **rec})
+        return out
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """JSON-able listing of every stored exemplar."""
+        return [{"stage": st, "tag": tg, "bucket": bucket,
+                 "le": bucket_upper(bucket), **rec}
+                for (st, tg, bucket), rec in sorted(self._slots.items())]
+
+    def merge(self, other: "ExemplarStore") -> None:
+        """Fold another store in (slower observation wins per slot)."""
+        for key, rec in other._slots.items():
+            mine = self._slots.get(key)
+            if mine is None or rec["seconds"] > mine["seconds"]:
+                self._slots[key] = rec
 
 
 class Telemetry:
     """The metrics registry + tracer bundle one platform shares."""
 
-    __slots__ = ("metrics", "tracer", "clock")
+    __slots__ = ("metrics", "tracer", "clock", "exemplars")
 
     def __init__(self, clock: Any = None, tracing: bool = False,
                  registry: MetricsRegistry | None = None,
-                 tracer: "Tracer | NullTracer | None" = None):
+                 tracer: "Tracer | NullTracer | None" = None,
+                 exemplar_percentile: float = 0.95):
         self.clock = clock
         self.metrics = registry if registry is not None else MetricsRegistry()
+        self.exemplars = ExemplarStore(exemplar_percentile)
         if tracer is not None:
             self.tracer = tracer
         else:
@@ -129,12 +221,22 @@ class Telemetry:
     # -- convenience recorders (the shared vocabulary) ---------------------
 
     def record_stage(self, stage: str, seconds: float,
-                     tag: str = "untagged") -> None:
-        """One observation in the per-stage latency breakdown."""
-        self.metrics.histogram(
-            STAGE_SECONDS,
-            "simulated seconds per pipeline stage").observe(
-                max(0.0, seconds), stage=stage, tag=tag)
+                     tag: str = "untagged", trace: Any = None) -> None:
+        """One observation in the per-stage latency breakdown.
+
+        ``trace`` (a :class:`TraceContext`, or anything carrying a
+        ``trace_id``) offers the observation to the exemplar store —
+        tail-sampled, so only attempts at or above the store's latency
+        percentile survive as the concrete trace behind a histogram
+        bucket. None (the default) keeps the hot path exemplar-free.
+        """
+        value = max(0.0, seconds)
+        family = self.metrics.histogram(
+            STAGE_SECONDS, "simulated seconds per pipeline stage")
+        family.observe(value, stage=stage, tag=tag)
+        if trace is not None:
+            self.exemplars.offer(stage, tag, value, trace,
+                                 family.series(stage=stage, tag=tag))
 
     def record_kernel(self, name: str, wall_seconds: float,
                       stats: Any = None) -> None:
@@ -178,19 +280,30 @@ class Telemetry:
                 memo.inc(memo_misses, backend=backend, outcome="miss")
 
     def stage_summary(self, by_tag: bool = False) -> dict[str, dict]:
-        """p50/p95/p99 etc. per stage (optionally nested per tag)."""
+        """p50/p95/p99 etc. per stage (optionally nested per tag).
+
+        Every stage in :data:`STAGES` appears even when never
+        observed — an explicit all-zero summary — and with ``by_tag``
+        every known tag appears under every stage the same way, so
+        consumers (dashboard, ``trace-attempt``) render a fixed-shape
+        table instead of silently dropping rows a stage/tag slice
+        never hit.
+        """
         family = self.metrics.get(STAGE_SECONDS)
-        out: dict[str, dict] = {}
         if not isinstance(family, Histogram):
-            return out
+            family = Histogram(STAGE_SECONDS)
+        stages = list(STAGES)
         for stage in family.label_values("stage"):
+            if stage not in stages:
+                stages.append(stage)
+        tags = family.label_values("tag")
+        out: dict[str, dict] = {}
+        for stage in stages:
             out[stage] = family.merged(stage=stage).summary()
             if by_tag:
                 out[stage]["tags"] = {
-                    tag: series.summary()
-                    for tag in family.label_values("tag")
-                    if (series := family.series(stage=stage, tag=tag))
-                    is not None}
+                    tag: family.merged(stage=stage, tag=tag).summary()
+                    for tag in tags}
         return out
 
 
@@ -204,7 +317,8 @@ __all__ = [
     "merge_registries",
     "Tracer", "NullTracer", "Span", "NullSpan", "TraceContext",
     "NULL_SPAN", "INFO", "WARNING",
-    "Telemetry", "disabled", "requirement_tag", "STAGES", "STAGE_SECONDS",
+    "Telemetry", "ExemplarStore", "disabled", "requirement_tag",
+    "STAGES", "STAGE_SECONDS", "WARP_ACTIVE_LANE_RATIO",
     "QUEUE_WAIT_SECONDS", "SLO_BURN", "ADMISSION_CLASSES", "job_class",
     "KERNEL_WALL_SECONDS", "KERNEL_SIM_SECONDS",
     "KERNEL_COMPILE_SECONDS", "KERNEL_EXEC_SECONDS",

@@ -13,6 +13,7 @@ from repro.web.views import (
     render_code_view,
     render_description_view,
     render_history_view,
+    render_profile_view,
     render_questions_view,
     render_roster_view,
 )
@@ -164,6 +165,16 @@ class WebGpuApp:
             revisions = self.platform.revisions.history(user.user_id,
                                                         lab.slug)
             return Response(body=render_history_view(lab, revisions))
+
+        @router.route("GET", "/lab/<slug>/profile")
+        def profile(request: Request) -> Response:
+            user = self._user(request)
+            lab = self._lab(request)
+            dataset = int(request.form.get("dataset", 0))
+            source, ledger, violations = self.platform.get_line_profile(
+                self.course_key, user, lab.slug, dataset_index=dataset)
+            return Response(body=render_profile_view(lab, source, ledger,
+                                                     violations))
 
         @router.route("GET", "/lab/<slug>/feedback")
         def feedback(request: Request) -> Response:

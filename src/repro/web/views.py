@@ -23,7 +23,8 @@ def _page(title: str, body: str) -> str:
 
 
 def _nav(lab: LabDefinition, active: str) -> str:
-    tabs = ["description", "code", "questions", "attempts", "history"]
+    tabs = ["description", "code", "questions", "attempts", "history",
+            "profile"]
     items = []
     for tab in tabs:
         label = tab.capitalize()
@@ -128,6 +129,76 @@ def render_history_view(lab: LabDefinition,
     table = ("<table class='history'>" + "".join(rows) + "</table>"
              if rows else "<p>No revisions yet.</p>")
     return _page(f"{lab.title} — History", _nav(lab, "history") + table)
+
+
+#: Column order of the per-line counter table (short dashboard labels).
+_PROFILE_COLUMNS = (
+    ("instructions", "instr"),
+    ("global_load_transactions", "gld"),
+    ("global_store_transactions", "gst"),
+    ("shared_accesses", "shm"),
+    ("bank_conflicts", "bank"),
+    ("atomic_ops", "atomic"),
+    ("divergent_branches", "div"),
+)
+
+
+def render_profile_view(lab: LabDefinition, source: str, profile,
+                        violations: Sequence = (), top: int = 5) -> str:
+    """The annotated-source heat view: every source line with its
+    per-line kernel counters and a heat-shaded gutter, the top-N hot
+    lines, and any line-budget violations. ``profile`` is a
+    :class:`repro.profiler.LineProfile` (None → empty-state page)."""
+    parts = [_nav(lab, "profile")]
+    if profile is None or not profile.lines:
+        parts.append("<p>No profiled kernel launches yet — run or "
+                     "submit code that launches a kernel first.</p>")
+        return _page(f"{lab.title} — Profile", "".join(parts))
+
+    heats = {line: c.heat() for line, c in profile.lines.items()}
+    max_heat = max(heats.values(), default=0)
+
+    hot_rows = []
+    for line, counters in profile.top_lines(top):
+        text = source.splitlines()[line - 1] if \
+            line <= len(source.splitlines()) else ""
+        hot_rows.append(
+            f"<tr><td>{line}</td><td>{counters.heat()}</td>"
+            f"<td><code>{html.escape(text.strip())}</code></td></tr>")
+    parts.append("<h2>Hottest lines</h2>"
+                 "<table class='hot-lines'><tr><th>line</th>"
+                 "<th>heat</th><th>source</th></tr>"
+                 + "".join(hot_rows) + "</table>")
+
+    if violations:
+        items = "".join(f"<li>{html.escape(v.describe())}</li>"
+                        for v in violations)
+        parts.append("<h2>Line-budget violations</h2>"
+                     f"<ul class='budget-violations'>{items}</ul>")
+
+    header = ("<tr><th>line</th>"
+              + "".join(f"<th>{label}</th>"
+                        for _, label in _PROFILE_COLUMNS)
+              + "<th>heat</th><th>source</th></tr>")
+    rows = []
+    for number, text in enumerate(source.splitlines(), start=1):
+        counters = profile.lines.get(number)
+        heat = heats.get(number, 0)
+        # shade the row by its share of the hottest line's heat
+        alpha = heat / max_heat if max_heat else 0.0
+        style = (f" style='background: rgba(255,80,0,{alpha:.2f})'"
+                 if alpha > 0 else "")
+        cells = "".join(
+            f"<td>{getattr(counters, name) or ''}</td>" if counters
+            else "<td></td>"
+            for name, _ in _PROFILE_COLUMNS)
+        rows.append(
+            f"<tr{style}><td>{number}</td>{cells}<td>{heat or ''}</td>"
+            f"<td><pre class='src'>{html.escape(text)}</pre></td></tr>")
+    parts.append("<h2>Annotated source</h2>"
+                 "<table class='line-profile'>" + header
+                 + "".join(rows) + "</table>")
+    return _page(f"{lab.title} — Profile", "".join(parts))
 
 
 def render_roster_view(lab: LabDefinition,

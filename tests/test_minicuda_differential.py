@@ -255,6 +255,47 @@ int main() {{ return 0; }}
             assert stats_eng.global_store_requests == \
                 stats_ast.global_store_requests, engine
 
+    @given(expressions(max_depth=3), st.integers(0, 63), st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_line_ledgers_agree_across_engines(self, node, cut, flip):
+        """The per-line profiler ledger is part of the engine-parity
+        contract: profiled runs must produce bit-identical
+        :class:`LineProfile` ledgers on every engine — including the
+        divergence counts only mixed warps accrue, and the loop-line
+        pinning of condition/step charges."""
+        op = "<" if flip else ">="
+        source = f"""
+__global__ void diverge(int *out, int n) {{
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int acc = 0;
+  for (int k = 0; k < 3; k++) {{
+    acc += out[(i + k) % n];
+  }}
+  if (i < n) {{
+    if (i {op} {cut}) {{
+      out[i] = ({node.render()}) + acc;
+    }} else {{
+      out[i] = acc * 2 - 1;
+    }}
+  }}
+}}
+int main() {{ return 0; }}
+"""
+        program = compile_source(source)
+        n = 60  # off the 64-thread grid: tail lanes masked
+        ledgers = {}
+        for engine in ("ast", "closure", "codegen", "simd"):
+            rt = GpuRuntime(Device())
+            out = rt.malloc(n, "int")
+            stats = program.launch(rt, "diverge", 2, 32, out.ptr(), n,
+                                   engine=engine, profile=True)
+            assert stats.line_profile is not None, engine
+            ledgers[engine] = stats.line_profile
+        reference = ledgers["ast"]
+        assert reference.total_instructions > 0
+        for engine in ("closure", "codegen", "simd"):
+            assert ledgers[engine] == reference, (engine, node.render())
+
     @given(st.integers(-100, 100), st.integers(-100, 100))
     @settings(max_examples=40, deadline=None)
     def test_division_pairs(self, a, b):

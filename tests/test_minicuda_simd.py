@@ -23,6 +23,7 @@ from repro.minicuda.simd import CompiledSimdKernel, compile_kernel
 from repro.minicuda.srcgen import CompiledSrcKernel
 from repro.minicuda.values import f32
 from repro.telemetry import Telemetry, WARP_ACTIVE_LANE_RATIO
+from repro.telemetry.metrics import MetricsRegistry, merge_registries
 
 ENGINES = ("ast", "closure", "codegen", "simd")
 
@@ -318,9 +319,10 @@ int main() { return 0; }
         program = compile_source(self.SRC)
         out = rt.malloc(64, "int")
         program.launch(rt, "half", 2, 32, out.ptr(), n, engine="simd")
-        gauge = tel.metrics.gauge(WARP_ACTIVE_LANE_RATIO)
-        (ratio,) = gauge._series.values()
-        return ratio
+        hist = tel.metrics.histogram(WARP_ACTIVE_LANE_RATIO)
+        series = hist.merged(kernel="half")
+        assert series.count == 1
+        return series.max
 
     def test_divergence_free_kernel_is_full(self):
         assert self._ratio(64) == 1.0
@@ -335,8 +337,24 @@ int main() { return 0; }
         program = compile_source(self.SRC)
         out = rt.malloc(64, "int")
         program.launch(rt, "half", 2, 32, out.ptr(), 64, engine="codegen")
-        gauge = tel.metrics.gauge(WARP_ACTIVE_LANE_RATIO)
-        assert not gauge._series
+        hist = tel.metrics.histogram(WARP_ACTIVE_LANE_RATIO)
+        assert not hist._series
+
+    def test_fleet_merge_keeps_distribution(self):
+        # regression: as a gauge this merged by sum — two workers both
+        # at 1.0 produced a fleet "ratio" of 2.0 and the second
+        # worker's value clobbered nothing but meant nothing either.
+        # As a histogram the merge adds bucket counts, so the fleet
+        # view keeps every launch's ratio.
+        workers = [MetricsRegistry(), MetricsRegistry()]
+        for registry in workers:
+            registry.histogram(WARP_ACTIVE_LANE_RATIO).observe(
+                1.0, kernel="half")
+        fleet = merge_registries(workers)
+        series = fleet.get(WARP_ACTIVE_LANE_RATIO).merged(kernel="half")
+        assert series.count == 2
+        assert series.max == 1.0
+        assert series.mean == 1.0
 
 
 class TestNumericParity:
